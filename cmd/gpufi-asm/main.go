@@ -1,0 +1,78 @@
+// Command gpufi-asm assembles, inspects, and disassembles kernels written
+// in the SASS-like assembly: resource demands, the control-flow graph, and
+// the reconvergence PCs the SIMT stack uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"gpufi"
+	"gpufi/internal/asm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpufi-asm: ")
+	var (
+		showCFG = flag.Bool("cfg", false, "print basic blocks and post-dominators")
+		quiet   = flag.Bool("q", false, "only validate; print nothing on success")
+	)
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		log.Fatal("usage: gpufi-asm [-cfg] [-q] [file.gasm]")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	progs, err := gpufi.AssembleAll(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *quiet {
+		return
+	}
+	names := make([]string, 0, len(progs))
+	for n := range progs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := progs[n]
+		fmt.Print(p.Disassemble())
+		if *showCFG {
+			g := asm.BuildCFG(p)
+			ipdom := asm.PostDominators(g)
+			fmt.Printf("// %d basic blocks:\n", len(g.Blocks))
+			for i, b := range g.Blocks {
+				fmt.Printf("//   B%d [%d,%d) succs=%v", i, b.Start, b.End, b.Succs)
+				switch d := ipdom[i]; d {
+				case -1:
+					fmt.Print(" ipdom=EXIT")
+				case -2:
+					fmt.Print(" ipdom=unreachable")
+				default:
+					fmt.Printf(" ipdom=B%d", d)
+				}
+				if b.ToExit {
+					fmt.Print(" ->exit")
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+	}
+}

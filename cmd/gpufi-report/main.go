@@ -1,0 +1,73 @@
+// Command gpufi-report parses gpuFI-4 JSONL campaign logs — the paper's
+// parser module — and prints the aggregated fault-effect statistics per
+// campaign, plus a combined summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpufi"
+	"gpufi/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpufi-report: ")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: gpufi-report [-csv] log.jsonl...")
+	}
+
+	var all []*gpufi.CampaignResult
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := gpufi.ParseLog(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		all = append(all, res...)
+	}
+	if len(all) == 0 {
+		log.Fatal("no campaigns found in the given logs")
+	}
+
+	tb := &report.Table{
+		Title: fmt.Sprintf("%d campaign(s)", len(all)),
+		Header: []string{"app", "gpu", "kernel", "structure", "bits", "runs",
+			"Masked", "SDC", "Crash", "Timeout", "Perf", "FR", "99% margin"},
+	}
+	var total gpufi.Counts
+	for _, r := range all {
+		c := r.Counts
+		tb.AddRow(r.App, r.GPU, r.Kernel, r.Structure,
+			fmt.Sprint(r.Bits), fmt.Sprint(c.Total()),
+			fmt.Sprint(c.Masked), fmt.Sprint(c.SDC), fmt.Sprint(c.Crash),
+			fmt.Sprint(c.Timeout), fmt.Sprint(c.Performance),
+			fmt.Sprintf("%.4f", c.FailureRatio()),
+			fmt.Sprintf("±%.4f", gpufi.Margin(c.Failures(), c.Total(), 0.99)))
+		total.Merge(c)
+	}
+	tb.AddRow("ALL", "", "", "", "", fmt.Sprint(total.Total()),
+		fmt.Sprint(total.Masked), fmt.Sprint(total.SDC), fmt.Sprint(total.Crash),
+		fmt.Sprint(total.Timeout), fmt.Sprint(total.Performance),
+		fmt.Sprintf("%.4f", total.FailureRatio()),
+		fmt.Sprintf("±%.4f", gpufi.Margin(total.Failures(), total.Total(), 0.99)))
+
+	var err error
+	if *csvOut {
+		err = tb.WriteCSV(os.Stdout)
+	} else {
+		err = tb.Render(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Command gpufi runs gpuFI-4 fault-injection campaigns from the command
+// line — the role of the paper's front-end bash script. It profiles a
+// benchmark on a GPU model, runs one campaign point (kernel x structure x
+// multiplicity), prints the fault-effect breakdown, and optionally writes
+// the JSONL experiment log.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpufi"
+	"gpufi/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpufi: ")
+	var (
+		appName   = flag.String("app", "VA", "benchmark: HS KM SRAD1 SRAD2 LUD BFS PATHF NW GE BP VA SP")
+		gpuName   = flag.String("gpu", "RTX2060", "GPU model: RTX2060 QuadroGV100 GTXTitan")
+		kernel    = flag.String("kernel", "", "target static kernel (default: every kernel of the app)")
+		structure = flag.String("structure", "regfile", "target: regfile shared local l1d l1t l2 l1c")
+		runs      = flag.Int("n", 300, "injections per campaign point")
+		bits      = flag.Int("bits", 1, "fault multiplicity (1=single, 3=triple, ...)")
+		warpWide  = flag.Bool("warp", false, "warp-granularity injection (regfile/local)")
+		blocks    = flag.Int("blocks", 1, "CTAs hit per shared-memory injection")
+		seed      = flag.Int64("seed", 1, "campaign seed (results are reproducible)")
+		scale     = flag.Int("scale", 1, "benchmark problem-size scale")
+		l2queue   = flag.Int("l2queue", 0, "L2 bank service cycles (contention model; 0 = off)")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		logPath   = flag.String("log", "", "write the JSONL experiment log to this file")
+		lenient   = flag.Bool("lenient", false, "GPGPU-Sim-style lazily allocated memory (wild accesses succeed)")
+		ecc       = flag.Bool("ecc", false, "enable SEC-DED ECC on all structures (protection ablation)")
+		stats     = flag.Bool("stats", false, "print the memory-system statistics of the fault-free run")
+		tracePath = flag.String("trace", "", "write the fault-free instruction trace to this file (slow)")
+		listApps  = flag.Bool("list", false, "list benchmarks and kernels, then exit")
+	)
+	flag.Parse()
+
+	if *listApps {
+		for _, a := range gpufi.Apps() {
+			fmt.Printf("%-7s kernels: %v\n", a.Name, a.Kernels)
+		}
+		return
+	}
+
+	app, err := gpufi.AppByNameScale(*appName, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu, err := gpufi.CardByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu.LenientMemory = *lenient
+	gpu.ECC = *ecc
+	gpu.L2QueueCycles = *l2queue
+	st, err := gpufi.ParseStructure(*structure)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("profiling %s on %s...\n", app.Name, gpu.Name)
+	prof, err := gpufi.Profile(app, gpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault-free execution: %d cycles, kernels %v\n\n", prof.TotalCycles, prof.KernelOrder)
+	if *stats || *tracePath != "" {
+		dev, err := gpufi.NewDevice(gpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var traceFile *os.File
+		if *tracePath != "" {
+			if traceFile, err = os.Create(*tracePath); err != nil {
+				log.Fatal(err)
+			}
+			dev.TraceWriter = traceFile
+		}
+		if _, err := app.Run(dev); err != nil {
+			log.Fatal(err)
+		}
+		if traceFile != nil {
+			traceFile.Close()
+			fmt.Printf("instruction trace: %s\n", *tracePath)
+		}
+		if *stats {
+			fmt.Println(dev.StatsReport())
+		}
+	}
+
+	kernels := prof.KernelOrder
+	if *kernel != "" {
+		kernels = []string{*kernel}
+	}
+
+	var logFile *os.File
+	if *logPath != "" {
+		if logFile, err = os.Create(*logPath); err != nil {
+			log.Fatal(err)
+		}
+		defer logFile.Close()
+	}
+
+	tb := &report.Table{
+		Title: fmt.Sprintf("%s / %s / %s, %d-bit faults, %d runs per kernel",
+			app.Name, gpu.Name, st, *bits, *runs),
+		Header: []string{"kernel", "Masked", "SDC", "Crash", "Timeout", "Performance", "FR (Eq.1)", "99% margin"},
+	}
+	var total gpufi.Counts
+	for _, k := range kernels {
+		res, err := gpufi.Run(&gpufi.CampaignConfig{
+			App: app, GPU: gpu, Kernel: k, Structure: st,
+			Runs: *runs, Bits: *bits, WarpWide: *warpWide, Blocks: *blocks,
+			Seed: *seed, Workers: *workers,
+		}, prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Counts
+		tb.AddRow(k,
+			fmt.Sprint(c.Masked), fmt.Sprint(c.SDC), fmt.Sprint(c.Crash),
+			fmt.Sprint(c.Timeout), fmt.Sprint(c.Performance),
+			fmt.Sprintf("%.4f", c.FailureRatio()),
+			fmt.Sprintf("±%.4f", gpufi.Margin(c.Failures(), c.Total(), 0.99)))
+		total.Merge(c)
+		if logFile != nil {
+			if err := gpufi.WriteLog(logFile, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if len(kernels) > 1 {
+		tb.AddRow("TOTAL",
+			fmt.Sprint(total.Masked), fmt.Sprint(total.SDC), fmt.Sprint(total.Crash),
+			fmt.Sprint(total.Timeout), fmt.Sprint(total.Performance),
+			fmt.Sprintf("%.4f", total.FailureRatio()),
+			fmt.Sprintf("±%.4f", gpufi.Margin(total.Failures(), total.Total(), 0.99)))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *logPath != "" {
+		fmt.Printf("\nexperiment log: %s\n", *logPath)
+	}
+}

@@ -1,0 +1,73 @@
+// Campaign: a full single-structure injection campaign on one benchmark —
+// the basic experiment of the paper. Runs N register-file injections into
+// the BFS kernels on an RTX 2060, classifies every outcome, writes the
+// JSONL log, and reports the failure ratio (Eq. 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpufi"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "BFS", "benchmark (HS KM SRAD1 SRAD2 LUD BFS PATHF NW GE BP VA SP)")
+		runs    = flag.Int("n", 150, "injections per kernel")
+		bits    = flag.Int("bits", 1, "fault multiplicity (1=single, 3=triple)")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		logPath = flag.String("log", "", "write JSONL campaign log to this file")
+	)
+	flag.Parse()
+
+	app, err := gpufi.AppByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu := gpufi.RTX2060()
+
+	fmt.Printf("profiling %s on %s (fault-free golden run)...\n", app.Name, gpu.Name)
+	prof, err := gpufi.Profile(app, gpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d total cycles, kernels: %v\n\n", prof.TotalCycles, prof.KernelOrder)
+
+	var logFile *os.File
+	if *logPath != "" {
+		logFile, err = os.Create(*logPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer logFile.Close()
+	}
+
+	var total gpufi.Counts
+	for _, kernel := range prof.KernelOrder {
+		res, err := gpufi.Run(&gpufi.CampaignConfig{
+			App: app, GPU: gpu, Kernel: kernel,
+			Structure: gpufi.StructRegFile,
+			Runs:      *runs, Bits: *bits, Seed: *seed,
+		}, prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Counts
+		fmt.Printf("kernel %-10s masked=%-4d sdc=%-4d crash=%-4d timeout=%-4d perf=%-4d  FR=%.3f\n",
+			kernel, c.Masked, c.SDC, c.Crash, c.Timeout, c.Performance, c.FailureRatio())
+		total.Merge(c)
+		if logFile != nil {
+			if err := gpufi.WriteLog(logFile, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("\nregister file over all kernels: %d runs, failure ratio %.3f\n",
+		total.Total(), total.FailureRatio())
+	if *logPath != "" {
+		fmt.Printf("log written to %s (parse with gpufi-report)\n", *logPath)
+	}
+}

@@ -1,0 +1,107 @@
+// Quickstart: assemble a tiny kernel, run it on a simulated RTX 2060,
+// inject a single register-file bit flip, and observe the effect.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"gpufi"
+)
+
+const kernelSrc = `
+// out[i] = in[i] * 3 + 1
+.kernel saxpyish
+	S2R   R0, %gtid
+	LDC   R1, c[0]             // &in
+	LDC   R2, c[4]             // &out
+	LDC   R3, c[8]             // n
+	ISETP.GE P0, R0, R3
+@P0	EXIT
+	SHL   R4, R0, 2
+	IADD  R5, R1, R4
+	LDG   R6, [R5]
+	IMAD  R6, R6, 3, R0
+	ISUB  R6, R6, R0
+	IADD  R6, R6, 1
+	IADD  R7, R2, R4
+	STG   [R7], R6
+	EXIT
+`
+
+func main() {
+	prog, err := gpufi.Assemble(kernelSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled kernel %q: %d instructions, %d registers/thread\n",
+		prog.Name, len(prog.Instrs), prog.RegsPerThread)
+
+	const n = 256
+	run := func(spec *gpufi.FaultSpec) []uint32 {
+		dev, err := gpufi.NewDevice(gpufi.RTX2060())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if spec != nil {
+			if err := dev.ArmFault(spec); err != nil {
+				log.Fatal(err)
+			}
+		}
+		in := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(in[4*i:], uint32(i))
+		}
+		din, _ := dev.Malloc(4 * n)
+		dout, _ := dev.Malloc(4 * n)
+		if err := dev.MemcpyHtoD(din, in); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dev.Launch(prog, gpufi.Dim1(n/64), gpufi.Dim1(64),
+			din, dout, n); err != nil {
+			log.Fatalf("launch: %v", err)
+		}
+		out := make([]byte, 4*n)
+		if err := dev.MemcpyDtoH(out, dout); err != nil {
+			log.Fatal(err)
+		}
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint32(out[4*i:])
+		}
+		fmt.Printf("run took %d cycles", dev.Cycle())
+		if rec := dev.Injection(); rec != nil {
+			fmt.Printf("; injection: %s at cycle %d (core %d)", rec.Detail, rec.Cycle, rec.Core)
+		}
+		fmt.Println()
+		return vals
+	}
+
+	fmt.Println("\n-- fault-free run --")
+	golden := run(nil)
+
+	fmt.Println("\n-- with a bit flip in register R6 (live data) --")
+	faulty := run(&gpufi.FaultSpec{
+		Structure:    gpufi.StructRegFile,
+		Cycle:        60,
+		BitPositions: []int64{6*32 + 17}, // R6, bit 17
+		Seed:         1,
+	})
+
+	diffs := 0
+	for i := range golden {
+		if golden[i] != faulty[i] {
+			diffs++
+			if diffs <= 3 {
+				fmt.Printf("out[%d]: %d -> %d\n", i, golden[i], faulty[i])
+			}
+		}
+	}
+	switch diffs {
+	case 0:
+		fmt.Println("outcome: Masked (the flipped bit was overwritten or dead)")
+	default:
+		fmt.Printf("outcome: SDC — %d corrupted outputs\n", diffs)
+	}
+}

@@ -1,0 +1,3 @@
+module gpufi
+
+go 1.22

@@ -1,0 +1,375 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"gpufi/internal/isa"
+)
+
+// Assemble translates source text containing exactly one kernel into a
+// validated program.
+func Assemble(src string) (*isa.Program, error) {
+	progs, err := AssembleAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(progs) != 1 {
+		return nil, fmt.Errorf("asm: expected one kernel, found %d", len(progs))
+	}
+	for _, p := range progs {
+		return p, nil
+	}
+	panic("unreachable")
+}
+
+// AssembleAll translates source text that may contain several .kernel
+// sections. The returned map is keyed by kernel name. Every program is
+// validated and has reconvergence PCs assigned.
+func AssembleAll(src string) (map[string]*isa.Program, error) {
+	kernels, err := parseSource(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*isa.Program, len(kernels))
+	for _, k := range kernels {
+		if _, dup := out[k.name]; dup {
+			return nil, errf(k.line, "duplicate kernel %q", k.name)
+		}
+		p, err := assembleKernel(k)
+		if err != nil {
+			return nil, err
+		}
+		out[k.name] = p
+	}
+	return out, nil
+}
+
+func assembleKernel(k *kernelSrc) (*isa.Program, error) {
+	if len(k.stmts) == 0 {
+		return nil, errf(k.line, "kernel %q has no instructions", k.name)
+	}
+	p := &isa.Program{
+		Name:       k.name,
+		SmemBytes:  k.smem,
+		LocalBytes: k.local,
+		Instrs:     make([]isa.Instr, 0, len(k.stmts)),
+	}
+	maxReg := -1
+	for _, st := range k.stmts {
+		in, err := encodeStmt(&st, k)
+		if err != nil {
+			return nil, err
+		}
+		if m := in.MaxReg(); m > maxReg {
+			maxReg = m
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	p.RegsPerThread = maxReg + 1
+	if p.RegsPerThread == 0 {
+		p.RegsPerThread = 1
+	}
+	if k.regs > 0 {
+		if k.regs < p.RegsPerThread {
+			return nil, errf(k.line, ".reg %d below inferred register count %d", k.regs, p.RegsPerThread)
+		}
+		p.RegsPerThread = k.regs
+	}
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.Op == isa.OpBRA && (in.Target < 0 || int(in.Target) >= len(p.Instrs)) {
+			return nil, errf(k.line, "kernel %q: branch target %d outside program", k.name, in.Target)
+		}
+	}
+	if err := AssignReconvergence(p); err != nil {
+		return nil, errf(k.line, "kernel %q: %v", k.name, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// operand-count helper
+func wantOperands(st *stmt, n int) error {
+	if len(st.operands) != n {
+		return errf(st.line, "%s expects %d operands, got %d", st.mnemonic, n, len(st.operands))
+	}
+	return nil
+}
+
+var binaryOps = map[string]isa.Op{
+	"IADD": isa.OpIADD, "ISUB": isa.OpISUB, "IMUL": isa.OpIMUL,
+	"IDIV": isa.OpIDIV, "IREM": isa.OpIREM, "IMIN": isa.OpIMIN,
+	"IMAX": isa.OpIMAX, "SHL": isa.OpSHL, "SHR": isa.OpSHR,
+	"SHRA": isa.OpSHRA, "AND": isa.OpAND, "OR": isa.OpOR, "XOR": isa.OpXOR,
+	"FADD": isa.OpFADD, "FSUB": isa.OpFSUB, "FMUL": isa.OpFMUL,
+	"FDIV": isa.OpFDIV, "FMIN": isa.OpFMIN, "FMAX": isa.OpFMAX,
+}
+
+var unaryOps = map[string]isa.Op{
+	"NOT": isa.OpNOT, "IABS": isa.OpIABS, "FABS": isa.OpFABS,
+	"FNEG": isa.OpFNEG, "FSQRT": isa.OpFSQRT, "FRCP": isa.OpFRCP,
+	"FEXP": isa.OpFEXP, "FLOG": isa.OpFLOG, "F2I": isa.OpF2I, "I2F": isa.OpI2F,
+}
+
+var loadOps = map[string]isa.Op{
+	"LDG": isa.OpLDG, "LDS": isa.OpLDS, "LDL": isa.OpLDL, "TLD": isa.OpTLD,
+}
+
+var storeOps = map[string]isa.Op{
+	"STG": isa.OpSTG, "STS": isa.OpSTS, "STL": isa.OpSTL,
+}
+
+var setpOps = map[string]isa.Op{
+	"ISETP": isa.OpISETP, "USETP": isa.OpUSETP, "FSETP": isa.OpFSETP,
+}
+
+func encodeStmt(st *stmt, k *kernelSrc) (isa.Instr, error) {
+	in := isa.Instr{
+		Guard:    st.guard,
+		GuardNeg: st.guardNeg,
+		Dst:      isa.RegRZ,
+		PDst:     isa.PredPT,
+		PSrc:     isa.PredPT,
+		Reconv:   -1,
+	}
+	mn := st.mnemonic
+	base, suffix := mn, ""
+	if i := strings.Index(mn, "."); i >= 0 {
+		base, suffix = mn[:i], mn[i+1:]
+	}
+
+	switch {
+	case mn == "NOP":
+		in.Op = isa.OpNOP
+		return in, wantOperands(st, 0)
+	case mn == "EXIT":
+		in.Op = isa.OpEXIT
+		return in, wantOperands(st, 0)
+	case mn == "BAR" || mn == "BAR.SYNC":
+		in.Op = isa.OpBAR
+		return in, wantOperands(st, 0)
+
+	case mn == "MOV":
+		in.Op = isa.OpMOV
+		if err := wantOperands(st, 2); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst = d
+		r, imm, isImm, err := parseRegOrImm(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.SrcB, in.Imm, in.HasImm = r, imm, isImm
+		return in, nil
+
+	case mn == "S2R":
+		in.Op = isa.OpS2R
+		if err := wantOperands(st, 2); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		sr, err := isa.ParseSReg(strings.ToLower(st.operands[1]))
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst, in.SReg = d, sr
+		return in, nil
+
+	case mn == "SEL":
+		in.Op = isa.OpSEL
+		if err := wantOperands(st, 4); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		a, err := parseReg(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		r, imm, isImm, err := parseRegOrImm(st.operands[2])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		pp, err := parsePred(st.operands[3])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst, in.SrcA, in.SrcB, in.Imm, in.HasImm, in.PSrc = d, a, r, imm, isImm, pp
+		return in, nil
+
+	case mn == "IMAD" || mn == "FFMA":
+		if mn == "IMAD" {
+			in.Op = isa.OpIMAD
+		} else {
+			in.Op = isa.OpFFMA
+		}
+		if err := wantOperands(st, 4); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		a, err := parseReg(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		r, imm, isImm, err := parseRegOrImm(st.operands[2])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		c, err := parseReg(st.operands[3])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst, in.SrcA, in.SrcB, in.Imm, in.HasImm, in.SrcC = d, a, r, imm, isImm, c
+		return in, nil
+
+	case mn == "LDC":
+		in.Op = isa.OpLDC
+		if err := wantOperands(st, 2); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		off, err := parseConst(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst, in.Imm = d, off
+		return in, nil
+
+	case mn == "BRA":
+		in.Op = isa.OpBRA
+		if err := wantOperands(st, 1); err != nil {
+			return in, err
+		}
+		if target, ok := k.labels[st.operands[0]]; ok {
+			in.Target = int32(target)
+			return in, nil
+		}
+		// Numeric PC targets make disassembler output reassemblable.
+		if n, err := parseImm(st.operands[0]); err == nil && n >= 0 {
+			in.Target = n
+			return in, nil
+		}
+		return in, errf(st.line, "undefined label %q", st.operands[0])
+	}
+
+	if op, ok := setpOps[base]; ok {
+		in.Op = op
+		cond, err := isa.ParseCond(suffix)
+		if err != nil {
+			return in, errf(st.line, "%s: %v", mn, err)
+		}
+		in.Cond = cond
+		if err := wantOperands(st, 3); err != nil {
+			return in, err
+		}
+		pd, err := parsePred(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		if pd == isa.PredPT {
+			return in, errf(st.line, "cannot write PT")
+		}
+		a, err := parseReg(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		r, imm, isImm, err := parseRegOrImm(st.operands[2])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.PDst, in.SrcA, in.SrcB, in.Imm, in.HasImm = pd, a, r, imm, isImm
+		return in, nil
+	}
+
+	if op, ok := binaryOps[mn]; ok {
+		in.Op = op
+		if err := wantOperands(st, 3); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		a, err := parseReg(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		r, imm, isImm, err := parseRegOrImm(st.operands[2])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst, in.SrcA, in.SrcB, in.Imm, in.HasImm = d, a, r, imm, isImm
+		return in, nil
+	}
+
+	if op, ok := unaryOps[mn]; ok {
+		in.Op = op
+		if err := wantOperands(st, 2); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		a, err := parseReg(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst, in.SrcA = d, a
+		return in, nil
+	}
+
+	if op, ok := loadOps[mn]; ok {
+		in.Op = op
+		if err := wantOperands(st, 2); err != nil {
+			return in, err
+		}
+		d, err := parseReg(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		b, off, err := parseMem(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.Dst, in.SrcA, in.Imm = d, b, off
+		return in, nil
+	}
+
+	if op, ok := storeOps[mn]; ok {
+		in.Op = op
+		if err := wantOperands(st, 2); err != nil {
+			return in, err
+		}
+		b, off, err := parseMem(st.operands[0])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		v, err := parseReg(st.operands[1])
+		if err != nil {
+			return in, errf(st.line, "%v", err)
+		}
+		in.SrcA, in.Imm, in.SrcC = b, off, v
+		return in, nil
+	}
+
+	return in, errf(st.line, "unknown mnemonic %q", st.mnemonic)
+}

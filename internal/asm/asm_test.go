@@ -1,0 +1,347 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+const vecaddSrc = `
+// vector add: c[i] = a[i] + b[i]
+.kernel vecadd
+.smem 0
+	S2R   R0, %tid.x
+	S2R   R1, %ctaid.x
+	S2R   R2, %ntid.x
+	IMAD  R0, R1, R2, R0      // gid
+	LDC   R1, c[0]            // &a
+	LDC   R2, c[4]            // &b
+	LDC   R3, c[8]            // &c
+	LDC   R4, c[12]           // n
+	ISETP.GE P0, R0, R4
+@P0	EXIT
+	SHL   R5, R0, 2
+	IADD  R6, R1, R5
+	LDG   R7, [R6+0]
+	IADD  R6, R2, R5
+	LDG   R8, [R6]
+	FADD  R7, R7, R8
+	IADD  R6, R3, R5
+	STG   [R6], R7
+	EXIT
+`
+
+func TestAssembleVecadd(t *testing.T) {
+	p, err := Assemble(vecaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "vecadd" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if len(p.Instrs) != 19 {
+		t.Errorf("got %d instructions, want 19", len(p.Instrs))
+	}
+	if p.RegsPerThread != 9 { // R0..R8
+		t.Errorf("RegsPerThread = %d, want 9", p.RegsPerThread)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// The guarded EXIT must carry guard P0.
+	ex := p.Instrs[9]
+	if ex.Op != isa.OpEXIT || ex.Guard != 0 || ex.GuardNeg {
+		t.Errorf("instr 9 = %+v, want guarded EXIT @P0", ex)
+	}
+}
+
+func TestAssembleLoop(t *testing.T) {
+	src := `
+.kernel loop
+	MOV R0, 0
+	MOV R1, 10
+top:
+	IADD R0, R0, 1
+	ISETP.LT P0, R0, R1
+@P0	BRA top
+	EXIT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bra := p.Instrs[4]
+	if bra.Op != isa.OpBRA || bra.Target != 2 {
+		t.Fatalf("BRA = %+v, want target 2", bra)
+	}
+	// Reconvergence of the loop back-edge: the block after the loop (EXIT
+	// at pc 5) post-dominates the branch block.
+	if bra.Reconv != 5 {
+		t.Errorf("loop branch Reconv = %d, want 5", bra.Reconv)
+	}
+}
+
+func TestReconvergenceIfElse(t *testing.T) {
+	src := `
+.kernel ifelse
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 16
+@!P0	BRA else
+	MOV R1, 1
+	BRA join
+else:
+	MOV R1, 2
+join:
+	IADD R2, R1, 1
+	EXIT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The guarded branch at pc 2 must reconverge at "join" (pc 6).
+	bra := p.Instrs[2]
+	if bra.Op != isa.OpBRA || !bra.Guarded() {
+		t.Fatalf("pc 2 = %+v, want guarded BRA", bra)
+	}
+	if bra.Reconv != 6 {
+		t.Errorf("if/else Reconv = %d, want 6 (join)", bra.Reconv)
+	}
+	// The unconditional BRA at pc 4 must not diverge.
+	if p.Instrs[4].Reconv != -1 {
+		t.Errorf("unconditional BRA Reconv = %d, want -1", p.Instrs[4].Reconv)
+	}
+}
+
+func TestReconvergenceNested(t *testing.T) {
+	src := `
+.kernel nested
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 16
+@!P0	BRA outer_join
+	ISETP.LT P1, R0, 8
+@!P1	BRA inner_join
+	MOV R1, 1
+inner_join:
+	MOV R2, 2
+outer_join:
+	MOV R3, 3
+	EXIT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Instrs[2].Reconv; got != 7 { // outer_join = pc 7
+		t.Errorf("outer branch Reconv = %d, want 7", got)
+	}
+	if got := p.Instrs[4].Reconv; got != 6 { // inner_join = pc 6
+		t.Errorf("inner branch Reconv = %d, want 6", got)
+	}
+}
+
+func TestReconvergenceGuardedExitPath(t *testing.T) {
+	// A guarded branch where one side EXITs: reconvergence must be the
+	// virtual exit (-1), not the fallthrough.
+	src := `
+.kernel gexit
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 16
+@P0	BRA work
+	EXIT
+work:
+	MOV R1, 1
+	EXIT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Instrs[2].Reconv; got != -1 {
+		t.Errorf("branch around EXIT Reconv = %d, want -1", got)
+	}
+}
+
+func TestAssembleAllMultipleKernels(t *testing.T) {
+	src := `
+.kernel k1
+	MOV R0, 1
+	EXIT
+.kernel k2
+.smem 1024
+.local 16
+	MOV R0, 2
+	EXIT
+`
+	progs, err := AssembleAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("got %d kernels, want 2", len(progs))
+	}
+	if progs["k2"].SmemBytes != 1024 || progs["k2"].LocalBytes != 16 {
+		t.Errorf("k2 resources = %+v", progs["k2"])
+	}
+	if progs["k1"].SmemBytes != 0 {
+		t.Errorf("k1 smem = %d, want 0", progs["k1"].SmemBytes)
+	}
+}
+
+func TestOperandForms(t *testing.T) {
+	src := `
+.kernel ops
+	MOV R1, 0x10
+	MOV R2, -5
+	MOV R3, 1.5f
+	MOV R4, RZ
+	LDG R5, [R1-4]
+	LDG R6, [256]
+	STG [R1+8], R2
+	SEL R7, R1, 99, P0
+	IMAD R8, R1, 3, R2
+	FSETP.NE P1, R3, 0f
+	BAR
+	EXIT
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Imm != 16 || !p.Instrs[0].HasImm {
+		t.Errorf("hex imm = %+v", p.Instrs[0])
+	}
+	if p.Instrs[1].Imm != -5 {
+		t.Errorf("negative imm = %d", p.Instrs[1].Imm)
+	}
+	if isa.F32(uint32(p.Instrs[2].Imm)) != 1.5 {
+		t.Errorf("float imm bits = %#x", p.Instrs[2].Imm)
+	}
+	if p.Instrs[3].SrcB != isa.RegRZ || p.Instrs[3].HasImm {
+		t.Errorf("MOV R4, RZ = %+v", p.Instrs[3])
+	}
+	if p.Instrs[4].Imm != -4 {
+		t.Errorf("negative offset = %d", p.Instrs[4].Imm)
+	}
+	if p.Instrs[5].SrcA != isa.RegRZ || p.Instrs[5].Imm != 256 {
+		t.Errorf("absolute address = %+v", p.Instrs[5])
+	}
+	if p.Instrs[6].SrcC != 2 || p.Instrs[6].Imm != 8 {
+		t.Errorf("STG = %+v", p.Instrs[6])
+	}
+	if p.Instrs[7].PSrc != 0 {
+		t.Errorf("SEL pred = %+v", p.Instrs[7])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no kernel", "MOV R0, 1", "before .kernel"},
+		{"empty", "", "no .kernel"},
+		{"unknown mnemonic", ".kernel k\nFROB R1, R2\nEXIT", "unknown mnemonic"},
+		{"undefined label", ".kernel k\nBRA nowhere\nEXIT", "undefined label"},
+		{"duplicate label", ".kernel k\nx:\nNOP\nx:\nEXIT", "duplicate label"},
+		{"bad register", ".kernel k\nMOV R99, 1\nEXIT", "bad register"},
+		{"bad operand count", ".kernel k\nIADD R1, R2\nEXIT", "expects 3 operands"},
+		{"write PT", ".kernel k\nISETP.EQ PT, R1, R2\nEXIT", "cannot write PT"},
+		{"bad cond", ".kernel k\nISETP.ZZ P0, R1, R2\nEXIT", "unknown condition"},
+		{"bad sreg", ".kernel k\nS2R R0, %frob\nEXIT", "unknown special register"},
+		{"reg below inferred", ".kernel k\n.reg 2\nMOV R5, 1\nEXIT", "below inferred"},
+		{"bad directive", ".kernel k\n.frob 3\nEXIT", "unknown directive"},
+		{"duplicate kernel", ".kernel k\nEXIT\n.kernel k\nEXIT", "duplicate kernel"},
+		{"fall off end", ".kernel k\nMOV R0, 1", "fall off the end"},
+		{"guard alone", ".kernel k\n@P0\nEXIT", "guard without instruction"},
+		{"bad mem operand", ".kernel k\nLDG R1, R2\nEXIT", "bad memory operand"},
+		{"pred as alu operand", ".kernel k\nIADD R1, R2, P0\nEXIT", "predicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := AssembleAll(tc.src)
+			if err == nil {
+				t.Fatalf("assembled successfully, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := ".kernel k\nNOP\nNOP\nFROB R1\nEXIT"
+	_, err := Assemble(src)
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if aerr.Line != 4 {
+		t.Errorf("error line = %d, want 4", aerr.Line)
+	}
+}
+
+func TestCFGStructure(t *testing.T) {
+	p, err := Assemble(`
+.kernel cfg
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 4
+@P0	BRA a
+	MOV R1, 1
+	BRA b
+a:
+	MOV R1, 2
+b:
+	EXIT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCFG(p)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4: %+v", len(g.Blocks), g.Blocks)
+	}
+	// Block 0 = [0,3) with succs {a-block, fallthrough}.
+	if len(g.Blocks[0].Succs) != 2 {
+		t.Errorf("entry block succs = %v, want 2 edges", g.Blocks[0].Succs)
+	}
+	exitBlock := g.BlockOf(len(p.Instrs) - 1)
+	if !g.Blocks[exitBlock].ToExit || len(g.Blocks[exitBlock].Succs) != 0 {
+		t.Errorf("exit block = %+v, want ToExit with no succs", g.Blocks[exitBlock])
+	}
+}
+
+func TestDisassembleRoundTripish(t *testing.T) {
+	// Disassembly of an assembled kernel mentions every mnemonic used.
+	p, err := Assemble(vecaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.Disassemble()
+	for _, mn := range []string{"S2R", "IMAD", "LDC", "ISETP.GE", "SHL", "LDG", "FADD", "STG", "EXIT"} {
+		if !strings.Contains(dis, mn) {
+			t.Errorf("disassembly missing %q", mn)
+		}
+	}
+}
+
+func TestLabelSharingLineWithInstr(t *testing.T) {
+	p, err := Assemble(".kernel k\nstart: MOV R0, 1\nBRA done\ndone: EXIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[1].Target != 2 {
+		t.Errorf("target = %d, want 2", p.Instrs[1].Target)
+	}
+}
+
+func TestRegDirectiveOverride(t *testing.T) {
+	p, err := Assemble(".kernel k\n.reg 32\nMOV R3, 1\nEXIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RegsPerThread != 32 {
+		t.Errorf("RegsPerThread = %d, want 32", p.RegsPerThread)
+	}
+}

@@ -1,0 +1,244 @@
+package asm
+
+import (
+	"fmt"
+
+	"gpufi/internal/isa"
+)
+
+// Block is a basic block: instructions [Start, End) with successor blocks.
+// ToExit marks blocks with an edge to the virtual exit node (blocks whose
+// terminator is an EXIT — including guarded EXITs, which also fall through).
+type Block struct {
+	Start, End int
+	Succs      []int
+	ToExit     bool
+}
+
+// CFG is the control-flow graph of a program.
+type CFG struct {
+	Blocks  []Block
+	blockOf []int // instruction pc -> containing block index
+}
+
+// BlockOf returns the index of the block containing pc.
+func (g *CFG) BlockOf(pc int) int { return g.blockOf[pc] }
+
+// BuildCFG constructs the control-flow graph. Leaders are: pc 0, every
+// branch target, and every instruction following a branch or EXIT.
+func BuildCFG(p *isa.Program) *CFG {
+	n := len(p.Instrs)
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	for pc := 0; pc < n; pc++ {
+		in := &p.Instrs[pc]
+		switch in.Op {
+		case isa.OpBRA:
+			if int(in.Target) < n {
+				leader[in.Target] = true
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case isa.OpEXIT:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	g := &CFG{blockOf: make([]int, n)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, Block{Start: pc})
+		}
+		g.blockOf[pc] = len(g.Blocks) - 1
+	}
+	for i := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			g.Blocks[i].End = g.Blocks[i+1].Start
+		} else {
+			g.Blocks[i].End = n
+		}
+	}
+	// Successor edges from each block's terminator.
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := &p.Instrs[b.End-1]
+		switch last.Op {
+		case isa.OpBRA:
+			if int(last.Target) < n && last.Target >= 0 {
+				b.Succs = append(b.Succs, g.blockOf[last.Target])
+			}
+			if last.Guarded() && b.End < n {
+				b.Succs = append(b.Succs, g.blockOf[b.End])
+			}
+		case isa.OpEXIT:
+			b.ToExit = true
+			if last.Guarded() && b.End < n {
+				b.Succs = append(b.Succs, g.blockOf[b.End])
+			}
+			// Unguarded EXIT: no CFG successors, only the virtual exit.
+		default:
+			if b.End < n {
+				b.Succs = append(b.Succs, g.blockOf[b.End])
+			}
+		}
+	}
+	return g
+}
+
+// PostDominators computes the immediate post-dominator of every block using
+// the Cooper–Harvey–Kennedy iterative algorithm on the reverse CFG with a
+// virtual exit node. The result maps block index -> immediate post-dominator
+// block index, with -1 meaning the virtual exit (the block post-dominated
+// only by program termination) and -2 meaning unreachable-to-exit.
+func PostDominators(g *CFG) []int {
+	n := len(g.Blocks)
+	const exit = -1 // virtual exit node
+
+	// Reverse CFG: predecessors of each block in the reversed graph are its
+	// CFG successors; blocks with no successors connect to the virtual exit.
+	// We compute a reverse postorder of the reversed graph rooted at exit.
+	preds := make([][]int, n) // preds in reversed graph = succs in CFG
+	toExit := make([]bool, n)
+	exitPreds := []int{} // CFG blocks flowing into virtual exit
+	for i := range g.Blocks {
+		toExit[i] = g.Blocks[i].ToExit || len(g.Blocks[i].Succs) == 0
+		if toExit[i] {
+			exitPreds = append(exitPreds, i)
+		}
+		preds[i] = g.Blocks[i].Succs
+	}
+	// succsRev[b] = blocks that can flow to b in the CFG (= successors of b
+	// in the reversed graph are the CFG predecessors; we need CFG preds for
+	// the meet step below, naming is per the reversed orientation).
+	cfgPreds := make([][]int, n)
+	for i := range g.Blocks {
+		for _, s := range g.Blocks[i].Succs {
+			cfgPreds[s] = append(cfgPreds[s], i)
+		}
+	}
+
+	// Postorder DFS over the reversed graph from exit.
+	order := make([]int, 0, n) // postorder of reversed graph
+	visited := make([]bool, n)
+	var dfs func(b int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, p := range cfgPreds[b] {
+			if !visited[p] {
+				dfs(p)
+			}
+		}
+		order = append(order, b)
+	}
+	for _, b := range exitPreds {
+		if !visited[b] {
+			dfs(b)
+		}
+	}
+
+	rpoNum := make([]int, n) // higher = earlier in reverse postorder
+	for i, b := range order {
+		rpoNum[b] = i
+	}
+
+	const undef = -3
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = undef
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for a != exit && (b == exit || rpoNum[a] < rpoNum[b]) {
+				a = ipdom[a]
+				if a == undef {
+					return undef
+				}
+			}
+			for b != exit && (a == exit || rpoNum[b] < rpoNum[a]) {
+				b = ipdom[b]
+				if b == undef {
+					return undef
+				}
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		// Process in reverse postorder of the reversed graph.
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			newIdom := undef
+			// "Predecessors" in the reversed graph are CFG successors; a
+			// block terminating in EXIT is also preceded by the virtual exit.
+			if toExit[b] {
+				newIdom = exit
+			}
+			for _, s := range preds[b] {
+				if !visited[s] {
+					continue // successor cannot reach exit
+				}
+				if ipdom[s] == undef {
+					continue
+				}
+				if newIdom == undef {
+					newIdom = s
+				} else {
+					if r := intersect(newIdom, s); r != undef {
+						newIdom = r
+					}
+				}
+			}
+			if newIdom != undef && ipdom[b] != newIdom {
+				ipdom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for i := range ipdom {
+		if !visited[i] || ipdom[i] == undef {
+			ipdom[i] = -2 // cannot reach exit
+		}
+	}
+	return ipdom
+}
+
+// AssignReconvergence sets the Reconv field of every potentially divergent
+// branch (guarded BRA) to the first PC of the immediate post-dominator block
+// of the branch's block — the PC at which the SIMT stack reconverges the
+// warp. Unconditional branches and branches whose post-dominator is the
+// virtual exit get Reconv = -1 (reconverge only at thread exit).
+func AssignReconvergence(p *isa.Program) error {
+	g := BuildCFG(p)
+	ipdom := PostDominators(g)
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if in.Op != isa.OpBRA {
+			continue
+		}
+		in.Reconv = -1
+		if !in.Guarded() {
+			continue
+		}
+		b := g.BlockOf(pc)
+		// The branch is the last instruction of its block by construction.
+		if g.Blocks[b].End-1 != pc {
+			return fmt.Errorf("internal: branch at pc %d not a block terminator", pc)
+		}
+		switch d := ipdom[b]; d {
+		case -1:
+			in.Reconv = -1
+		case -2:
+			return fmt.Errorf("branch at pc %d cannot reach EXIT", pc)
+		default:
+			in.Reconv = int32(g.Blocks[d].Start)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package asm
+
+import (
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+// buildProg assembles and returns the single kernel, failing the test on
+// error.
+func buildProg(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPostDominatorsStraightLine(t *testing.T) {
+	p := buildProg(t, ".kernel s\nMOV R0, 1\nMOV R1, 2\nEXIT")
+	g := BuildCFG(p)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	ipdom := PostDominators(g)
+	if ipdom[0] != -1 {
+		t.Errorf("single block ipdom = %d, want virtual exit", ipdom[0])
+	}
+}
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	p := buildProg(t, `
+.kernel d
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 4
+@P0	BRA a
+	MOV R1, 1
+	BRA j
+a:
+	MOV R1, 2
+j:
+	EXIT
+`)
+	g := BuildCFG(p)
+	ipdom := PostDominators(g)
+	// Entry block's immediate post-dominator must be the join block.
+	entry := g.BlockOf(0)
+	join := g.BlockOf(6) // the EXIT at label j (pc 6)
+	if ipdom[entry] != join {
+		t.Errorf("entry ipdom = B%d, want join B%d", ipdom[entry], join)
+	}
+	// The two arms also post-dominate into the join.
+	if ipdom[g.BlockOf(3)] != join || ipdom[g.BlockOf(5)] != join {
+		t.Error("branch arms do not post-dominate into join")
+	}
+}
+
+func TestPostDominatorsLoop(t *testing.T) {
+	p := buildProg(t, `
+.kernel l
+	MOV R0, 0
+top:
+	IADD R0, R0, 1
+	ISETP.LT P0, R0, 5
+@P0	BRA top
+	EXIT
+`)
+	g := BuildCFG(p)
+	ipdom := PostDominators(g)
+	loopBlk := g.BlockOf(1)
+	exitBlk := g.BlockOf(4)
+	if ipdom[loopBlk] != exitBlk {
+		t.Errorf("loop block ipdom = B%d, want exit B%d", ipdom[loopBlk], exitBlk)
+	}
+}
+
+func TestReconvergenceLoopWithBreak(t *testing.T) {
+	// A loop with a guarded break: both the back-edge branch and the break
+	// branch must reconverge at the loop exit.
+	p := buildProg(t, `
+.kernel lb
+	S2R R0, %tid.x
+	MOV R1, 0
+top:
+	IADD R1, R1, 1
+	ISETP.GT P0, R1, R0
+@P0	BRA out
+	ISETP.LT P1, R1, 100
+@P1	BRA top
+out:
+	EXIT
+`)
+	exitPC := int32(len(p.Instrs) - 1)
+	for pc, in := range p.Instrs {
+		if in.Op == isa.OpBRA && in.Guarded() {
+			if in.Reconv != exitPC {
+				t.Errorf("branch at pc %d reconverges at %d, want %d", pc, in.Reconv, exitPC)
+			}
+		}
+	}
+}
+
+func TestBranchToSelf(t *testing.T) {
+	// A self-loop with a guard still assembles, with reconvergence at the
+	// fallthrough.
+	p := buildProg(t, `
+.kernel sl
+	S2R R0, %tid.x
+spin:
+	IADD R0, R0, -1
+	ISETP.GT P0, R0, 0
+@P0	BRA spin
+	EXIT
+`)
+	bra := p.Instrs[3]
+	if bra.Reconv != 4 {
+		t.Errorf("self-loop reconv = %d, want 4", bra.Reconv)
+	}
+}
+
+func TestInfiniteLoopRejected(t *testing.T) {
+	// A guarded branch that can never reach EXIT has no post-dominator;
+	// the assembler must reject it rather than emit a bogus program.
+	_, err := Assemble(`
+.kernel inf
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 4
+spin:
+@P0	BRA spin
+	BRA spin
+	EXIT
+`)
+	if err == nil {
+		t.Fatal("kernel with unreachable EXIT accepted")
+	}
+}
+
+func TestMultipleExits(t *testing.T) {
+	p := buildProg(t, `
+.kernel me
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 4
+@P0	EXIT
+	ISETP.LT P1, R0, 8
+@P1	EXIT
+	MOV R1, 1
+	EXIT
+`)
+	g := BuildCFG(p)
+	exits := 0
+	for _, b := range g.Blocks {
+		if b.ToExit {
+			exits++
+		}
+	}
+	if exits != 3 {
+		t.Errorf("blocks with exit edges = %d, want 3", exits)
+	}
+	ipdom := PostDominators(g)
+	// Every block containing a guarded EXIT is post-dominated by the
+	// virtual exit only if its fallthrough also exits eventually —
+	// entry's ipdom here is the virtual exit because one path terminates.
+	if ipdom[g.BlockOf(0)] != -1 {
+		t.Errorf("entry ipdom = %d, want virtual exit", ipdom[g.BlockOf(0)])
+	}
+}
+
+func TestBlockOfCoversAllPCs(t *testing.T) {
+	p := buildProg(t, `
+.kernel cov
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 4
+@P0	BRA a
+	MOV R1, 1
+a:
+	EXIT
+`)
+	g := BuildCFG(p)
+	for pc := range p.Instrs {
+		b := g.BlockOf(pc)
+		if b < 0 || b >= len(g.Blocks) {
+			t.Fatalf("pc %d in invalid block %d", pc, b)
+		}
+		if pc < g.Blocks[b].Start || pc >= g.Blocks[b].End {
+			t.Fatalf("pc %d outside its block [%d,%d)", pc, g.Blocks[b].Start, g.Blocks[b].End)
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package asm assembles the textual kernel language into isa.Programs.
+//
+// Beyond translation, the assembler performs the control-flow analysis that
+// GPGPU-Sim extracts from SASS binaries: it builds the control-flow graph,
+// computes immediate post-dominators, and annotates every potentially
+// divergent branch with its reconvergence PC for the SIMT stack.
+//
+// Syntax summary (one instruction or directive per line; // and # comments):
+//
+//	.kernel vecadd        start a kernel (required before instructions)
+//	.reg 12               override register count (>= inferred maximum)
+//	.smem 2048            static shared memory bytes per CTA
+//	.local 64             local memory bytes per thread
+//
+//	top:                  label
+//	    S2R R0, %tid.x
+//	    IMAD R0, R1, R2, R0
+//	    ISETP.GE P0, R0, R7
+//	@P0 EXIT              guard prefix @Pn or @!Pn applies to any instruction
+//	    LDG R4, [R3+16]
+//	    STG [R3], R4
+//	    MOV R5, 1.5f      'f' suffix marks float32 immediates
+//	@!P1 BRA top
+//	    EXIT
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpufi/internal/isa"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// stmt is one parsed source line that generates an instruction.
+type stmt struct {
+	line     int
+	guard    uint8
+	guardNeg bool
+	mnemonic string // upper-cased, including condition suffix
+	operands []string
+}
+
+type kernelSrc struct {
+	name      string
+	line      int
+	regs      int // 0 = infer
+	smem      int
+	local     int
+	stmts     []stmt
+	labels    map[string]int // label -> statement index
+	labelLine map[string]int
+}
+
+// parseSource splits assembly text into per-kernel statement lists.
+func parseSource(src string) ([]*kernelSrc, error) {
+	var kernels []*kernelSrc
+	var cur *kernelSrc
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := raw
+		if idx := strings.Index(text, "//"); idx >= 0 {
+			text = text[:idx]
+		}
+		if idx := strings.Index(text, "#"); idx >= 0 {
+			text = text[:idx]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+
+		// Directives.
+		if strings.HasPrefix(text, ".") {
+			fields := strings.Fields(text)
+			switch fields[0] {
+			case ".kernel":
+				if len(fields) != 2 {
+					return nil, errf(line, ".kernel requires a name")
+				}
+				cur = &kernelSrc{
+					name:      fields[1],
+					line:      line,
+					labels:    make(map[string]int),
+					labelLine: make(map[string]int),
+				}
+				kernels = append(kernels, cur)
+			case ".reg", ".smem", ".local":
+				if cur == nil {
+					return nil, errf(line, "%s before .kernel", fields[0])
+				}
+				if len(fields) != 2 {
+					return nil, errf(line, "%s requires one integer", fields[0])
+				}
+				n, err := strconv.Atoi(fields[1])
+				if err != nil || n < 0 {
+					return nil, errf(line, "%s: bad value %q", fields[0], fields[1])
+				}
+				switch fields[0] {
+				case ".reg":
+					cur.regs = n
+				case ".smem":
+					cur.smem = n
+				case ".local":
+					cur.local = n
+				}
+			default:
+				return nil, errf(line, "unknown directive %s", fields[0])
+			}
+			continue
+		}
+
+		if cur == nil {
+			return nil, errf(line, "instruction before .kernel")
+		}
+
+		// Labels (possibly several, possibly followed by an instruction).
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:idx])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, errf(line, "malformed label %q", label)
+			}
+			if _, dup := cur.labels[label]; dup {
+				return nil, errf(line, "duplicate label %q (first at line %d)", label, cur.labelLine[label])
+			}
+			cur.labels[label] = len(cur.stmts)
+			cur.labelLine[label] = line
+			text = strings.TrimSpace(text[idx+1:])
+			if text == "" {
+				break
+			}
+		}
+		if text == "" {
+			continue
+		}
+
+		st := stmt{line: line, guard: isa.PredPT}
+
+		// Guard prefix.
+		if strings.HasPrefix(text, "@") {
+			sp := strings.IndexAny(text, " \t")
+			if sp < 0 {
+				return nil, errf(line, "guard without instruction")
+			}
+			g := text[1:sp]
+			text = strings.TrimSpace(text[sp+1:])
+			if strings.HasPrefix(g, "!") {
+				st.guardNeg = true
+				g = g[1:]
+			}
+			p, err := parsePred(g)
+			if err != nil {
+				return nil, errf(line, "bad guard predicate %q", g)
+			}
+			st.guard = p
+		}
+
+		// Mnemonic and operands.
+		sp := strings.IndexAny(text, " \t")
+		if sp < 0 {
+			st.mnemonic = strings.ToUpper(text)
+		} else {
+			st.mnemonic = strings.ToUpper(text[:sp])
+			rest := strings.TrimSpace(text[sp+1:])
+			for _, op := range splitOperands(rest) {
+				op = strings.TrimSpace(op)
+				if op == "" {
+					return nil, errf(line, "empty operand")
+				}
+				st.operands = append(st.operands, op)
+			}
+		}
+		cur.stmts = append(cur.stmts, st)
+	}
+	if len(kernels) == 0 {
+		return nil, errf(1, "no .kernel directive found")
+	}
+	return kernels, nil
+}
+
+// splitOperands splits on commas that are not inside brackets, so
+// "[R1+4], R2" yields two operands.
+func splitOperands(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToUpper(s)
+	if s == "RZ" {
+		return isa.RegRZ, nil
+	}
+	if !strings.HasPrefix(s, "R") {
+		return 0, fmt.Errorf("not a register: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parsePred(s string) (uint8, error) {
+	s = strings.ToUpper(s)
+	if s == "PT" {
+		return isa.PredPT, nil
+	}
+	if !strings.HasPrefix(s, "P") {
+		return 0, fmt.Errorf("not a predicate: %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumPreds {
+		return 0, fmt.Errorf("bad predicate %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseImm parses an immediate operand: decimal or 0x hex integers, or a
+// float32 literal carrying an 'f' suffix (e.g. "1.5f", "-2e-3f").
+func parseImm(s string) (int32, error) {
+	hex := strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") ||
+		strings.HasPrefix(s, "-0x") || strings.HasPrefix(s, "-0X")
+	if !hex && (strings.HasSuffix(s, "f") || strings.HasSuffix(s, "F")) {
+		f, err := strconv.ParseFloat(s[:len(s)-1], 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad float immediate %q", s)
+		}
+		return isa.FloatImm(float32(f)), nil
+	}
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if n > 0xFFFFFFFF || n < -0x80000000 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(n)), nil
+}
+
+// parseRegOrImm distinguishes a register operand from an immediate.
+func parseRegOrImm(s string) (reg uint8, imm int32, isImm bool, err error) {
+	if r, rerr := parseReg(s); rerr == nil {
+		return r, 0, false, nil
+	}
+	if _, perr := parsePred(s); perr == nil {
+		return 0, 0, false, fmt.Errorf("predicate %q where register/immediate expected", s)
+	}
+	imm, err = parseImm(s)
+	return 0, imm, true, err
+}
+
+// parseMem parses "[Rn]", "[Rn+12]", "[Rn-4]", or "[imm]" (absolute).
+func parseMem(s string) (base uint8, off int32, err error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return 0, 0, fmt.Errorf("empty memory operand")
+	}
+	// Find a +/- separator after the register part (but not a leading sign).
+	sep := -1
+	for i := 1; i < len(inner); i++ {
+		if inner[i] == '+' || inner[i] == '-' {
+			// Don't split exponents in float offsets; offsets are ints, so safe.
+			sep = i
+			break
+		}
+	}
+	regPart, offPart := inner, ""
+	if sep >= 0 {
+		regPart = strings.TrimSpace(inner[:sep])
+		offPart = strings.TrimSpace(inner[sep:]) // keep the sign
+	}
+	if r, rerr := parseReg(regPart); rerr == nil {
+		base = r
+	} else if sep < 0 {
+		// Absolute address: [imm] with RZ base.
+		n, ierr := parseImm(inner)
+		if ierr != nil {
+			return 0, 0, fmt.Errorf("bad memory operand %q", s)
+		}
+		return isa.RegRZ, n, nil
+	} else {
+		return 0, 0, fmt.Errorf("bad base register in %q", s)
+	}
+	if offPart != "" {
+		n, ierr := parseImm(strings.ReplaceAll(offPart, " ", ""))
+		if ierr != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+		off = n
+	}
+	return base, off, nil
+}
+
+// parseConst parses "c[imm]".
+func parseConst(s string) (int32, error) {
+	su := strings.ToLower(s)
+	if !strings.HasPrefix(su, "c[") || !strings.HasSuffix(su, "]") {
+		return 0, fmt.Errorf("bad constant operand %q", s)
+	}
+	return parseImm(strings.TrimSpace(s[2 : len(s)-1]))
+}

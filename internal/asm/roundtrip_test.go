@@ -1,0 +1,100 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+// reassemble turns a disassembly back into a program: the instruction
+// lines of Program.Disassemble use numeric branch targets, which the
+// assembler accepts.
+func reassemble(t *testing.T, p *isa.Program) *isa.Program {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, ".kernel %s\n.reg %d\n.smem %d\n.local %d\n",
+		p.Name, p.RegsPerThread, p.SmemBytes, p.LocalBytes)
+	for pc := range p.Instrs {
+		fmt.Fprintf(&b, "\t%s\n", p.Instrs[pc].String())
+	}
+	q, err := Assemble(b.String())
+	if err != nil {
+		t.Fatalf("reassemble %s: %v\n%s", p.Name, err, b.String())
+	}
+	return q
+}
+
+// Property: disassembling and reassembling any valid program reproduces
+// the same instruction stream (reconvergence PCs are recomputed and must
+// agree too, since they derive from the same CFG).
+func TestDisassembleReassembleRoundTrip(t *testing.T) {
+	sources := []string{
+		vecaddSrc,
+		`
+.kernel loopy
+	S2R R0, %gtid
+	MOV R1, 0
+t:
+	IADD R1, R1, 1
+	ISETP.LT P0, R1, 10
+@P0	BRA t
+	EXIT
+`,
+		`
+.kernel divergy
+.smem 128
+.local 8
+	S2R R0, %tid.x
+	ISETP.LT P0, R0, 16
+@!P0	BRA e
+	MOV R1, 1.5f
+	STS [0], R1
+	BRA j
+e:
+	MOV R1, -2
+	STL [0], R1
+j:
+	BAR
+	SEL R2, R0, R1, P0
+	EXIT
+`,
+	}
+	for _, src := range sources {
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := reassemble(t, p)
+		if len(p.Instrs) != len(q.Instrs) {
+			t.Fatalf("%s: instruction count changed: %d -> %d", p.Name, len(p.Instrs), len(q.Instrs))
+		}
+		for pc := range p.Instrs {
+			if p.Instrs[pc] != q.Instrs[pc] {
+				t.Errorf("%s pc %d: %+v != %+v\n(%s vs %s)", p.Name, pc,
+					p.Instrs[pc], q.Instrs[pc],
+					p.Instrs[pc].String(), q.Instrs[pc].String())
+			}
+		}
+		if p.RegsPerThread != q.RegsPerThread || p.SmemBytes != q.SmemBytes || p.LocalBytes != q.LocalBytes {
+			t.Errorf("%s: resources changed", p.Name)
+		}
+	}
+}
+
+func TestNumericBranchTarget(t *testing.T) {
+	p, err := Assemble(".kernel n\nNOP\nBRA 3\nNOP\nEXIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[1].Target != 3 {
+		t.Errorf("numeric target = %d", p.Instrs[1].Target)
+	}
+	if _, err := Assemble(".kernel n\nBRA 99\nEXIT"); err == nil {
+		t.Error("out-of-range numeric target accepted")
+	}
+	if _, err := Assemble(".kernel n\nBRA -1\nEXIT"); err == nil {
+		t.Error("negative numeric target accepted")
+	}
+}

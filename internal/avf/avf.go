@@ -1,0 +1,239 @@
+// Package avf implements the paper's reliability metrics (Section V):
+// fault-effect classification counts, the structure failure ratio (Eq. 1),
+// the per-kernel AVF as a size-weighted mean over hardware structures
+// (Eq. 2), the cycle-weighted application AVF (Eq. 3), the register-file
+// and shared-memory derating factors df_reg and df_smem, and Failures-in-
+// Time (FIT) rates (Section VI.F).
+package avf
+
+import "fmt"
+
+// Outcome classifies the effect of one fault-injection experiment
+// (Section V.B of the paper).
+type Outcome uint8
+
+// Fault effects.
+const (
+	// Masked: the run completed with output identical to the fault-free
+	// run, in the same number of cycles.
+	Masked Outcome = iota
+	// SDC: silent data corruption — the run completed normally but the
+	// output differs.
+	SDC
+	// Crash: the application reached an abnormal state (here: a memory
+	// address violation) and could not recover.
+	Crash
+	// Timeout: the simulation did not finish within twice the fault-free
+	// execution time.
+	Timeout
+	// Performance: output identical, but the cycle count differs from the
+	// fault-free run. Counted as non-failing for AVF, reported separately
+	// (Fig. 4).
+	Performance
+	outcomeCount
+)
+
+var outcomeNames = [...]string{"Masked", "SDC", "Crash", "Timeout", "Performance"}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("Outcome(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined outcome.
+func (o Outcome) Valid() bool { return o < outcomeCount }
+
+// ParseOutcome converts a name back to an Outcome.
+func ParseOutcome(s string) (Outcome, error) {
+	for i, n := range outcomeNames {
+		if n == s {
+			return Outcome(i), nil
+		}
+	}
+	return 0, fmt.Errorf("avf: unknown outcome %q", s)
+}
+
+// Outcomes lists all outcomes in display order.
+func Outcomes() []Outcome { return []Outcome{Masked, SDC, Crash, Timeout, Performance} }
+
+// Counts tallies experiment outcomes for one injection campaign.
+type Counts struct {
+	Masked      int
+	SDC         int
+	Crash       int
+	Timeout     int
+	Performance int
+}
+
+// Add increments the tally for one experiment outcome.
+func (c *Counts) Add(o Outcome) {
+	switch o {
+	case Masked:
+		c.Masked++
+	case SDC:
+		c.SDC++
+	case Crash:
+		c.Crash++
+	case Timeout:
+		c.Timeout++
+	case Performance:
+		c.Performance++
+	}
+}
+
+// Merge accumulates another tally into c.
+func (c *Counts) Merge(o Counts) {
+	c.Masked += o.Masked
+	c.SDC += o.SDC
+	c.Crash += o.Crash
+	c.Timeout += o.Timeout
+	c.Performance += o.Performance
+}
+
+// Get returns the tally for one outcome.
+func (c Counts) Get(o Outcome) int {
+	switch o {
+	case Masked:
+		return c.Masked
+	case SDC:
+		return c.SDC
+	case Crash:
+		return c.Crash
+	case Timeout:
+		return c.Timeout
+	case Performance:
+		return c.Performance
+	}
+	return 0
+}
+
+// Total returns the number of experiments.
+func (c Counts) Total() int {
+	return c.Masked + c.SDC + c.Crash + c.Timeout + c.Performance
+}
+
+// Failures returns the experiments that ended in any failure. Performance
+// effects do not affect functionality and are excluded, as in the paper.
+func (c Counts) Failures() int { return c.SDC + c.Crash + c.Timeout }
+
+// FailureRatio is Eq. (1): failing injections over total injections.
+func (c Counts) FailureRatio() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Failures()) / float64(t)
+}
+
+// Ratio returns one outcome's share of the total.
+func (c Counts) Ratio(o Outcome) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Get(o)) / float64(t)
+}
+
+// DfReg is the register-file derating factor: the fraction of an SM's
+// physical register file that a kernel's live threads occupy in a given
+// cycle (Section V.A). Clamped to [0,1].
+func DfReg(regsPerThread int, meanThreadsPerSM float64, regFileSizePerSM int) float64 {
+	if regFileSizePerSM <= 0 {
+		return 0
+	}
+	df := float64(regsPerThread) * meanThreadsPerSM / float64(regFileSizePerSM)
+	return clamp01(df)
+}
+
+// DfSmem is the shared-memory derating factor: the fraction of an SM's
+// shared memory that a kernel's resident CTAs occupy (Section V.A).
+// Clamped to [0,1].
+func DfSmem(ctaSmemBytes int, meanCTAsPerSM float64, smemSizePerSMBytes int) float64 {
+	if smemSizePerSMBytes <= 0 {
+		return 0
+	}
+	df := float64(ctaSmemBytes) * meanCTAsPerSM / float64(smemSizePerSMBytes)
+	return clamp01(df)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// StructResult is one structure's campaign outcome for one kernel: the raw
+// failure counts, the structure's chip-wide size, and the derating factor
+// (1 for structures without one).
+type StructResult struct {
+	Name     string
+	Counts   Counts
+	SizeBits int64
+	Derate   float64 // df_reg / df_smem; 1.0 elsewhere
+}
+
+// AVF returns the structure's derated vulnerability: FR × derate.
+func (r StructResult) AVF() float64 { return r.Counts.FailureRatio() * r.Derate }
+
+// KernelAVF is Eq. (2): the size-weighted mean of per-structure derated
+// failure ratios over the total size of all considered structures.
+func KernelAVF(results []StructResult) float64 {
+	var num float64
+	var den int64
+	for _, r := range results {
+		if r.SizeBits <= 0 {
+			continue
+		}
+		num += r.AVF() * float64(r.SizeBits)
+		den += r.SizeBits
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / float64(den)
+}
+
+// KernelEntry pairs a kernel's AVF with its execution-cycle weight.
+type KernelEntry struct {
+	Name   string
+	AVF    float64
+	Cycles uint64
+}
+
+// WeightedAVF is Eq. (3): the cycle-weighted mean of kernel AVFs over the
+// application's total kernel cycles.
+func WeightedAVF(kernels []KernelEntry) float64 {
+	var num float64
+	var den uint64
+	for _, k := range kernels {
+		num += k.AVF * float64(k.Cycles)
+		den += k.Cycles
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / float64(den)
+}
+
+// FIT computes one structure's Failures-in-Time rate (failures per 10^9
+// device-hours): AVF × rawFIT_bit × #bits (Section VI.F).
+func FIT(avf, rawFITPerBit float64, bits int64) float64 {
+	return avf * rawFITPerBit * float64(bits)
+}
+
+// TotalFIT sums per-structure FITs for a whole chip: each structure
+// contributes its derated AVF times its raw bit count.
+func TotalFIT(results []StructResult, rawFITPerBit float64) float64 {
+	var sum float64
+	for _, r := range results {
+		sum += FIT(r.AVF(), rawFITPerBit, r.SizeBits)
+	}
+	return sum
+}

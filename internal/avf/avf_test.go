@@ -1,0 +1,187 @@
+package avf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOutcomeNames(t *testing.T) {
+	for _, o := range Outcomes() {
+		got, err := ParseOutcome(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOutcome(%q) = %v, %v", o.String(), got, err)
+		}
+		if !o.Valid() {
+			t.Errorf("%v not valid", o)
+		}
+	}
+	if _, err := ParseOutcome("Exploded"); err == nil {
+		t.Error("unknown outcome accepted")
+	}
+}
+
+func TestCountsTally(t *testing.T) {
+	var c Counts
+	seq := []Outcome{Masked, Masked, SDC, Crash, Timeout, Performance, SDC}
+	for _, o := range seq {
+		c.Add(o)
+	}
+	if c.Total() != 7 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Failures() != 4 { // 2 SDC + 1 Crash + 1 Timeout
+		t.Errorf("Failures = %d", c.Failures())
+	}
+	if got := c.FailureRatio(); got != 4.0/7.0 {
+		t.Errorf("FailureRatio = %g", got)
+	}
+	if c.Get(SDC) != 2 || c.Get(Performance) != 1 {
+		t.Errorf("Get wrong: %+v", c)
+	}
+	if got := c.Ratio(Masked); got != 2.0/7.0 {
+		t.Errorf("Ratio(Masked) = %g", got)
+	}
+	var d Counts
+	d.Add(SDC)
+	d.Merge(c)
+	if d.SDC != 3 || d.Total() != 8 {
+		t.Errorf("Merge wrong: %+v", d)
+	}
+}
+
+func TestEmptyCountsSafe(t *testing.T) {
+	var c Counts
+	if c.FailureRatio() != 0 || c.Ratio(SDC) != 0 {
+		t.Error("empty counts should yield zero ratios")
+	}
+}
+
+func TestDeratingFactors(t *testing.T) {
+	// Paper's df_reg: regs/thread x mean threads / regfile size.
+	if got := DfReg(32, 512, 65536); got != 0.25 {
+		t.Errorf("DfReg = %g, want 0.25", got)
+	}
+	if got := DfReg(64, 2048, 65536); got != 1.0 { // clamped to 1
+		t.Errorf("DfReg clamp = %g", got)
+	}
+	if got := DfReg(16, 0, 65536); got != 0 {
+		t.Errorf("DfReg with no threads = %g", got)
+	}
+	if got := DfSmem(8192, 4, 65536); got != 0.5 {
+		t.Errorf("DfSmem = %g, want 0.5", got)
+	}
+	if DfReg(10, 10, 0) != 0 || DfSmem(10, 10, 0) != 0 {
+		t.Error("zero-size structure should yield zero derating")
+	}
+}
+
+func TestKernelAVF(t *testing.T) {
+	// Two structures: FR 0.5 over 100 bits and FR 0.1 over 300 bits.
+	rs := []StructResult{
+		{Name: "a", Counts: Counts{SDC: 5, Masked: 5}, SizeBits: 100, Derate: 1},
+		{Name: "b", Counts: Counts{SDC: 1, Masked: 9}, SizeBits: 300, Derate: 1},
+	}
+	want := (0.5*100 + 0.1*300) / 400
+	if got := KernelAVF(rs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("KernelAVF = %g, want %g", got, want)
+	}
+	// Derating scales a structure's contribution.
+	rs[0].Derate = 0.5
+	want = (0.25*100 + 0.1*300) / 400
+	if got := KernelAVF(rs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("derated KernelAVF = %g, want %g", got, want)
+	}
+	// Zero-size structures are skipped (GTX Titan without L1D).
+	rs = append(rs, StructResult{Name: "l1d", Counts: Counts{SDC: 10}, SizeBits: 0, Derate: 1})
+	if got := KernelAVF(rs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("zero-size structure affected AVF: %g", got)
+	}
+	if KernelAVF(nil) != 0 {
+		t.Error("empty KernelAVF should be 0")
+	}
+}
+
+func TestWeightedAVF(t *testing.T) {
+	ks := []KernelEntry{
+		{Name: "k1", AVF: 0.2, Cycles: 1000},
+		{Name: "k2", AVF: 0.8, Cycles: 3000},
+	}
+	want := (0.2*1000 + 0.8*3000) / 4000
+	if got := WeightedAVF(ks); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WeightedAVF = %g, want %g", got, want)
+	}
+	if WeightedAVF(nil) != 0 {
+		t.Error("empty WeightedAVF should be 0")
+	}
+}
+
+func TestFIT(t *testing.T) {
+	// FIT = AVF x rawFIT x bits.
+	if got := FIT(0.5, 1.8e-6, 1_000_000); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("FIT = %g, want 0.9", got)
+	}
+	rs := []StructResult{
+		{Counts: Counts{SDC: 1, Masked: 1}, SizeBits: 1000, Derate: 1},   // AVF .5
+		{Counts: Counts{Crash: 1, Masked: 3}, SizeBits: 2000, Derate: 1}, // AVF .25
+	}
+	want := 0.5*1.2e-5*1000 + 0.25*1.2e-5*2000
+	if got := TotalFIT(rs, 1.2e-5); math.Abs(got-want) > 1e-15 {
+		t.Errorf("TotalFIT = %g, want %g", got, want)
+	}
+}
+
+// Property: AVF is always within [0,1] and monotone in failures.
+func TestQuickAVFBounds(t *testing.T) {
+	f := func(sdc, crash, timeout, masked, perf uint8, size uint16, derate uint8) bool {
+		r := StructResult{
+			Counts: Counts{
+				SDC: int(sdc), Crash: int(crash), Timeout: int(timeout),
+				Masked: int(masked), Performance: int(perf),
+			},
+			SizeBits: int64(size) + 1,
+			Derate:   float64(derate%101) / 100,
+		}
+		a := KernelAVF([]StructResult{r})
+		if a < 0 || a > 1 {
+			return false
+		}
+		// Adding one more failing run cannot decrease AVF.
+		r2 := r
+		r2.Counts.SDC++
+		return KernelAVF([]StructResult{r2}) >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted AVF lies between min and max kernel AVFs.
+func TestQuickWeightedAVFBetweenExtremes(t *testing.T) {
+	f := func(avfs []uint8, cycles []uint16) bool {
+		n := len(avfs)
+		if len(cycles) < n {
+			n = len(cycles)
+		}
+		if n == 0 {
+			return true
+		}
+		var ks []KernelEntry
+		lo, hi := 1.0, 0.0
+		for i := 0; i < n; i++ {
+			a := float64(avfs[i]%101) / 100
+			ks = append(ks, KernelEntry{AVF: a, Cycles: uint64(cycles[i]) + 1})
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		w := WeightedAVF(ks)
+		return w >= lo-1e-12 && w <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

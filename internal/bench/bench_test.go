@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"testing"
+
+	"gpufi/internal/config"
+	"gpufi/internal/sim"
+)
+
+func runApp(t *testing.T, app *App, cfg *config.GPU) []byte {
+	t.Helper()
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := app.Run(g)
+	if err != nil {
+		t.Fatalf("%s on %s: %v", app.Name, cfg.Name, err)
+	}
+	return out
+}
+
+// Every application must produce its CPU reference result on the primary
+// card of the paper.
+func TestAppsMatchReferenceRTX2060(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			out := runApp(t, app, config.RTX2060())
+			if !app.RefOK(out) {
+				t.Errorf("%s output does not match CPU reference", app.Name)
+			}
+		})
+	}
+}
+
+// The two other paper cards must also run every app correctly. GTX Titan
+// exercises the no-L1D path.
+func TestAppsMatchReferenceOtherCards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, cfg := range []*config.GPU{config.QuadroGV100(), config.GTXTitan()} {
+		for _, app := range All() {
+			app, cfg := app, cfg
+			t.Run(cfg.Name+"/"+app.Name, func(t *testing.T) {
+				out := runApp(t, app, cfg)
+				if !app.RefOK(out) {
+					t.Errorf("%s on %s does not match CPU reference", app.Name, cfg.Name)
+				}
+			})
+		}
+	}
+}
+
+// Fault-free executions must be fully deterministic: identical output
+// bytes and identical cycle counts across runs.
+func TestAppsDeterministic(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			g1, _ := sim.New(config.RTX2060())
+			g2, _ := sim.New(config.RTX2060())
+			o1, err1 := app.Run(g1)
+			o2, err2 := app.Run(g2)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errors: %v, %v", err1, err2)
+			}
+			if !bytesEqual(o1, o2) {
+				t.Error("outputs differ between identical runs")
+			}
+			if g1.Cycle() != g2.Cycle() {
+				t.Errorf("cycle counts differ: %d vs %d", g1.Cycle(), g2.Cycle())
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	apps := All()
+	if len(apps) != 12 {
+		t.Fatalf("got %d apps, want 12", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Errorf("duplicate app %s", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Kernels) == 0 {
+			t.Errorf("%s has no kernels", a.Name)
+		}
+		if len(a.Reference) == 0 {
+			t.Errorf("%s has no reference", a.Name)
+		}
+		if !a.RefOK(a.Reference) {
+			t.Errorf("%s reference does not satisfy its own comparator", a.Name)
+		}
+	}
+	for _, name := range Names() {
+		if !seen[name] {
+			t.Errorf("paper app %s missing from registry", name)
+		}
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// Kernel stats must be collected for every static kernel an app declares.
+func TestAppsProduceKernelStats(t *testing.T) {
+	for _, app := range []*App{LUD(), BFS()} { // multi-kernel, multi-invocation apps
+		g, _ := sim.New(config.RTX2060())
+		if _, err := app.Run(g); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		stats := g.KernelStats()
+		for _, k := range app.Kernels {
+			ks := stats[k]
+			if ks == nil {
+				t.Errorf("%s: no stats for kernel %s", app.Name, k)
+				continue
+			}
+			if ks.Invocations == 0 || ks.TotalCycles == 0 {
+				t.Errorf("%s/%s: empty stats %+v", app.Name, k, ks)
+			}
+		}
+		if lud := stats["lud_div"]; lud != nil && lud.Invocations != ludN-1 {
+			t.Errorf("lud_div invocations = %d, want %d", lud.Invocations, ludN-1)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"testing"
+
+	"gpufi/internal/asm"
+	"gpufi/internal/config"
+	"gpufi/internal/isa"
+	"gpufi/internal/sim"
+)
+
+// appSources maps every app to its kernel source text for static checks.
+var appSources = map[string]string{
+	"VA":    vaSrc,
+	"SP":    spSrc,
+	"BFS":   bfsSrc,
+	"HS":    hsSrc,
+	"KM":    kmSrc,
+	"SRAD1": srad1K1Src + srad1K2Src,
+	"SRAD2": srad2K1Src + srad2K2Src,
+	"LUD":   ludSrc,
+	"PATHF": pfSrc,
+	"NW":    nwSrc,
+	"GE":    geSrc,
+	"BP":    bpSrc,
+}
+
+// Every kernel must assemble, validate, and fit the smallest card's
+// per-SM resources at its app's block size.
+func TestKernelStaticResources(t *testing.T) {
+	titan := config.GTXTitan()
+	for app, src := range appSources {
+		progs, err := asm.AssembleAll(src)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		for name, p := range progs {
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", app, name, err)
+			}
+			if p.RegsPerThread > isa.NumRegs {
+				t.Errorf("%s/%s: %d registers", app, name, p.RegsPerThread)
+			}
+			if p.SmemBytes > titan.SmemPerSM {
+				t.Errorf("%s/%s: %d B shared memory exceeds Kepler SM", app, name, p.SmemBytes)
+			}
+			// Reconvergence must be assigned on every guarded branch.
+			for pc, in := range p.Instrs {
+				if in.Op == isa.OpBRA && in.Guarded() && in.Reconv == 0 && in.Target != 0 {
+					// Reconv 0 is only legal if pc 0 is genuinely the
+					// post-dominator, which never happens for our kernels
+					// (pc 0 precedes every branch).
+					t.Errorf("%s/%s pc %d: guarded BRA without reconvergence", app, name, pc)
+				}
+			}
+		}
+	}
+}
+
+// The registered kernel names must match what each app actually launches.
+func TestAppKernelNamesMatchSources(t *testing.T) {
+	for _, app := range All() {
+		src := appSources[app.Name]
+		progs, err := asm.AssembleAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(progs) != len(app.Kernels) {
+			t.Errorf("%s: %d kernels in source, %d registered", app.Name, len(progs), len(app.Kernels))
+		}
+		for _, k := range app.Kernels {
+			if progs[k] == nil {
+				t.Errorf("%s: registered kernel %q not in source", app.Name, k)
+			}
+		}
+	}
+}
+
+// Shared-memory-using apps must declare the expected footprints (these
+// sizes feed df_smem, so a silent mismatch would skew the AVF).
+func TestSmemFootprints(t *testing.T) {
+	want := map[string]int{
+		"sp_dot":     256,
+		"hs_step":    400,
+		"srad2_k1":   400,
+		"srad2_k2":   400,
+		"pf_step":    264,
+		"bp_forward": 256,
+	}
+	for app, src := range appSources {
+		progs, err := asm.AssembleAll(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, p := range progs {
+			if w, ok := want[name]; ok && p.SmemBytes != w {
+				t.Errorf("%s/%s smem = %d, want %d", app, name, p.SmemBytes, w)
+			}
+		}
+	}
+}
+
+// Each app must run correctly under lenient memory too (the paper-faithful
+// memory model used for the headline figures).
+func TestAppsUnderLenientMemory(t *testing.T) {
+	cfg := config.RTX2060()
+	cfg.LenientMemory = true
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			g, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := app.Run(g)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if !app.RefOK(out) {
+				t.Error("output mismatch under lenient memory")
+			}
+		})
+	}
+}
+
+// Apps constructed twice must embed identical inputs and references
+// (deterministic construction is what makes campaigns reproducible).
+func TestAppConstructionDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a1, _ := ByName(name)
+		a2, _ := ByName(name)
+		if !bytesEqual(a1.Reference, a2.Reference) {
+			t.Errorf("%s: references differ across constructions", name)
+		}
+	}
+}
+
+// ECC-protected runs of every app still match the reference (protection
+// must be transparent to fault-free execution).
+func TestAppsUnderECC(t *testing.T) {
+	cfg := config.RTX2060()
+	cfg.ECC = true
+	for _, app := range []*App{VA(), SP()} {
+		g, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := app.Run(g)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if !app.RefOK(out) {
+			t.Errorf("%s: output mismatch under ECC", app.Name)
+		}
+	}
+}

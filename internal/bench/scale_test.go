@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"gpufi/internal/config"
+	"gpufi/internal/sim"
+)
+
+// Every app must still match its CPU reference at scale 2 (the scaled
+// constructors recompute inputs, kernels, and references consistently).
+func TestAppsMatchReferenceAtScale2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, err := ByNameScale(name, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := sim.New(config.RTX2060())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := app.Run(g)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if !app.RefOK(out) {
+				t.Error("scaled output does not match scaled reference")
+			}
+		})
+	}
+}
+
+// Scaling the problem raises occupancy and the mean resident threads per
+// SM — the knob that pushes the derating factors toward the paper's
+// saturated workloads.
+func TestScaleRaisesOccupancy(t *testing.T) {
+	occ := func(scale int) float64 {
+		app, err := ByNameScale("HS", scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := sim.New(config.RTX2060())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		return g.KernelStats()["hs_step"].Occupancy
+	}
+	o1, o4 := occ(1), occ(4)
+	if o4 <= o1 {
+		t.Errorf("occupancy did not rise with scale: %.3f -> %.3f", o1, o4)
+	}
+	t.Logf("HS occupancy: scale 1 = %.3f, scale 4 = %.3f", o1, o4)
+}
+
+// Scale validation.
+func TestByNameScaleValidation(t *testing.T) {
+	if _, err := ByNameScale("VA", 0); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := ByNameScale("NOPE", 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+	apps := AllScale(2)
+	if len(apps) != 12 {
+		t.Errorf("AllScale(2) = %d apps", len(apps))
+	}
+}

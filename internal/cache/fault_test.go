@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"gpufi/internal/config"
+)
+
+// findLineBit locates the first valid line and returns the base bit index
+// of its injectable row.
+func findLineBit(t *testing.T, c *Cache) int64 {
+	t.Helper()
+	lineBits := int64(c.Geometry().LineBits())
+	for i := int64(0); i < int64(c.Geometry().Lines()); i++ {
+		// Probe with a hook injection on data bit 0, then undo by
+		// re-injecting (XOR twice once fired is not possible for hooks, so
+		// probe using stats deltas instead).
+		before := c.Stats().HookArms
+		out, err := c.InjectBit(i*lineBits + config.TagBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == InjectHook {
+			// Remove the probe hook by injecting the same bit again would
+			// stack another flip; instead fire it below in callers. For
+			// locating only, return after remembering the extra hook.
+			_ = before
+			return i * lineBits
+		}
+	}
+	t.Fatal("no valid line found")
+	return 0
+}
+
+// Tag corruption on a dirty line must write the data back to the wrong
+// (reconstructed) address — the realistic silent-corruption path. With
+// 64-byte lines and 4 sets, address 0x400 has tag 4; flipping tag bit 2
+// corrupts it to tag 0, so the eviction lands at address 0x000.
+func TestDirtyLineTagCorruptionWritesElsewhere(t *testing.T) {
+	b := newFlat(1<<16, 1)
+	c := New(&config.Cache{Sets: 4, Ways: 2, LineBytes: 64, HitCycles: 1}, b)
+	c.AccessWrite(0x400, ModeLocal)
+	c.StoreWordLocal(0x400, 0xCAFE)
+
+	lineBits := int64(c.Geometry().LineBits())
+	applied := false
+	for i := int64(0); i < int64(c.Geometry().Lines()); i++ {
+		out, err := c.InjectBit(i*lineBits + 2) // tag bit 2 of each line
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == InjectTag {
+			applied = true
+		}
+	}
+	if !applied {
+		t.Fatal("no tag flip applied")
+	}
+	c.Flush()
+	if got := binary.LittleEndian.Uint32(b.data[0x000:]); got != 0xCAFE {
+		t.Errorf("corrupted writeback at 0x000 = %#x, want 0xCAFE", got)
+	}
+	if got := binary.LittleEndian.Uint32(b.data[0x400:]); got == 0xCAFE {
+		t.Error("writeback also reached the original address")
+	}
+}
+
+// A corrupted tag can alias another address: after flipping tag 4 to 0,
+// a lookup of address 0x000 (set 0, tag 0) falsely hits and returns the
+// line's (wrong) data.
+func TestTagCorruptionFalseHit(t *testing.T) {
+	b := newFlat(1<<16, 1)
+	c := New(&config.Cache{Sets: 4, Ways: 2, LineBytes: 64, HitCycles: 1}, b)
+	binary.LittleEndian.PutUint32(b.data[0x400:], 1111)
+	binary.LittleEndian.PutUint32(b.data[0x000:], 2222)
+	c.AccessRead(0x400)
+	lineBits := int64(c.Geometry().LineBits())
+	for i := int64(0); i < int64(c.Geometry().Lines()); i++ {
+		c.InjectBit(i*lineBits + 2) // tag 4 -> 0
+	}
+	hit, _ := c.AccessRead(0x000)
+	if !hit {
+		t.Fatal("aliased access missed; expected false hit")
+	}
+	if got := c.LoadWord(0x000); got != 1111 {
+		t.Errorf("false hit returned %d, want the aliased line's 1111", got)
+	}
+}
+
+// Multi-bit injection into one line: all bits land with one hook firing.
+func TestMultiBitSameLine(t *testing.T) {
+	b := newFlat(1<<16, 1)
+	c := New(smallGeom(), b)
+	c.AccessRead(0x100)
+	base := findLineBit(t, c) // arms one probe hook on data bit 0
+	// Add two more data bits on the same line: bits 1 and 8.
+	if out, _ := c.InjectBit(base + config.TagBits + 1); out != InjectHook {
+		t.Fatal("second bit not hooked")
+	}
+	if out, _ := c.InjectBit(base + config.TagBits + 8); out != InjectHook {
+		t.Fatal("third bit not hooked")
+	}
+	c.AccessRead(0x100) // fire all hooks
+	if got := c.LoadWord(0x100); got != 0b100000011 {
+		t.Errorf("word after 3-bit flip = %#b, want 0b100000011", got)
+	}
+	if c.Stats().HookFires != 1 {
+		t.Errorf("HookFires = %d, want 1 (single read hit fires all bits)", c.Stats().HookFires)
+	}
+}
+
+// UpdateResident must disarm hooks (host write = overwrite).
+func TestUpdateResidentDisarmsHook(t *testing.T) {
+	b := newFlat(1<<16, 1)
+	c := New(smallGeom(), b)
+	binary.LittleEndian.PutUint32(b.data[0x100:], 5)
+	c.AccessRead(0x100)
+	findLineBit(t, c) // arm a hook
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, 42)
+	if !c.UpdateResident(0x100, buf) {
+		t.Fatal("line not resident")
+	}
+	c.AccessRead(0x100)
+	if got := c.LoadWord(0x100); got != 42 {
+		t.Errorf("LoadWord = %d, want 42 (hook must not fire)", got)
+	}
+	if c.Stats().HookFires != 0 {
+		t.Error("hook fired after UpdateResident")
+	}
+}
+
+// PeekLine sees resident lines and misses absent ones.
+func TestPeekLine(t *testing.T) {
+	b := newFlat(1<<16, 1)
+	c := New(smallGeom(), b)
+	if c.PeekLine(0x100) != nil {
+		t.Error("peek hit on empty cache")
+	}
+	binary.LittleEndian.PutUint32(b.data[0x100:], 9)
+	c.AccessRead(0x100)
+	data := c.PeekLine(0x104) // same line
+	if data == nil {
+		t.Fatal("peek missed resident line")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != 9 {
+		t.Error("peeked data wrong")
+	}
+}
+
+// Injections into every bit of a fully valid cache must never error and
+// must split between tag and hook outcomes in roughly the 57:1024 ratio.
+func TestInjectionOutcomeDistribution(t *testing.T) {
+	b := newFlat(1<<20, 1)
+	geom := &config.Cache{Sets: 4, Ways: 2, LineBytes: 64, HitCycles: 1}
+	c := New(geom, b)
+	// Fill all 8 lines: 4 sets x 2 ways with stride sets*line = 256.
+	for w := 0; w < 2; w++ {
+		for s := 0; s < 4; s++ {
+			c.AccessRead(uint32(w*1024 + s*64))
+		}
+	}
+	if c.ValidLines() != 8 {
+		t.Fatalf("valid lines = %d, want 8", c.ValidLines())
+	}
+	var tags, hooks int
+	for bit := int64(0); bit < c.SizeBits(); bit++ {
+		out, err := c.InjectBit(bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch out {
+		case InjectTag:
+			tags++
+		case InjectHook:
+			hooks++
+		case InjectMasked:
+			t.Fatalf("masked outcome in fully valid cache at bit %d", bit)
+		}
+	}
+	if tags != 8*config.TagBits {
+		t.Errorf("tag flips = %d, want %d", tags, 8*config.TagBits)
+	}
+	if hooks != 8*64*8 {
+		t.Errorf("hooks = %d, want %d", hooks, 8*64*8)
+	}
+}

@@ -1,0 +1,117 @@
+package config
+
+import "fmt"
+
+// Raw FIT rates per storage bit, per fabrication node, as used in the paper
+// (Section VI.F, following Chatzidimitriou et al. and Neale & Sachdev).
+const (
+	RawFIT12nm = 1.8e-6 // RTX 2060, Quadro GV100
+	RawFIT28nm = 1.2e-5 // GTX Titan
+)
+
+// Baseline latencies shared by the presets. Values approximate published
+// microbenchmark measurements; the performance model is cycle-approximate.
+const (
+	defALULat  = 4
+	defSFULat  = 16
+	defSmemLat = 24
+	defL2Lat   = 160 // L2 access latency (an L1 miss pays this on top)
+	defDRAMLat = 220 // additional DRAM latency over L2
+)
+
+// RTX2060 returns the Turing-generation RTX 2060 model (Table V column 1).
+func RTX2060() *GPU {
+	return &GPU{
+		Name:            "RTX2060",
+		SMs:             30,
+		WarpSize:        32,
+		MaxThreadsPerSM: 1024,
+		MaxCTAsPerSM:    32,
+		RegistersPerSM:  65536,
+		SmemPerSM:       64 * 1024,
+		L1D:             &Cache{Sets: 64, Ways: 8, LineBytes: 128, HitCycles: 32},          // 64 KB
+		L1T:             &Cache{Sets: 128, Ways: 8, LineBytes: 128, HitCycles: 40},         // 128 KB
+		L1I:             &Cache{Sets: 128, Ways: 8, LineBytes: 128, HitCycles: 4},          // 128 KB
+		L1C:             &Cache{Sets: 128, Ways: 8, LineBytes: 64, HitCycles: 8},           // 64 KB
+		L2:              &Cache{Sets: 1024, Ways: 24, LineBytes: 128, HitCycles: defL2Lat}, // 3 MB
+		L2Banks:         12,
+		ALULatency:      defALULat,
+		SFULatency:      defSFULat,
+		SmemLatency:     defSmemLat,
+		DRAMLatency:     defDRAMLat,
+		IssuePerCycle:   2,
+		ProcessNm:       12,
+		RawFITPerBit:    RawFIT12nm,
+	}
+}
+
+// QuadroGV100 returns the Volta-generation Quadro GV100 model (Table V
+// column 2).
+func QuadroGV100() *GPU {
+	return &GPU{
+		Name:            "QuadroGV100",
+		SMs:             80,
+		WarpSize:        32,
+		MaxThreadsPerSM: 2048,
+		MaxCTAsPerSM:    32,
+		RegistersPerSM:  65536,
+		SmemPerSM:       96 * 1024,
+		L1D:             &Cache{Sets: 32, Ways: 8, LineBytes: 128, HitCycles: 28},          // 32 KB
+		L1T:             &Cache{Sets: 128, Ways: 8, LineBytes: 128, HitCycles: 40},         // 128 KB
+		L1I:             &Cache{Sets: 128, Ways: 8, LineBytes: 128, HitCycles: 4},          // 128 KB
+		L1C:             &Cache{Sets: 128, Ways: 8, LineBytes: 64, HitCycles: 8},           // 64 KB
+		L2:              &Cache{Sets: 2048, Ways: 24, LineBytes: 128, HitCycles: defL2Lat}, // 6 MB
+		L2Banks:         12,
+		ALULatency:      defALULat,
+		SFULatency:      defSFULat,
+		SmemLatency:     defSmemLat,
+		DRAMLatency:     defDRAMLat,
+		IssuePerCycle:   2,
+		ProcessNm:       12,
+		RawFITPerBit:    RawFIT12nm,
+	}
+}
+
+// GTXTitan returns the Kepler-generation GTX Titan model (Table V column
+// 3). Kepler has no L1 data cache for global accesses (N/A in Table V);
+// global loads go straight to L2 and local accesses use the texture path
+// approximation.
+func GTXTitan() *GPU {
+	return &GPU{
+		Name:            "GTXTitan",
+		SMs:             14,
+		WarpSize:        32,
+		MaxThreadsPerSM: 2048,
+		MaxCTAsPerSM:    16,
+		RegistersPerSM:  65536,
+		SmemPerSM:       48 * 1024,
+		L1D:             nil,                                                              // N/A on Kepler
+		L1T:             &Cache{Sets: 64, Ways: 6, LineBytes: 128, HitCycles: 40},         // 48 KB
+		L1I:             &Cache{Sets: 8, Ways: 4, LineBytes: 128, HitCycles: 4},           // 4 KB
+		L1C:             &Cache{Sets: 64, Ways: 4, LineBytes: 64, HitCycles: 8},           // 16 KB (matches the paper's starred 17.78 KB)
+		L2:              &Cache{Sets: 512, Ways: 24, LineBytes: 128, HitCycles: defL2Lat}, // 1.5 MB
+		L2Banks:         6,
+		ALULatency:      defALULat,
+		SFULatency:      defSFULat,
+		SmemLatency:     defSmemLat,
+		DRAMLatency:     defDRAMLat,
+		IssuePerCycle:   2,
+		ProcessNm:       28,
+		RawFITPerBit:    RawFIT28nm,
+	}
+}
+
+// Presets returns the three paper cards in the paper's order.
+func Presets() []*GPU {
+	return []*GPU{RTX2060(), QuadroGV100(), GTXTitan()}
+}
+
+// ByName returns the preset with the given name (case-sensitive).
+func ByName(name string) (*GPU, error) {
+	for _, g := range Presets() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("config: unknown GPU model %q (have RTX2060, QuadroGV100, GTXTitan)", name)
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gpufi/internal/avf"
+	"gpufi/internal/bench"
+	"gpufi/internal/config"
+	"gpufi/internal/sim"
+)
+
+// Profile is the fault-free characterization of an application on a GPU:
+// the golden output (the paper's predefined result file), total cycles,
+// and per-static-kernel statistics (invocation windows, cores used, mean
+// occupancy — the inputs to cycle sampling and the derating factors).
+type Profile struct {
+	App         string
+	GPU         string
+	Golden      []byte
+	TotalCycles uint64
+	Kernels     map[string]*sim.KernelStats
+	KernelOrder []string
+}
+
+// ProfileApp runs the application once without faults and collects the
+// profile. It also verifies the run against the CPU reference, the
+// equivalent of the paper's golden-reference preparation step.
+func ProfileApp(app *bench.App, gpu *config.GPU) (*Profile, error) {
+	g, err := sim.New(gpu)
+	if err != nil {
+		return nil, err
+	}
+	out, err := app.Run(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: fault-free run of %s failed: %v", app.Name, err)
+	}
+	if !app.RefOK(out) {
+		return nil, fmt.Errorf("core: fault-free run of %s does not match its CPU reference", app.Name)
+	}
+	return &Profile{
+		App:         app.Name,
+		GPU:         gpu.Name,
+		Golden:      out,
+		TotalCycles: g.Cycle(),
+		Kernels:     g.KernelStats(),
+		KernelOrder: g.KernelNames(),
+	}, nil
+}
+
+// CampaignConfig describes one injection campaign point: a workload, a
+// target static kernel, a target structure, and the fault multiplicity.
+type CampaignConfig struct {
+	App       *bench.App
+	GPU       *config.GPU
+	Kernel    string        // static kernel name to inject into
+	Structure sim.Structure // target hardware structure
+	Runs      int           // number of injection experiments
+	Bits      int           // fault multiplicity (1 = single, 3 = triple, ...)
+	WarpWide  bool          // RF/local: warp-granularity injection
+	Blocks    int           // shared: number of CTAs hit
+	Seed      int64         // campaign seed
+	Workers   int           // parallel simulations (0 = GOMAXPROCS)
+
+	// Invocation targets a single dynamic instance of the static kernel
+	// (1-based). 0 considers all invocations together, the paper's
+	// default ("we consider all its invocations together").
+	Invocation int
+
+	// Simultaneous lists additional structures injected in the same run
+	// at the same cycle as Structure — the paper's Table IV combination
+	// campaigns ("different hardware structures simultaneously").
+	Simultaneous []sim.Structure
+}
+
+// Experiment is one logged injection result.
+type Experiment struct {
+	ID       int         `json:"id"`
+	Cycle    uint64      `json:"cycle"`
+	Bits     []int64     `json:"bits"`
+	Outcome  avf.Outcome `json:"-"`
+	Effect   string      `json:"effect"` // Outcome name, stable in logs
+	Cycles   uint64      `json:"cycles"` // total cycles of the faulty run
+	Injected bool        `json:"injected"`
+	Detail   string      `json:"detail,omitempty"`
+}
+
+// CampaignResult aggregates a finished campaign point.
+type CampaignResult struct {
+	App       string       `json:"app"`
+	GPU       string       `json:"gpu"`
+	Kernel    string       `json:"kernel"`
+	Structure string       `json:"structure"`
+	Bits      int          `json:"bits"`
+	Runs      int          `json:"runs"`
+	Seed      int64        `json:"seed"`
+	Counts    avf.Counts   `json:"counts"`
+	Exps      []Experiment `json:"-"`
+}
+
+// RunCampaign executes the campaign point: Runs fresh simulations, each
+// with one fault drawn by the mask generator, classified against the
+// profile's golden output. Experiments run in parallel; results are
+// deterministic given the seed.
+func RunCampaign(cfg *CampaignConfig, prof *Profile) (*CampaignResult, error) {
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("core: campaign needs a positive run count")
+	}
+	ks := prof.Kernels[cfg.Kernel]
+	if ks == nil {
+		return nil, fmt.Errorf("core: kernel %q not in profile (have %v)", cfg.Kernel, prof.KernelOrder)
+	}
+	windows := ks.Windows
+	if cfg.Invocation > 0 {
+		if cfg.Invocation > len(ks.Windows) {
+			return nil, fmt.Errorf("core: kernel %q has %d invocations, requested #%d",
+				cfg.Kernel, len(ks.Windows), cfg.Invocation)
+		}
+		windows = ks.Windows[cfg.Invocation-1 : cfg.Invocation]
+	}
+	sizeBits := StructSizeBits(cfg.GPU, cfg.Structure, ks.RegsPerThread, ks.SmemPerCTA, ks.LocalPerThr)
+	if sizeBits == 0 {
+		// Structure not present for this kernel/card: every fault is
+		// trivially masked (e.g. shared memory in a kernel that uses none).
+		res := &CampaignResult{
+			App: prof.App, GPU: prof.GPU, Kernel: cfg.Kernel,
+			Structure: cfg.Structure.String(), Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed,
+		}
+		res.Counts.Masked = cfg.Runs
+		return res, nil
+	}
+	newGen := func(st sim.Structure, seed int64) (*MaskGen, error) {
+		bits := StructSizeBits(cfg.GPU, st, ks.RegsPerThread, ks.SmemPerCTA, ks.LocalPerThr)
+		if bits == 0 {
+			return nil, nil // structure absent: contributes nothing
+		}
+		g, err := NewMaskGen(st, windows, bits, cfg.Bits, seed)
+		if err != nil {
+			return nil, err
+		}
+		g.SetWarpWide(cfg.WarpWide)
+		g.SetBlocks(cfg.Blocks)
+		if st == sim.StructL1D || st == sim.StructL1T {
+			g.SetCoreMask(ks.UsedCores)
+		}
+		return g, nil
+	}
+	gen, err := newGen(cfg.Structure, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var extraGens []*MaskGen
+	for i, st := range cfg.Simultaneous {
+		g, err := newGen(st, cfg.Seed+int64(i+1)*7919)
+		if err != nil {
+			return nil, err
+		}
+		if g != nil {
+			extraGens = append(extraGens, g)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Runs {
+		workers = cfg.Runs
+	}
+
+	exps := make([]Experiment, cfg.Runs)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				exp, err := runOne(cfg, prof, gen, extraGens, i)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				exps[i] = exp
+			}
+		}()
+	}
+	for i := 0; i < cfg.Runs; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &CampaignResult{
+		App: prof.App, GPU: prof.GPU, Kernel: cfg.Kernel,
+		Structure: cfg.Structure.String(), Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed,
+		Exps: exps,
+	}
+	for i := range exps {
+		res.Counts.Add(exps[i].Outcome)
+	}
+	return res, nil
+}
+
+// runOne executes and classifies a single injection experiment.
+func runOne(cfg *CampaignConfig, prof *Profile, gen *MaskGen, extraGens []*MaskGen, i int) (Experiment, error) {
+	spec := gen.Spec(i)
+	g, err := sim.New(cfg.GPU)
+	if err != nil {
+		return Experiment{}, err
+	}
+	g.CycleLimit = 2 * prof.TotalCycles // the paper's timeout threshold
+	if err := g.ArmFault(spec); err != nil {
+		return Experiment{}, err
+	}
+	for _, eg := range extraGens {
+		es := eg.Spec(i)
+		es.Cycle = spec.Cycle // simultaneous: same injection instant
+		if err := g.ArmFault(es); err != nil {
+			return Experiment{}, err
+		}
+	}
+	out, runErr := cfg.App.Run(g)
+
+	exp := Experiment{
+		ID:    i,
+		Cycle: spec.Cycle,
+		Bits:  spec.BitPositions,
+	}
+	if rec := g.Injection(); rec != nil {
+		exp.Injected = rec.Applied
+		exp.Detail = rec.Detail
+	}
+	exp.Cycles = g.Cycle()
+	exp.Outcome = classify(runErr, out, prof, g.Cycle())
+	exp.Effect = exp.Outcome.String()
+	return exp, nil
+}
+
+// classify maps one run's result to a fault effect (Section V.B).
+func classify(runErr error, out []byte, prof *Profile, cycles uint64) avf.Outcome {
+	switch runErr.(type) {
+	case nil:
+	case *sim.ErrTimeout:
+		return avf.Timeout
+	case *sim.MemViolation:
+		return avf.Crash
+	default:
+		// Any other abnormal termination of the application counts as a
+		// crash (e.g. a corrupted host-visible value driving an invalid
+		// launch configuration).
+		return avf.Crash
+	}
+	if len(out) != len(prof.Golden) {
+		return avf.SDC
+	}
+	for i := range out {
+		if out[i] != prof.Golden[i] {
+			return avf.SDC
+		}
+	}
+	if cycles != prof.TotalCycles {
+		return avf.Performance
+	}
+	return avf.Masked
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gpufi/internal/bench"
+	"gpufi/internal/config"
+	"gpufi/internal/sim"
+)
+
+func TestStructSizeBits(t *testing.T) {
+	g := config.RTX2060()
+	if got := StructSizeBits(g, sim.StructRegFile, 16, 0, 0); got != 16*32 {
+		t.Errorf("regfile = %d", got)
+	}
+	if got := StructSizeBits(g, sim.StructShared, 0, 2048, 0); got != 2048*8 {
+		t.Errorf("shared = %d", got)
+	}
+	if got := StructSizeBits(g, sim.StructLocal, 0, 0, 64); got != 64*8 {
+		t.Errorf("local = %d", got)
+	}
+	if got := StructSizeBits(g, sim.StructL1D, 0, 0, 0); got != g.L1D.SizeBits() {
+		t.Errorf("l1d = %d", got)
+	}
+	if got := StructSizeBits(g, sim.StructL2, 0, 0, 0); got != g.L2.SizeBits() {
+		t.Errorf("l2 = %d", got)
+	}
+	titan := config.GTXTitan()
+	if got := StructSizeBits(titan, sim.StructL1D, 0, 0, 0); got != 0 {
+		t.Errorf("titan l1d = %d, want 0", got)
+	}
+}
+
+func TestChipSizeBits(t *testing.T) {
+	g := config.RTX2060()
+	if ChipSizeBits(g, sim.StructRegFile) != g.RegFileBits() {
+		t.Error("regfile chip size wrong")
+	}
+	if ChipSizeBits(g, sim.StructLocal) != 0 {
+		t.Error("local memory must have no on-chip size")
+	}
+}
+
+func TestMaskGenDeterministicAndInRange(t *testing.T) {
+	windows := []sim.CycleWindow{{Start: 100, End: 200}, {Start: 500, End: 600}}
+	gen, err := NewMaskGen(sim.StructRegFile, windows, 512, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s1 := gen.Spec(i)
+		s2 := gen.Spec(i)
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("spec %d not deterministic", i)
+		}
+		inWindow := (s1.Cycle > 100 && s1.Cycle <= 200) || (s1.Cycle > 500 && s1.Cycle <= 600)
+		if !inWindow {
+			t.Fatalf("spec %d cycle %d outside windows", i, s1.Cycle)
+		}
+		if len(s1.BitPositions) != 3 {
+			t.Fatalf("spec %d has %d bits", i, len(s1.BitPositions))
+		}
+		seen := map[int64]bool{}
+		for _, p := range s1.BitPositions {
+			if p < 0 || p >= 512 {
+				t.Fatalf("bit %d out of range", p)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate bit %d", p)
+			}
+			seen[p] = true
+		}
+	}
+	// Different experiments should mostly differ.
+	if reflect.DeepEqual(gen.Spec(0), gen.Spec(1)) {
+		t.Error("consecutive specs identical")
+	}
+}
+
+func TestMaskGenErrors(t *testing.T) {
+	w := []sim.CycleWindow{{Start: 0, End: 10}}
+	if _, err := NewMaskGen(sim.StructRegFile, nil, 32, 1, 0); err == nil {
+		t.Error("no windows accepted")
+	}
+	if _, err := NewMaskGen(sim.StructRegFile, w, 0, 1, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewMaskGen(sim.StructRegFile, w, 32, 0, 0); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := NewMaskGen(sim.StructRegFile, w, 2, 3, 0); err == nil {
+		t.Error("multiplicity beyond size accepted")
+	}
+	if _, err := NewMaskGen(sim.StructRegFile, []sim.CycleWindow{{Start: 5, End: 5}}, 32, 1, 0); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+// Property: mask cycles land in windows and bit positions stay in range
+// for arbitrary geometry.
+func TestQuickMaskGen(t *testing.T) {
+	f := func(seed int64, sizeLog uint8, w1 uint16) bool {
+		size := int64(1) << (sizeLog%20 + 2)
+		win := []sim.CycleWindow{{Start: 10, End: 10 + uint64(w1%1000) + 1}}
+		gen, err := NewMaskGen(sim.StructL2, win, size, 2, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			s := gen.Spec(i)
+			if s.Cycle <= win[0].Start || s.Cycle > win[0].End {
+				return false
+			}
+			for _, p := range s.BitPositions {
+				if p < 0 || p >= size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleSize(t *testing.T) {
+	// Large populations at 99% / 2% give the classic ~4,148; the paper's
+	// 3,000 runs correspond to a slightly wider margin.
+	n := SampleSize(1e12, 0.99, 0.02)
+	if n < 4000 || n > 4300 {
+		t.Errorf("SampleSize(1e12, 99%%, 2%%) = %d, want ~4148", n)
+	}
+	// Small populations saturate.
+	if got := SampleSize(100, 0.99, 0.02); got > 100 {
+		t.Errorf("sample %d exceeds population", got)
+	}
+	if SampleSize(0, 0.99, 0.02) != 0 {
+		t.Error("zero population should need zero samples")
+	}
+	if a, b := SampleSize(1e12, 0.95, 0.02), SampleSize(1e12, 0.99, 0.02); a >= b {
+		t.Errorf("lower confidence should need fewer samples: %d vs %d", a, b)
+	}
+}
+
+func TestProfileApp(t *testing.T) {
+	app := bench.VA()
+	prof, err := ProfileApp(app, config.RTX2060())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.App != "VA" || prof.GPU != "RTX2060" {
+		t.Errorf("profile identity wrong: %+v", prof)
+	}
+	if len(prof.Golden) == 0 || prof.TotalCycles == 0 {
+		t.Error("profile missing golden/cycles")
+	}
+	ks := prof.Kernels["va_add"]
+	if ks == nil || len(ks.Windows) != 1 {
+		t.Fatalf("kernel stats missing: %+v", prof.Kernels)
+	}
+}
+
+func TestRunCampaignVA(t *testing.T) {
+	app := bench.VA()
+	gpu := config.RTX2060()
+	prof, err := ProfileApp(app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &CampaignConfig{
+		App: app, GPU: gpu, Kernel: "va_add",
+		Structure: sim.StructRegFile, Runs: 40, Bits: 1, Seed: 99,
+	}
+	res, err := RunCampaign(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Total() != 40 {
+		t.Errorf("total = %d", res.Counts.Total())
+	}
+	if res.Counts.Masked == 0 {
+		t.Error("no masked outcomes in 40 register-file injections")
+	}
+	if res.Counts.Failures()+res.Counts.Masked+res.Counts.Performance != 40 {
+		t.Error("outcome accounting inconsistent")
+	}
+	if len(res.Exps) != 40 {
+		t.Fatalf("experiments = %d", len(res.Exps))
+	}
+	for _, e := range res.Exps {
+		if !e.Outcome.Valid() {
+			t.Errorf("experiment %d has invalid outcome", e.ID)
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	app := bench.VA()
+	gpu := config.RTX2060()
+	prof, _ := ProfileApp(app, gpu)
+	cfg := &CampaignConfig{
+		App: app, GPU: gpu, Kernel: "va_add",
+		Structure: sim.StructRegFile, Runs: 15, Bits: 1, Seed: 7, Workers: 4,
+	}
+	r1, err := RunCampaign(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCampaign(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Counts != r2.Counts {
+		t.Errorf("counts differ: %+v vs %+v", r1.Counts, r2.Counts)
+	}
+	for i := range r1.Exps {
+		if r1.Exps[i].Effect != r2.Exps[i].Effect {
+			t.Errorf("experiment %d differs: %s vs %s", i, r1.Exps[i].Effect, r2.Exps[i].Effect)
+		}
+	}
+}
+
+func TestCampaignAbsentStructureAllMasked(t *testing.T) {
+	app := bench.VA() // uses no shared memory
+	gpu := config.RTX2060()
+	prof, _ := ProfileApp(app, gpu)
+	cfg := &CampaignConfig{
+		App: app, GPU: gpu, Kernel: "va_add",
+		Structure: sim.StructShared, Runs: 10, Bits: 1, Seed: 3,
+	}
+	res, err := RunCampaign(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Masked != 10 || res.Counts.Failures() != 0 {
+		t.Errorf("shared campaign on smem-free kernel: %+v", res.Counts)
+	}
+}
+
+func TestCampaignUnknownKernel(t *testing.T) {
+	app := bench.VA()
+	gpu := config.RTX2060()
+	prof, _ := ProfileApp(app, gpu)
+	cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "nope",
+		Structure: sim.StructRegFile, Runs: 1, Bits: 1}
+	if _, err := RunCampaign(cfg, prof); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	app := bench.VA()
+	gpu := config.RTX2060()
+	prof, _ := ProfileApp(app, gpu)
+	cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "va_add",
+		Structure: sim.StructRegFile, Runs: 12, Bits: 1, Seed: 5}
+	res, err := RunCampaign(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 {
+		t.Fatalf("parsed %d campaigns", len(parsed))
+	}
+	got := parsed[0]
+	if got.Counts != res.Counts {
+		t.Errorf("counts mismatch: %+v vs %+v", got.Counts, res.Counts)
+	}
+	if got.App != "VA" || got.Structure != "regfile" || got.Runs != 12 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Exps) != len(res.Exps) {
+		t.Errorf("experiments lost: %d vs %d", len(got.Exps), len(res.Exps))
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"type":"exp","id":0,"effect":"Masked"}`,                       // exp before header
+		`{"type":"campaign"}` + "\n" + `{"type":"what"}`,                // unknown type
+		`{"type":"campaign"}` + "\n" + `{"type":"exp","effect":"Nope"}`, // bad outcome
+	}
+	for i, src := range cases {
+		if _, err := ParseLog(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Empty log is fine.
+	out, err := ParseLog(strings.NewReader(""))
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty log: %v, %v", out, err)
+	}
+}
+
+func TestSpecMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		spec := &sim.FaultSpec{
+			Structure:    sim.Structure(r.Intn(6)),
+			Cycle:        uint64(r.Int63()),
+			BitPositions: []int64{r.Int63n(1000), r.Int63n(1000)},
+			WarpWide:     r.Intn(2) == 0,
+			Blocks:       r.Intn(4),
+			Seed:         r.Int63(),
+		}
+		if r.Intn(2) == 0 {
+			spec.CoreMask = []int{0, 3, 7}
+		}
+		text := MarshalSpec(spec)
+		got, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, text)
+		}
+		if !reflect.DeepEqual(spec, got) {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", spec, got)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"garbage",
+		"-gpufi_structure l9\n",
+		"-gpufi_cycle notanumber\n",
+		"-gpufi_bits a:b\n",
+		"-gpufi_frobnicate 1\n",
+		"-gpufi_structure regfile\n", // no bits: fails validation
+	}
+	for i, src := range cases {
+		if _, err := ParseSpec(src); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEvaluateAppSmall(t *testing.T) {
+	app := bench.VA()
+	gpu := config.RTX2060()
+	eval, err := EvaluateApp(app, gpu, EvalConfig{Runs: 10, Bits: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.App != "VA" || len(eval.Kernels) != 1 {
+		t.Fatalf("eval shape wrong: %+v", eval)
+	}
+	if eval.WAVF < 0 || eval.WAVF > 1 {
+		t.Errorf("wAVF = %g", eval.WAVF)
+	}
+	if eval.FIT < 0 {
+		t.Errorf("FIT = %g", eval.FIT)
+	}
+	if eval.Occupancy <= 0 || eval.Occupancy > 1 {
+		t.Errorf("occupancy = %g", eval.Occupancy)
+	}
+	ke := eval.Kernels[0]
+	if len(ke.Structs) != 5 { // RF, shared, L1D, L1T, L2 on RTX 2060
+		t.Errorf("structures = %d, want 5", len(ke.Structs))
+	}
+	if eval.RegFile.Total() != 10 {
+		t.Errorf("regfile counts = %+v", eval.RegFile)
+	}
+	shares := StructBreakdown(eval)
+	var sum float64
+	for _, v := range shares {
+		if v < 0 {
+			t.Errorf("negative share: %v", shares)
+		}
+		sum += v
+	}
+	if sum > 0 && (sum < 0.999 || sum > 1.001) {
+		t.Errorf("shares sum to %g", sum)
+	}
+}
+
+func TestEvaluateAppTitanSkipsL1D(t *testing.T) {
+	app := bench.VA()
+	eval, err := EvaluateApp(app, config.GTXTitan(), EvalConfig{Runs: 5, Bits: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ke := range eval.Kernels {
+		for _, sa := range ke.Structs {
+			if sa.Structure == sim.StructL1D {
+				t.Error("L1D evaluated on GTX Titan")
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gpufi/internal/avf"
+)
+
+// The log format is JSON lines: one header record per campaign followed by
+// one record per experiment. The parser module reads these back and
+// aggregates the fault-effect statistics — the third of the paper's three
+// gpuFI-4 modules (bash + text logs there, structured logs here).
+
+type logHeader struct {
+	Type      string `json:"type"` // "campaign"
+	App       string `json:"app"`
+	GPU       string `json:"gpu"`
+	Kernel    string `json:"kernel"`
+	Structure string `json:"structure"`
+	Bits      int    `json:"bits"`
+	Runs      int    `json:"runs"`
+	Seed      int64  `json:"seed"`
+}
+
+type logExp struct {
+	Type string `json:"type"` // "exp"
+	Experiment
+}
+
+// WriteLog serializes a campaign result (header + experiments) to w.
+func WriteLog(w io.Writer, res *CampaignResult) error {
+	enc := json.NewEncoder(w)
+	hdr := logHeader{
+		Type: "campaign", App: res.App, GPU: res.GPU, Kernel: res.Kernel,
+		Structure: res.Structure, Bits: res.Bits, Runs: res.Runs, Seed: res.Seed,
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("core: write log header: %v", err)
+	}
+	for i := range res.Exps {
+		if err := enc.Encode(logExp{Type: "exp", Experiment: res.Exps[i]}); err != nil {
+			return fmt.Errorf("core: write log record %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// ParseLog reads campaign logs back, re-aggregating counts from the
+// experiment records. Multiple campaigns may be concatenated in one
+// stream.
+func ParseLog(r io.Reader) ([]*CampaignResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []*CampaignResult
+	var cur *CampaignResult
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("core: log line %d: %v", line, err)
+		}
+		switch probe.Type {
+		case "campaign":
+			var hdr logHeader
+			if err := json.Unmarshal(raw, &hdr); err != nil {
+				return nil, fmt.Errorf("core: log line %d: %v", line, err)
+			}
+			cur = &CampaignResult{
+				App: hdr.App, GPU: hdr.GPU, Kernel: hdr.Kernel,
+				Structure: hdr.Structure, Bits: hdr.Bits, Runs: hdr.Runs, Seed: hdr.Seed,
+			}
+			out = append(out, cur)
+		case "exp":
+			if cur == nil {
+				return nil, fmt.Errorf("core: log line %d: experiment before campaign header", line)
+			}
+			var le logExp
+			if err := json.Unmarshal(raw, &le); err != nil {
+				return nil, fmt.Errorf("core: log line %d: %v", line, err)
+			}
+			o, err := avf.ParseOutcome(le.Effect)
+			if err != nil {
+				return nil, fmt.Errorf("core: log line %d: %v", line, err)
+			}
+			le.Outcome = o
+			cur.Exps = append(cur.Exps, le.Experiment)
+			cur.Counts.Add(o)
+		default:
+			return nil, fmt.Errorf("core: log line %d: unknown record type %q", line, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read log: %v", err)
+	}
+	return out, nil
+}

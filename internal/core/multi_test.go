@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"gpufi/internal/bench"
+	"gpufi/internal/config"
+	"gpufi/internal/sim"
+)
+
+// LUD launches lud_div 31 times; invocation targeting must confine the
+// sampled cycles to the chosen instance's window.
+func TestInvocationTargeting(t *testing.T) {
+	app := bench.LUD()
+	gpu := config.RTX2060()
+	prof, err := ProfileApp(app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := prof.Kernels["lud_div"]
+	if len(ks.Windows) < 3 {
+		t.Fatalf("lud_div has %d windows, want many", len(ks.Windows))
+	}
+	cfg := &CampaignConfig{
+		App: app, GPU: gpu, Kernel: "lud_div",
+		Structure: sim.StructRegFile, Runs: 12, Bits: 1, Seed: 4,
+		Invocation: 2,
+	}
+	res, err := RunCampaign(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ks.Windows[1]
+	for _, e := range res.Exps {
+		if e.Cycle <= w.Start || e.Cycle > w.End {
+			t.Errorf("experiment cycle %d outside invocation #2 window [%d,%d)", e.Cycle, w.Start, w.End)
+		}
+	}
+
+	cfg.Invocation = len(ks.Windows) + 5
+	if _, err := RunCampaign(cfg, prof); err == nil {
+		t.Error("out-of-range invocation accepted")
+	}
+}
+
+// Simultaneous campaigns inject into several structures in one run.
+func TestSimultaneousStructures(t *testing.T) {
+	app := bench.SP() // uses shared memory and textures
+	gpu := config.RTX2060()
+	prof, err := ProfileApp(app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &CampaignConfig{
+		App: app, GPU: gpu, Kernel: "sp_dot",
+		Structure:    sim.StructRegFile,
+		Simultaneous: []sim.Structure{sim.StructShared, sim.StructL2},
+		Runs:         10, Bits: 1, Seed: 6,
+	}
+	res, err := RunCampaign(cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Total() != 10 {
+		t.Errorf("total = %d", res.Counts.Total())
+	}
+	// The combined campaign should be at least as damaging as the
+	// register-file-only campaign with the same seed.
+	solo := &CampaignConfig{
+		App: app, GPU: gpu, Kernel: "sp_dot",
+		Structure: sim.StructRegFile, Runs: 10, Bits: 1, Seed: 6,
+	}
+	sres, err := RunCampaign(solo, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Failures() < sres.Counts.Failures() {
+		t.Errorf("simultaneous faults less damaging than solo: %+v vs %+v",
+			res.Counts, sres.Counts)
+	}
+}
+
+// Multiple armed faults on one device must all fire, in cycle order.
+func TestMultipleArmedFaultsFire(t *testing.T) {
+	app := bench.VA()
+	gpu := config.RTX2060()
+	g, err := sim.New(gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []*sim.FaultSpec{
+		{Structure: sim.StructRegFile, Cycle: 120, BitPositions: []int64{5}, Seed: 1},
+		{Structure: sim.StructL2, Cycle: 40, BitPositions: []int64{99}, Seed: 2},
+		{Structure: sim.StructRegFile, Cycle: 80, BitPositions: []int64{66}, Seed: 3},
+	}
+	for _, s := range specs {
+		if err := g.ArmFault(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := app.Run(g); err != nil {
+		if _, ok := err.(*sim.MemViolation); !ok {
+			t.Fatal(err)
+		}
+	}
+	recs := g.Injections()
+	if len(recs) != 3 {
+		t.Fatalf("got %d injection records, want 3", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Cycle < recs[i-1].Cycle {
+			t.Error("injections fired out of cycle order")
+		}
+	}
+	if recs[0].Structure != sim.StructL2 {
+		t.Errorf("first record = %v, want l2 (earliest cycle)", recs[0].Structure)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gpufi/internal/sim"
+)
+
+// The paper's gpuFI-4 passes its injection parameters to the simulator by
+// appending "-gpufi_*" keys to gpgpusim.config before each run. These
+// helpers provide the same externalized form for a FaultSpec, so campaigns
+// are reproducible from plain config text.
+
+// MarshalSpec renders a FaultSpec as gpgpusim.config-style lines.
+func MarshalSpec(spec *sim.FaultSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-gpufi_structure %s\n", spec.Structure)
+	fmt.Fprintf(&b, "-gpufi_cycle %d\n", spec.Cycle)
+	bits := make([]string, len(spec.BitPositions))
+	for i, p := range spec.BitPositions {
+		bits[i] = strconv.FormatInt(p, 10)
+	}
+	fmt.Fprintf(&b, "-gpufi_bits %s\n", strings.Join(bits, ":"))
+	fmt.Fprintf(&b, "-gpufi_warp_wide %t\n", spec.WarpWide)
+	fmt.Fprintf(&b, "-gpufi_blocks %d\n", spec.Blocks)
+	if len(spec.CoreMask) > 0 {
+		cores := make([]string, len(spec.CoreMask))
+		for i, c := range spec.CoreMask {
+			cores[i] = strconv.Itoa(c)
+		}
+		fmt.Fprintf(&b, "-gpufi_cores %s\n", strings.Join(cores, ":"))
+	}
+	fmt.Fprintf(&b, "-gpufi_seed %d\n", spec.Seed)
+	return b.String()
+}
+
+// ParseSpec reads the lines produced by MarshalSpec back into a FaultSpec.
+func ParseSpec(text string) (*sim.FaultSpec, error) {
+	spec := &sim.FaultSpec{}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.HasPrefix(fields[0], "-gpufi_") {
+			return nil, fmt.Errorf("core: spec line %d: expected \"-gpufi_key value\", got %q", lineNo+1, line)
+		}
+		key, val := strings.TrimPrefix(fields[0], "-gpufi_"), fields[1]
+		switch key {
+		case "structure":
+			st, err := sim.ParseStructure(val)
+			if err != nil {
+				return nil, err
+			}
+			spec.Structure = st
+		case "cycle":
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad cycle %q", val)
+			}
+			spec.Cycle = v
+		case "bits":
+			for _, s := range strings.Split(val, ":") {
+				p, err := strconv.ParseInt(s, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("core: bad bit position %q", s)
+				}
+				spec.BitPositions = append(spec.BitPositions, p)
+			}
+		case "warp_wide":
+			v, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad warp_wide %q", val)
+			}
+			spec.WarpWide = v
+		case "blocks":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad blocks %q", val)
+			}
+			spec.Blocks = v
+		case "cores":
+			for _, s := range strings.Split(val, ":") {
+				c, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("core: bad core id %q", s)
+				}
+				spec.CoreMask = append(spec.CoreMask, c)
+			}
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad seed %q", val)
+			}
+			spec.Seed = v
+		default:
+			return nil, fmt.Errorf("core: unknown spec key %q", key)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

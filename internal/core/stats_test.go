@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonKnownValues(t *testing.T) {
+	// 50/100 at 95%: classic Wilson interval ~ [0.404, 0.596].
+	lo, hi := Wilson(50, 100, 0.95)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Errorf("Wilson(50/100, 95%%) = [%.3f, %.3f], want ~[0.404, 0.596]", lo, hi)
+	}
+	// Zero failures still have a nonzero upper bound ("rule of three"-ish).
+	lo, hi = Wilson(0, 100, 0.95)
+	if lo != 0 || hi < 0.01 || hi > 0.06 {
+		t.Errorf("Wilson(0/100) = [%.3f, %.3f]", lo, hi)
+	}
+	// All failures mirror the zero-failure case.
+	lo, hi = Wilson(100, 100, 0.95)
+	if hi != 1 || lo > 0.99 || lo < 0.94 {
+		// Wilson's lower bound at p=1 is 1 - upper(0) ≈ 0.963.
+		if math.Abs(lo-0.963) > 0.005 {
+			t.Errorf("Wilson(100/100) = [%.3f, %.3f]", lo, hi)
+		}
+	}
+	// Empty campaigns are safe.
+	if lo, hi := Wilson(3, 0, 0.95); lo != 0 || hi != 0 {
+		t.Error("Wilson with zero total not degenerate")
+	}
+}
+
+func TestMarginShrinksWithRuns(t *testing.T) {
+	m100 := Margin(30, 100, 0.99)
+	m1000 := Margin(300, 1000, 0.99)
+	m3000 := Margin(900, 3000, 0.99)
+	if !(m3000 < m1000 && m1000 < m100) {
+		t.Errorf("margins not shrinking: %g, %g, %g", m100, m1000, m3000)
+	}
+	// The paper's 3,000-run campaigns: margin at 99% confidence stays
+	// close to its quoted ~2% for mid-range failure ratios.
+	if m3000 > 0.025 {
+		t.Errorf("3000-run margin = %g, want under ~2.5%%", m3000)
+	}
+}
+
+// Property: the interval always contains the point estimate and stays in
+// [0,1].
+func TestQuickWilsonContainsEstimate(t *testing.T) {
+	f := func(fail uint16, extra uint16) bool {
+		total := int(fail) + int(extra) + 1
+		failures := int(fail)
+		lo, hi := Wilson(failures, total, 0.99)
+		p := float64(failures) / float64(total)
+		return lo >= 0 && hi <= 1 && lo <= p+1e-12 && hi >= p-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding: a fixed 24-byte instruction word. The format exists so
+// that kernels can be stored, hashed, and round-tripped in tests; the
+// simulator executes the decoded form.
+//
+// Layout (little-endian):
+//
+//	[0]  op        [1] cond      [2]  sreg     [3]  dst
+//	[4]  pdst      [5] srcA      [6]  srcB     [7]  srcC
+//	[8]  psrc      [9] guard     [10] flags    [11] reserved
+//	[12:16] imm    [16:20] target  [20:24] reconv
+const instrWordSize = 24
+
+// InstrBytes is the size of one encoded instruction word. The simulator
+// lays kernels out in device memory at this granularity so that
+// instruction-cache faults corrupt real instruction bits.
+const InstrBytes = instrWordSize
+
+const (
+	flagHasImm   = 1 << 0
+	flagGuardNeg = 1 << 1
+)
+
+// EncodeInstr packs an instruction into its 24-byte word.
+func EncodeInstr(in *Instr) [instrWordSize]byte {
+	var w [instrWordSize]byte
+	w[0] = byte(in.Op)
+	w[1] = byte(in.Cond)
+	w[2] = byte(in.SReg)
+	w[3] = in.Dst
+	w[4] = in.PDst
+	w[5] = in.SrcA
+	w[6] = in.SrcB
+	w[7] = in.SrcC
+	w[8] = in.PSrc
+	w[9] = in.Guard
+	var flags byte
+	if in.HasImm {
+		flags |= flagHasImm
+	}
+	if in.GuardNeg {
+		flags |= flagGuardNeg
+	}
+	w[10] = flags
+	binary.LittleEndian.PutUint32(w[12:16], uint32(in.Imm))
+	binary.LittleEndian.PutUint32(w[16:20], uint32(in.Target))
+	binary.LittleEndian.PutUint32(w[20:24], uint32(in.Reconv))
+	return w
+}
+
+// DecodeInstr unpacks a 24-byte instruction word.
+func DecodeInstr(w [instrWordSize]byte) Instr {
+	return Instr{
+		Op:       Op(w[0]),
+		Cond:     Cond(w[1]),
+		SReg:     SReg(w[2]),
+		Dst:      w[3],
+		PDst:     w[4],
+		SrcA:     w[5],
+		SrcB:     w[6],
+		SrcC:     w[7],
+		PSrc:     w[8],
+		Guard:    w[9],
+		HasImm:   w[10]&flagHasImm != 0,
+		GuardNeg: w[10]&flagGuardNeg != 0,
+		Imm:      int32(binary.LittleEndian.Uint32(w[12:16])),
+		Target:   int32(binary.LittleEndian.Uint32(w[16:20])),
+		Reconv:   int32(binary.LittleEndian.Uint32(w[20:24])),
+	}
+}
+
+// programMagic identifies serialized Program blobs.
+var programMagic = [4]byte{'G', 'F', 'I', '4'}
+
+// MarshalBinary serializes the program (magic, header, name, instruction
+// words). It implements encoding.BinaryMarshaler.
+func (p *Program) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(programMagic[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p.Instrs)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(p.RegsPerThread))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(p.SmemBytes))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(p.LocalBytes))
+	buf.Write(hdr[:])
+	name := []byte(p.Name)
+	if len(name) > 255 {
+		return nil, fmt.Errorf("isa: program name too long (%d bytes)", len(name))
+	}
+	buf.WriteByte(byte(len(name)))
+	buf.Write(name)
+	for i := range p.Instrs {
+		w := EncodeInstr(&p.Instrs[i])
+		buf.Write(w[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a program produced by MarshalBinary. It
+// implements encoding.BinaryUnmarshaler.
+func (p *Program) UnmarshalBinary(data []byte) error {
+	if len(data) < 4+16+1 {
+		return fmt.Errorf("isa: program blob truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], programMagic[:]) {
+		return fmt.Errorf("isa: bad program magic %q", data[:4])
+	}
+	data = data[4:]
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	p.RegsPerThread = int(int32(binary.LittleEndian.Uint32(data[4:8])))
+	p.SmemBytes = int(int32(binary.LittleEndian.Uint32(data[8:12])))
+	p.LocalBytes = int(int32(binary.LittleEndian.Uint32(data[12:16])))
+	data = data[16:]
+	nameLen := int(data[0])
+	data = data[1:]
+	if len(data) < nameLen {
+		return fmt.Errorf("isa: program blob truncated in name")
+	}
+	p.Name = string(data[:nameLen])
+	data = data[nameLen:]
+	if len(data) != n*instrWordSize {
+		return fmt.Errorf("isa: program blob has %d instruction bytes, want %d", len(data), n*instrWordSize)
+	}
+	p.Instrs = make([]Instr, n)
+	for i := 0; i < n; i++ {
+		var w [instrWordSize]byte
+		copy(w[:], data[i*instrWordSize:])
+		p.Instrs[i] = DecodeInstr(w)
+	}
+	return nil
+}

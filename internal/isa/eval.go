@@ -1,0 +1,184 @@
+package isa
+
+import "math"
+
+// EvalALU computes the result of a non-memory, non-control operation given
+// its source operand bits. For *SETP operations the result is returned in
+// pred; for register-writing operations in val. selPred supplies the
+// predicate operand value for SEL. ok is false if op is not an ALU/SFU
+// operation evaluable here.
+//
+// Semantics notes: integer division by zero yields 0 and remainder by zero
+// yields the dividend, so a fault-corrupted divisor degrades into wrong data
+// (an SDC candidate) rather than a simulator panic — real GPUs do not trap
+// on integer division by zero either.
+func EvalALU(op Op, cond Cond, a, b, c uint32, selPred bool) (val uint32, pred, ok bool) {
+	sa, sb := int32(a), int32(b)
+	fa, fb, fc := F32(a), F32(b), F32(c)
+	switch op {
+	case OpMOV:
+		return b, false, true
+	case OpIADD:
+		return uint32(sa + sb), false, true
+	case OpISUB:
+		return uint32(sa - sb), false, true
+	case OpIMUL:
+		return uint32(sa * sb), false, true
+	case OpIMAD:
+		return uint32(sa*sb + int32(c)), false, true
+	case OpIDIV:
+		if sb == 0 {
+			return 0, false, true
+		}
+		if sa == math.MinInt32 && sb == -1 { // overflow case: wrap like hardware
+			return uint32(sa), false, true
+		}
+		return uint32(sa / sb), false, true
+	case OpIREM:
+		if sb == 0 {
+			return a, false, true
+		}
+		if sa == math.MinInt32 && sb == -1 {
+			return 0, false, true
+		}
+		return uint32(sa % sb), false, true
+	case OpIMIN:
+		if sa < sb {
+			return a, false, true
+		}
+		return b, false, true
+	case OpIMAX:
+		if sa > sb {
+			return a, false, true
+		}
+		return b, false, true
+	case OpIABS:
+		if sa < 0 {
+			return uint32(-sa), false, true
+		}
+		return a, false, true
+	case OpSHL:
+		return a << (b & 31), false, true
+	case OpSHR:
+		return a >> (b & 31), false, true
+	case OpSHRA:
+		return uint32(sa >> (b & 31)), false, true
+	case OpAND:
+		return a & b, false, true
+	case OpOR:
+		return a | b, false, true
+	case OpXOR:
+		return a ^ b, false, true
+	case OpNOT:
+		return ^a, false, true
+	case OpISETP:
+		return 0, evalCondInt(cond, sa, sb), true
+	case OpUSETP:
+		return 0, evalCondUint(cond, a, b), true
+	case OpFSETP:
+		return 0, evalCondFloat(cond, fa, fb), true
+	case OpSEL:
+		if selPred {
+			return a, false, true
+		}
+		return b, false, true
+	case OpFADD:
+		return F32Bits(fa + fb), false, true
+	case OpFSUB:
+		return F32Bits(fa - fb), false, true
+	case OpFMUL:
+		return F32Bits(fa * fb), false, true
+	case OpFFMA:
+		return F32Bits(float32(float64(fa)*float64(fb) + float64(fc))), false, true
+	case OpFDIV:
+		return F32Bits(fa / fb), false, true
+	case OpFMIN:
+		return F32Bits(float32(math.Min(float64(fa), float64(fb)))), false, true
+	case OpFMAX:
+		return F32Bits(float32(math.Max(float64(fa), float64(fb)))), false, true
+	case OpFABS:
+		return F32Bits(float32(math.Abs(float64(fa)))), false, true
+	case OpFNEG:
+		return F32Bits(-fa), false, true
+	case OpFSQRT:
+		return F32Bits(float32(math.Sqrt(float64(fa)))), false, true
+	case OpFRCP:
+		return F32Bits(1 / fa), false, true
+	case OpFEXP:
+		return F32Bits(float32(math.Exp(float64(fa)))), false, true
+	case OpFLOG:
+		return F32Bits(float32(math.Log(float64(fa)))), false, true
+	case OpF2I:
+		return uint32(f2i(fa)), false, true
+	case OpI2F:
+		return F32Bits(float32(sa)), false, true
+	}
+	return 0, false, false
+}
+
+// f2i truncates toward zero with saturation, matching cvt.rzi.s32.f32.
+func f2i(f float32) int32 {
+	switch {
+	case math.IsNaN(float64(f)):
+		return 0
+	case f >= math.MaxInt32:
+		return math.MaxInt32
+	case f <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(f)
+}
+
+func evalCondInt(c Cond, a, b int32) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	return false
+}
+
+func evalCondUint(c Cond, a, b uint32) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	return false
+}
+
+func evalCondFloat(c Cond, a, b float32) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return a < b
+	case CondLE:
+		return a <= b
+	case CondGT:
+		return a > b
+	case CondGE:
+		return a >= b
+	}
+	return false
+}

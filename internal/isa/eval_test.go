@@ -1,0 +1,215 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func evalVal(t *testing.T, op Op, a, b, c uint32) uint32 {
+	t.Helper()
+	v, _, ok := EvalALU(op, CondEQ, a, b, c, false)
+	if !ok {
+		t.Fatalf("EvalALU(%s) not evaluable", op)
+	}
+	return v
+}
+
+func evalPred(t *testing.T, op Op, cond Cond, a, b uint32) bool {
+	t.Helper()
+	_, p, ok := EvalALU(op, cond, a, b, 0, false)
+	if !ok {
+		t.Fatalf("EvalALU(%s.%s) not evaluable", op, cond)
+	}
+	return p
+}
+
+func TestIntegerOps(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, c int32
+		want    int32
+	}{
+		{OpIADD, 3, 4, 0, 7},
+		{OpIADD, math.MaxInt32, 1, 0, math.MinInt32},
+		{OpISUB, 3, 4, 0, -1},
+		{OpIMUL, -3, 4, 0, -12},
+		{OpIMAD, 2, 3, 10, 16},
+		{OpIDIV, 7, 2, 0, 3},
+		{OpIDIV, -7, 2, 0, -3},
+		{OpIDIV, 7, 0, 0, 0},
+		{OpIDIV, math.MinInt32, -1, 0, math.MinInt32},
+		{OpIREM, 7, 3, 0, 1},
+		{OpIREM, -7, 3, 0, -1},
+		{OpIREM, 7, 0, 0, 7},
+		{OpIREM, math.MinInt32, -1, 0, 0},
+		{OpIMIN, -5, 3, 0, -5},
+		{OpIMAX, -5, 3, 0, 3},
+		{OpIABS, -5, 0, 0, 5},
+		{OpIABS, 5, 0, 0, 5},
+		{OpSHL, 1, 5, 0, 32},
+		{OpSHL, 1, 37, 0, 32}, // shift amount masked to 5 bits
+		{OpSHR, -1, 28, 0, 15},
+		{OpSHRA, -16, 2, 0, -4},
+		{OpAND, 0b1100, 0b1010, 0, 0b1000},
+		{OpOR, 0b1100, 0b1010, 0, 0b1110},
+		{OpXOR, 0b1100, 0b1010, 0, 0b0110},
+		{OpNOT, 0, 0, 0, -1},
+	}
+	for _, tc := range cases {
+		got := int32(evalVal(t, tc.op, uint32(tc.a), uint32(tc.b), uint32(tc.c)))
+		if got != tc.want {
+			t.Errorf("%s(%d,%d,%d) = %d, want %d", tc.op, tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	f := F32Bits
+	cases := []struct {
+		op      Op
+		a, b, c float32
+		want    float32
+	}{
+		{OpFADD, 1.5, 2.25, 0, 3.75},
+		{OpFSUB, 1.5, 2.25, 0, -0.75},
+		{OpFMUL, 1.5, 2, 0, 3},
+		{OpFFMA, 2, 3, 4, 10},
+		{OpFDIV, 3, 2, 0, 1.5},
+		{OpFMIN, -1, 2, 0, -1},
+		{OpFMAX, -1, 2, 0, 2},
+		{OpFABS, -2.5, 0, 0, 2.5},
+		{OpFNEG, 2.5, 0, 0, -2.5},
+		{OpFSQRT, 9, 0, 0, 3},
+		{OpFRCP, 4, 0, 0, 0.25},
+	}
+	for _, tc := range cases {
+		got := F32(evalVal(t, tc.op, f(tc.a), f(tc.b), f(tc.c)))
+		if got != tc.want {
+			t.Errorf("%s(%g,%g,%g) = %g, want %g", tc.op, tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestTranscendentals(t *testing.T) {
+	got := F32(evalVal(t, OpFEXP, F32Bits(1), 0, 0))
+	if math.Abs(float64(got)-math.E) > 1e-6 {
+		t.Errorf("FEXP(1) = %g, want e", got)
+	}
+	got = F32(evalVal(t, OpFLOG, F32Bits(float32(math.E)), 0, 0))
+	if math.Abs(float64(got)-1) > 1e-6 {
+		t.Errorf("FLOG(e) = %g, want 1", got)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := int32(evalVal(t, OpF2I, F32Bits(-3.7), 0, 0)); got != -3 {
+		t.Errorf("F2I(-3.7) = %d, want -3 (truncation)", got)
+	}
+	if got := int32(evalVal(t, OpF2I, F32Bits(float32(math.NaN())), 0, 0)); got != 0 {
+		t.Errorf("F2I(NaN) = %d, want 0", got)
+	}
+	if got := int32(evalVal(t, OpF2I, F32Bits(3e10), 0, 0)); got != math.MaxInt32 {
+		t.Errorf("F2I(3e10) = %d, want saturation", got)
+	}
+	if got := F32(evalVal(t, OpI2F, uint32(0xFFFFFFFF), 0, 0)); got != -1 {
+		t.Errorf("I2F(-1) = %g, want -1", got)
+	}
+}
+
+func TestSetpConditions(t *testing.T) {
+	type tc struct {
+		cond Cond
+		a, b int32
+		want bool
+	}
+	for _, c := range []tc{
+		{CondEQ, 3, 3, true}, {CondEQ, 3, 4, false},
+		{CondNE, 3, 4, true}, {CondNE, 3, 3, false},
+		{CondLT, -1, 0, true}, {CondLT, 0, 0, false},
+		{CondLE, 0, 0, true}, {CondLE, 1, 0, false},
+		{CondGT, 1, 0, true}, {CondGT, 0, 0, false},
+		{CondGE, 0, 0, true}, {CondGE, -1, 0, false},
+	} {
+		if got := evalPred(t, OpISETP, c.cond, uint32(c.a), uint32(c.b)); got != c.want {
+			t.Errorf("ISETP.%s(%d,%d) = %v, want %v", c.cond, c.a, c.b, got, c.want)
+		}
+	}
+	// Unsigned comparison treats -1 as the maximum value.
+	if !evalPred(t, OpUSETP, CondGT, 0xFFFFFFFF, 0) {
+		t.Error("USETP.GT(0xFFFFFFFF, 0) = false, want true")
+	}
+	if evalPred(t, OpISETP, CondGT, 0xFFFFFFFF, 0) {
+		t.Error("ISETP.GT(-1, 0) = true, want false")
+	}
+	// Float comparison with NaN: all ordered comparisons false except NE.
+	nan := F32Bits(float32(math.NaN()))
+	if evalPred(t, OpFSETP, CondEQ, nan, nan) {
+		t.Error("FSETP.EQ(NaN,NaN) = true, want false")
+	}
+	if !evalPred(t, OpFSETP, CondNE, nan, nan) {
+		t.Error("FSETP.NE(NaN,NaN) = false, want true")
+	}
+}
+
+func TestSel(t *testing.T) {
+	v, _, ok := EvalALU(OpSEL, CondEQ, 11, 22, 0, true)
+	if !ok || v != 11 {
+		t.Errorf("SEL(true) = %d, want 11", v)
+	}
+	v, _, _ = EvalALU(OpSEL, CondEQ, 11, 22, 0, false)
+	if v != 22 {
+		t.Errorf("SEL(false) = %d, want 22", v)
+	}
+}
+
+func TestNonALUOpsNotEvaluable(t *testing.T) {
+	for _, op := range []Op{OpNOP, OpLDG, OpSTG, OpBRA, OpBAR, OpEXIT, OpS2R, OpLDC, OpTLD} {
+		if _, _, ok := EvalALU(op, CondEQ, 0, 0, 0, false); ok {
+			t.Errorf("EvalALU(%s) evaluable, want not", op)
+		}
+	}
+}
+
+// Property: integer ops agree with direct Go arithmetic on random operands.
+func TestQuickIntegerAgreesWithGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		add := int32(evalVal(t, OpIADD, uint32(a), uint32(b), 0))
+		sub := int32(evalVal(t, OpISUB, uint32(a), uint32(b), 0))
+		mul := int32(evalVal(t, OpIMUL, uint32(a), uint32(b), 0))
+		and := evalVal(t, OpAND, uint32(a), uint32(b), 0)
+		xor := evalVal(t, OpXOR, uint32(a), uint32(b), 0)
+		return add == a+b && sub == a-b && mul == a*b &&
+			and == uint32(a)&uint32(b) && xor == uint32(a)^uint32(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR with a mask twice is the identity — the foundation of the
+// bit-flip fault model.
+func TestQuickXorTwiceIdentity(t *testing.T) {
+	f := func(v, mask uint32) bool {
+		once := evalVal(t, OpXOR, v, mask, 0)
+		twice := evalVal(t, OpXOR, once, mask, 0)
+		return twice == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SETP conditions are coherent (EQ == !NE, LT == !GE, GT == !LE)
+// for non-NaN operands.
+func TestQuickCondCoherence(t *testing.T) {
+	f := func(a, b int32) bool {
+		ua, ub := uint32(a), uint32(b)
+		return evalPred(t, OpISETP, CondEQ, ua, ub) != evalPred(t, OpISETP, CondNE, ua, ub) &&
+			evalPred(t, OpISETP, CondLT, ua, ub) != evalPred(t, OpISETP, CondGE, ua, ub) &&
+			evalPred(t, OpISETP, CondGT, ua, ub) != evalPred(t, OpISETP, CondLE, ua, ub)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

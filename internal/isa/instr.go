@@ -1,0 +1,256 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Register file conventions.
+const (
+	// NumRegs is the number of addressable general-purpose registers per
+	// thread. SASS exposes up to 255; our kernels use far fewer, and the
+	// per-SM register file budget (Table V of the paper) constrains
+	// occupancy through Program.RegsPerThread.
+	NumRegs = 64
+
+	// RegRZ is the zero register: reads return 0, writes are discarded.
+	RegRZ = 255
+
+	// NumPreds is the number of predicate registers per thread.
+	NumPreds = 7
+
+	// PredPT is the always-true predicate; the default guard.
+	PredPT = 7
+)
+
+// Instr is one decoded instruction. Fields not used by an operation are
+// zero. PC-relative fields (Target, Reconv) are instruction indices within
+// the program, assigned by the assembler.
+type Instr struct {
+	Op   Op
+	Cond Cond // comparison condition for *SETP
+	SReg SReg // source for S2R
+
+	Dst  uint8 // destination register (RegRZ when unused)
+	PDst uint8 // destination predicate for *SETP (PredPT when unused)
+	SrcA uint8 // first source register
+	SrcB uint8 // second source register (ignored when HasImm)
+	SrcC uint8 // third source register (IMAD/FFMA addend, store data)
+	PSrc uint8 // predicate source for SEL
+
+	Imm    int32 // immediate: SrcB value, address offset, or float32 bits
+	HasImm bool  // SrcB operand is Imm rather than a register
+
+	Guard    uint8 // guard predicate register; PredPT = unconditional
+	GuardNeg bool  // guard is negated (@!P)
+
+	Target int32 // branch target (BRA)
+	Reconv int32 // reconvergence PC for potentially divergent branches; -1 if none
+}
+
+// Guarded reports whether the instruction has a non-trivial guard.
+func (in *Instr) Guarded() bool { return in.Guard != PredPT || in.GuardNeg }
+
+// MaxReg returns the highest general-purpose register index referenced by
+// the instruction, or -1 if it references none.
+func (in *Instr) MaxReg() int {
+	max := -1
+	use := func(r uint8, used bool) {
+		if used && r != RegRZ && int(r) > max {
+			max = int(r)
+		}
+	}
+	use(in.Dst, in.Op.WritesReg())
+	switch in.Op {
+	case OpNOP, OpBAR, OpEXIT:
+		return max
+	case OpS2R, OpLDC:
+		return max
+	case OpBRA:
+		return max
+	}
+	use(in.SrcA, true)
+	use(in.SrcB, !in.HasImm)
+	use(in.SrcC, in.Op == OpIMAD || in.Op == OpFFMA || in.Op.IsStore())
+	return max
+}
+
+// String renders the instruction in assembly syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Guarded() {
+		if in.GuardNeg {
+			fmt.Fprintf(&b, "@!P%d ", in.Guard)
+		} else {
+			fmt.Fprintf(&b, "@P%d ", in.Guard)
+		}
+	}
+	op := in.Op.String()
+	reg := func(r uint8) string {
+		if r == RegRZ {
+			return "RZ"
+		}
+		return fmt.Sprintf("R%d", r)
+	}
+	srcB := func() string {
+		if in.HasImm {
+			return fmt.Sprintf("%d", in.Imm)
+		}
+		return reg(in.SrcB)
+	}
+	switch in.Op {
+	case OpNOP, OpBAR, OpEXIT:
+		b.WriteString(op)
+	case OpMOV:
+		fmt.Fprintf(&b, "%s %s, %s", op, reg(in.Dst), srcB())
+	case OpS2R:
+		fmt.Fprintf(&b, "%s %s, %s", op, reg(in.Dst), in.SReg)
+	case OpISETP, OpUSETP, OpFSETP:
+		fmt.Fprintf(&b, "%s.%s P%d, %s, %s", op, in.Cond, in.PDst, reg(in.SrcA), srcB())
+	case OpSEL:
+		fmt.Fprintf(&b, "%s %s, %s, %s, P%d", op, reg(in.Dst), reg(in.SrcA), srcB(), in.PSrc)
+	case OpNOT, OpIABS, OpFABS, OpFNEG, OpFSQRT, OpFRCP, OpFEXP, OpFLOG, OpF2I, OpI2F:
+		fmt.Fprintf(&b, "%s %s, %s", op, reg(in.Dst), reg(in.SrcA))
+	case OpIMAD, OpFFMA:
+		fmt.Fprintf(&b, "%s %s, %s, %s, %s", op, reg(in.Dst), reg(in.SrcA), srcB(), reg(in.SrcC))
+	case OpLDG, OpLDS, OpLDL, OpTLD:
+		fmt.Fprintf(&b, "%s %s, [%s+%d]", op, reg(in.Dst), reg(in.SrcA), in.Imm)
+	case OpLDC:
+		fmt.Fprintf(&b, "%s %s, c[%d]", op, reg(in.Dst), in.Imm)
+	case OpSTG, OpSTS, OpSTL:
+		fmt.Fprintf(&b, "%s [%s+%d], %s", op, reg(in.SrcA), in.Imm, reg(in.SrcC))
+	case OpBRA:
+		fmt.Fprintf(&b, "%s %d", op, in.Target)
+	default:
+		fmt.Fprintf(&b, "%s %s, %s, %s", op, reg(in.Dst), reg(in.SrcA), srcB())
+	}
+	return b.String()
+}
+
+// Program is an assembled kernel: a flat instruction sequence plus the
+// static resource demands that drive CTA scheduling and occupancy.
+type Program struct {
+	Name string
+
+	Instrs []Instr
+
+	// RegsPerThread is the number of architectural registers each thread
+	// of this kernel allocates from its SM's register file.
+	RegsPerThread int
+
+	// SmemBytes is the static shared-memory allocation per CTA.
+	SmemBytes int
+
+	// LocalBytes is the per-thread local-memory footprint.
+	LocalBytes int
+}
+
+// Validate checks structural invariants: defined opcodes, in-range register
+// and predicate indices, branch targets within the program, and a trailing
+// EXIT reachability guarantee (the last instruction must be EXIT or an
+// unconditional BRA).
+func (p *Program) Validate() error {
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("isa: program %q has no instructions", p.Name)
+	}
+	n := int32(len(p.Instrs))
+	for pc := range p.Instrs {
+		in := &p.Instrs[pc]
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: %q pc %d: invalid opcode %d", p.Name, pc, in.Op)
+		}
+		if in.Op.WritesPred() && in.PDst >= NumPreds {
+			return fmt.Errorf("isa: %q pc %d: predicate destination P%d out of range", p.Name, pc, in.PDst)
+		}
+		if in.Guard != PredPT && in.Guard >= NumPreds {
+			return fmt.Errorf("isa: %q pc %d: guard P%d out of range", p.Name, pc, in.Guard)
+		}
+		if in.Op == OpSEL && in.PSrc != PredPT && in.PSrc >= NumPreds {
+			return fmt.Errorf("isa: %q pc %d: predicate source P%d out of range", p.Name, pc, in.PSrc)
+		}
+		if in.Op == OpBRA && (in.Target < 0 || in.Target >= n) {
+			return fmt.Errorf("isa: %q pc %d: branch target %d outside [0,%d)", p.Name, pc, in.Target, n)
+		}
+		if in.Op == OpBRA && in.Reconv >= n {
+			return fmt.Errorf("isa: %q pc %d: reconvergence pc %d outside program", p.Name, pc, in.Reconv)
+		}
+		if m := in.MaxReg(); m >= NumRegs {
+			return fmt.Errorf("isa: %q pc %d: register R%d exceeds limit %d", p.Name, pc, m, NumRegs)
+		}
+		if in.Op == OpS2R && !in.SReg.Valid() {
+			return fmt.Errorf("isa: %q pc %d: invalid special register %d", p.Name, pc, in.SReg)
+		}
+		if in.Op.WritesPred() && !in.Cond.Valid() {
+			return fmt.Errorf("isa: %q pc %d: invalid condition %d", p.Name, pc, in.Cond)
+		}
+	}
+	last := p.Instrs[len(p.Instrs)-1]
+	if last.Op != OpEXIT && !(last.Op == OpBRA && !last.Guarded()) {
+		return fmt.Errorf("isa: %q: control can fall off the end (last op %s)", p.Name, last.Op)
+	}
+	if p.RegsPerThread <= 0 || p.RegsPerThread > NumRegs {
+		return fmt.Errorf("isa: %q: RegsPerThread %d outside (0,%d]", p.Name, p.RegsPerThread, NumRegs)
+	}
+	if p.SmemBytes < 0 || p.LocalBytes < 0 {
+		return fmt.Errorf("isa: %q: negative memory demand", p.Name)
+	}
+	return nil
+}
+
+// Sane checks whether a (possibly fault-corrupted) decoded instruction is
+// executable within a program of progLen instructions whose threads
+// allocate regsPerThread registers. A corrupted instruction failing this
+// check behaves like hardware hitting an illegal instruction: the kernel
+// aborts. Unlike Program.Validate, Sane judges a single instruction in
+// isolation.
+func (in *Instr) Sane(progLen, regsPerThread int) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: illegal opcode %d", in.Op)
+	}
+	if in.Op.WritesPred() && (in.PDst >= NumPreds || !in.Cond.Valid()) {
+		return fmt.Errorf("isa: illegal predicate write")
+	}
+	if in.Guard != PredPT && in.Guard >= NumPreds {
+		return fmt.Errorf("isa: illegal guard P%d", in.Guard)
+	}
+	if in.Op == OpSEL && in.PSrc != PredPT && in.PSrc >= NumPreds {
+		return fmt.Errorf("isa: illegal predicate source P%d", in.PSrc)
+	}
+	if in.Op == OpBRA {
+		if in.Target < 0 || int(in.Target) >= progLen {
+			return fmt.Errorf("isa: branch target %d outside program", in.Target)
+		}
+		if in.Reconv >= int32(progLen) {
+			return fmt.Errorf("isa: reconvergence pc %d outside program", in.Reconv)
+		}
+	}
+	if in.Op == OpS2R && !in.SReg.Valid() {
+		return fmt.Errorf("isa: illegal special register %d", in.SReg)
+	}
+	if m := in.MaxReg(); m >= regsPerThread {
+		return fmt.Errorf("isa: register R%d beyond the thread's %d allocated", m, regsPerThread)
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line with PC
+// prefixes, suitable for debugging dumps.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// kernel %s: regs=%d smem=%dB local=%dB\n",
+		p.Name, p.RegsPerThread, p.SmemBytes, p.LocalBytes)
+	for pc := range p.Instrs {
+		fmt.Fprintf(&b, "%4d: %s\n", pc, p.Instrs[pc].String())
+	}
+	return b.String()
+}
+
+// FloatImm converts a float32 constant to immediate bits.
+func FloatImm(f float32) int32 { return int32(math.Float32bits(f)) }
+
+// F32 reinterprets raw register bits as float32.
+func F32(bits uint32) float32 { return math.Float32frombits(bits) }
+
+// F32Bits reinterprets a float32 as raw register bits.
+func F32Bits(f float32) uint32 { return math.Float32bits(f) }

@@ -1,0 +1,261 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpClassification(t *testing.T) {
+	if OpIADD.Class() != ClassALU {
+		t.Error("IADD should be ALU")
+	}
+	if OpFSQRT.Class() != ClassSFU {
+		t.Error("FSQRT should be SFU")
+	}
+	if OpLDG.Class() != ClassMem {
+		t.Error("LDG should be Mem")
+	}
+	if OpBRA.Class() != ClassCtrl {
+		t.Error("BRA should be Ctrl")
+	}
+	if !OpLDG.IsLoad() || OpLDG.IsStore() {
+		t.Error("LDG load/store flags wrong")
+	}
+	if !OpSTS.IsStore() || OpSTS.IsLoad() {
+		t.Error("STS load/store flags wrong")
+	}
+	if OpSTG.WritesReg() {
+		t.Error("STG must not write a register")
+	}
+	if !OpISETP.WritesPred() || OpISETP.WritesReg() {
+		t.Error("ISETP writes a predicate, not a register")
+	}
+	for op := Op(0); op < opCount; op++ {
+		if !op.Valid() {
+			t.Errorf("op %d should be valid", op)
+		}
+		if strings.HasPrefix(op.String(), "OP(") {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("op 200 should be invalid")
+	}
+}
+
+func TestParsers(t *testing.T) {
+	for c := Cond(0); c < condCount; c++ {
+		got, err := ParseCond(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCond(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCond("XX"); err == nil {
+		t.Error("ParseCond(XX) should fail")
+	}
+	for s := SReg(0); s < sregCount; s++ {
+		got, err := ParseSReg(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSReg(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSReg("%bogus"); err == nil {
+		t.Error("ParseSReg of unknown name should fail")
+	}
+}
+
+func TestMaxReg(t *testing.T) {
+	in := Instr{Op: OpIMAD, Dst: 5, SrcA: 7, SrcB: 2, SrcC: 9}
+	if got := in.MaxReg(); got != 9 {
+		t.Errorf("MaxReg = %d, want 9", got)
+	}
+	in = Instr{Op: OpIADD, Dst: RegRZ, SrcA: 1, SrcB: 0, HasImm: true, Imm: 4}
+	if got := in.MaxReg(); got != 1 {
+		t.Errorf("MaxReg with RZ dst and imm = %d, want 1", got)
+	}
+	in = Instr{Op: OpEXIT}
+	if got := in.MaxReg(); got != -1 {
+		t.Errorf("MaxReg(EXIT) = %d, want -1", got)
+	}
+	in = Instr{Op: OpSTG, SrcA: 3, SrcC: 12}
+	if got := in.MaxReg(); got != 12 {
+		t.Errorf("MaxReg(STG) = %d, want 12", got)
+	}
+}
+
+func validProgram() *Program {
+	return &Program{
+		Name: "t",
+		Instrs: []Instr{
+			{Op: OpS2R, Dst: 0, SReg: SRTidX},
+			{Op: OpMOV, Dst: 1, HasImm: true, Imm: 42},
+			{Op: OpIADD, Dst: 2, SrcA: 0, SrcB: 1},
+			{Op: OpEXIT},
+		},
+		RegsPerThread: 3,
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := validProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	bad := validProgram()
+	bad.Instrs[2].Op = Op(250)
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+
+	bad = validProgram()
+	bad.Instrs = append(bad.Instrs[:3], Instr{Op: OpBRA, Target: 99}, Instr{Op: OpEXIT})
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+
+	bad = validProgram()
+	bad.Instrs[3] = Instr{Op: OpIADD, Dst: 1, SrcA: 0, SrcB: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("fall-off-the-end program accepted")
+	}
+
+	bad = validProgram()
+	bad.RegsPerThread = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero RegsPerThread accepted")
+	}
+
+	bad = validProgram()
+	bad.Instrs[0].Guard = PredPT + 1 // out of range, beyond PT
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range guard accepted")
+	}
+
+	bad = &Program{Name: "empty", RegsPerThread: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpMOV, Dst: 3, HasImm: true, Imm: -7}, "MOV R3, -7"},
+		{Instr{Op: OpIADD, Dst: 1, SrcA: 2, SrcB: 3}, "IADD R1, R2, R3"},
+		{Instr{Op: OpISETP, Cond: CondLT, PDst: 2, SrcA: 1, HasImm: true, Imm: 10}, "ISETP.LT P2, R1, 10"},
+		{Instr{Op: OpLDG, Dst: 4, SrcA: 5, Imm: 16}, "LDG R4, [R5+16]"},
+		{Instr{Op: OpSTG, SrcA: 5, SrcC: 6, Imm: 0}, "STG [R5+0], R6"},
+		{Instr{Op: OpBRA, Target: 12, Guard: 1, GuardNeg: true}, "@!P1 BRA 12"},
+		{Instr{Op: OpS2R, Dst: 0, SReg: SRCtaidX}, "S2R R0, %ctaid.x"},
+		{Instr{Op: OpEXIT, Guard: PredPT}, "EXIT"},
+		{Instr{Op: OpSEL, Dst: 1, SrcA: 2, SrcB: 3, PSrc: 4}, "SEL R1, R2, R3, P4"},
+		{Instr{Op: OpLDC, Dst: 2, Imm: 8}, "LDC R2, c[8]"},
+		{Instr{Op: OpIADD, Dst: RegRZ, SrcA: RegRZ, SrcB: 1}, "IADD RZ, RZ, R1"},
+	}
+	for _, tc := range cases {
+		// Normalize the default guard for comparison.
+		in := tc.in
+		if in.Guard == 0 && !in.GuardNeg && !strings.HasPrefix(tc.want, "@") {
+			in.Guard = PredPT
+		}
+		if got := in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestDisassembleContainsEveryPC(t *testing.T) {
+	p := validProgram()
+	dis := p.Disassemble()
+	for pc := range p.Instrs {
+		if !strings.Contains(dis, p.Instrs[pc].String()) {
+			t.Errorf("disassembly missing pc %d: %s", pc, p.Instrs[pc].String())
+		}
+	}
+	if !strings.Contains(dis, "kernel t") {
+		t.Error("disassembly missing kernel header")
+	}
+}
+
+func TestFloatImmRoundTrip(t *testing.T) {
+	f := func(x float32) bool {
+		return F32(uint32(FloatImm(x))) == x || x != x // NaN compares unequal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomInstr builds a structurally plausible random instruction.
+func randomInstr(r *rand.Rand) Instr {
+	return Instr{
+		Op:       Op(r.Intn(int(opCount))),
+		Cond:     Cond(r.Intn(int(condCount))),
+		SReg:     SReg(r.Intn(int(sregCount))),
+		Dst:      uint8(r.Intn(NumRegs)),
+		PDst:     uint8(r.Intn(NumPreds)),
+		SrcA:     uint8(r.Intn(NumRegs)),
+		SrcB:     uint8(r.Intn(NumRegs)),
+		SrcC:     uint8(r.Intn(NumRegs)),
+		PSrc:     uint8(r.Intn(NumPreds)),
+		Imm:      int32(r.Uint32()),
+		HasImm:   r.Intn(2) == 0,
+		Guard:    uint8(r.Intn(NumPreds + 1)),
+		GuardNeg: r.Intn(2) == 0,
+		Target:   int32(r.Intn(1000)),
+		Reconv:   int32(r.Intn(1000)) - 1,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		in := randomInstr(r)
+		got := DecodeInstr(EncodeInstr(&in))
+		if got != in {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, got)
+		}
+	}
+}
+
+func TestProgramMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := &Program{Name: "roundtrip", RegsPerThread: 17, SmemBytes: 4096, LocalBytes: 128}
+	for i := 0; i < 100; i++ {
+		p.Instrs = append(p.Instrs, randomInstr(r))
+	}
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Program
+	if err := q.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, &q) {
+		t.Error("program marshal round trip mismatch")
+	}
+}
+
+func TestProgramUnmarshalErrors(t *testing.T) {
+	var p Program
+	if err := p.UnmarshalBinary(nil); err == nil {
+		t.Error("nil blob accepted")
+	}
+	if err := p.UnmarshalBinary([]byte("XXXX0123456789abcdef0")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good, err := (&Program{Name: "x", Instrs: []Instr{{Op: OpEXIT}}, RegsPerThread: 1}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UnmarshalBinary(good[:len(good)-3]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package isa defines the SASS-like instruction set executed by the gpuFI-4
+// GPU simulator: opcodes, operands, instruction and program representations,
+// pure ALU evaluation semantics, and a binary encoding.
+//
+// The ISA is a 32-bit RISC design modeled after Nvidia's native SASS
+// instruction sets (the paper injects faults while executing SASS through
+// GPGPU-Sim's PTXPlus mode). Every instruction may carry a predicate guard
+// (@P / @!P), mirroring SASS predication.
+package isa
+
+import "fmt"
+
+// Op identifies an operation. The zero value is OpNOP.
+type Op uint8
+
+// Supported operations. Names follow SASS mnemonics where one exists.
+const (
+	OpNOP Op = iota
+
+	// Data movement.
+	OpMOV // Rd <- Ra or immediate
+	OpS2R // Rd <- special register
+
+	// Integer arithmetic and logic (32-bit).
+	OpIADD // Rd <- Ra + Rb
+	OpISUB // Rd <- Ra - Rb
+	OpIMUL // Rd <- Ra * Rb (low 32 bits)
+	OpIMAD // Rd <- Ra * Rb + Rc
+	OpIDIV // Rd <- Ra / Rb (signed; Rb==0 -> 0, matches CUDA UB tolerance)
+	OpIREM // Rd <- Ra % Rb (signed; Rb==0 -> Ra)
+	OpIMIN // Rd <- min(Ra, Rb) signed
+	OpIMAX // Rd <- max(Ra, Rb) signed
+	OpIABS // Rd <- |Ra| signed
+	OpSHL  // Rd <- Ra << (Rb & 31)
+	OpSHR  // Rd <- Ra >> (Rb & 31) logical
+	OpSHRA // Rd <- Ra >> (Rb & 31) arithmetic
+	OpAND  // Rd <- Ra & Rb
+	OpOR   // Rd <- Ra | Rb
+	OpXOR  // Rd <- Ra ^ Rb
+	OpNOT  // Rd <- ^Ra
+
+	// Comparisons writing a predicate.
+	OpISETP // Pd <- Ra <cond> Rb (signed)
+	OpUSETP // Pd <- Ra <cond> Rb (unsigned)
+	OpFSETP // Pd <- Ra <cond> Rb (float32)
+
+	// Conditional select.
+	OpSEL // Rd <- guard-pred ? Ra : Rb (predicate operand in PSrc)
+
+	// Float32 arithmetic.
+	OpFADD // Rd <- Ra + Rb
+	OpFSUB // Rd <- Ra - Rb
+	OpFMUL // Rd <- Ra * Rb
+	OpFFMA // Rd <- Ra * Rb + Rc
+	OpFDIV // Rd <- Ra / Rb
+	OpFMIN // Rd <- min(Ra, Rb)
+	OpFMAX // Rd <- max(Ra, Rb)
+	OpFABS // Rd <- |Ra|
+	OpFNEG // Rd <- -Ra
+
+	// Special-function unit (transcendental) float ops.
+	OpFSQRT // Rd <- sqrt(Ra)
+	OpFRCP  // Rd <- 1/Ra
+	OpFEXP  // Rd <- exp(Ra) (natural base, unlike SASS EX2; benchmarks use e)
+	OpFLOG  // Rd <- ln(Ra)
+
+	// Conversions.
+	OpF2I // Rd <- int32(float32 Ra), truncating
+	OpI2F // Rd <- float32(int32 Ra)
+
+	// Memory. Address operand is Ra + Imm (byte address, 4-byte aligned).
+	OpLDG // Rd <- global[Ra+Imm]     (through L1 data cache / L2)
+	OpSTG // global[Ra+Imm] <- Rc     (evict-on-write at L1D, through L2)
+	OpLDS // Rd <- shared[Ra+Imm]     (per-CTA shared memory)
+	OpSTS // shared[Ra+Imm] <- Rc
+	OpLDL // Rd <- local[Ra+Imm]      (per-thread, off-chip via L1D writeback)
+	OpSTL // local[Ra+Imm] <- Rc
+	OpLDC // Rd <- const/param[Imm]   (constant path; not an injection target)
+	OpTLD // Rd <- global[Ra+Imm]     (read-only, through L1 texture cache)
+
+	// Control flow.
+	OpBRA  // branch to Target (guarded branches may diverge)
+	OpBAR  // CTA-wide barrier
+	OpEXIT // thread terminates
+
+	opCount // sentinel; keep last
+)
+
+// Class groups operations by the functional unit that executes them. It
+// determines instruction latency in the performance model.
+type Class uint8
+
+// Functional-unit classes.
+const (
+	ClassALU  Class = iota // integer / float pipeline
+	ClassSFU               // special function unit (sqrt, rcp, exp, log, div)
+	ClassMem               // memory pipeline (LDG/STG/LDS/STS/LDL/STL/LDC/TLD)
+	ClassCtrl              // branches, barriers, exit, nop
+)
+
+var opNames = [...]string{
+	OpNOP: "NOP", OpMOV: "MOV", OpS2R: "S2R",
+	OpIADD: "IADD", OpISUB: "ISUB", OpIMUL: "IMUL", OpIMAD: "IMAD",
+	OpIDIV: "IDIV", OpIREM: "IREM", OpIMIN: "IMIN", OpIMAX: "IMAX",
+	OpIABS: "IABS", OpSHL: "SHL", OpSHR: "SHR", OpSHRA: "SHRA",
+	OpAND: "AND", OpOR: "OR", OpXOR: "XOR", OpNOT: "NOT",
+	OpISETP: "ISETP", OpUSETP: "USETP", OpFSETP: "FSETP", OpSEL: "SEL",
+	OpFADD: "FADD", OpFSUB: "FSUB", OpFMUL: "FMUL", OpFFMA: "FFMA",
+	OpFDIV: "FDIV", OpFMIN: "FMIN", OpFMAX: "FMAX", OpFABS: "FABS",
+	OpFNEG: "FNEG", OpFSQRT: "FSQRT", OpFRCP: "FRCP", OpFEXP: "FEXP",
+	OpFLOG: "FLOG", OpF2I: "F2I", OpI2F: "I2F",
+	OpLDG: "LDG", OpSTG: "STG", OpLDS: "LDS", OpSTS: "STS",
+	OpLDL: "LDL", OpSTL: "STL", OpLDC: "LDC", OpTLD: "TLD",
+	OpBRA: "BRA", OpBAR: "BAR", OpEXIT: "EXIT",
+}
+
+// String returns the assembly mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op < opCount }
+
+// Class returns the functional-unit class of op.
+func (op Op) Class() Class {
+	switch op {
+	case OpFSQRT, OpFRCP, OpFEXP, OpFLOG, OpFDIV, OpIDIV, OpIREM:
+		return ClassSFU
+	case OpLDG, OpSTG, OpLDS, OpSTS, OpLDL, OpSTL, OpLDC, OpTLD:
+		return ClassMem
+	case OpBRA, OpBAR, OpEXIT, OpNOP:
+		return ClassCtrl
+	default:
+		return ClassALU
+	}
+}
+
+// IsLoad reports whether op reads from a memory space into a register.
+func (op Op) IsLoad() bool {
+	switch op {
+	case OpLDG, OpLDS, OpLDL, OpLDC, OpTLD:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes a register value to a memory space.
+func (op Op) IsStore() bool {
+	switch op {
+	case OpSTG, OpSTS, OpSTL:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses any memory space.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// WritesReg reports whether op writes a general-purpose destination register.
+func (op Op) WritesReg() bool {
+	switch op {
+	case OpNOP, OpSTG, OpSTS, OpSTL, OpBRA, OpBAR, OpEXIT,
+		OpISETP, OpUSETP, OpFSETP:
+		return false
+	}
+	return true
+}
+
+// WritesPred reports whether op writes a predicate register.
+func (op Op) WritesPred() bool {
+	switch op {
+	case OpISETP, OpUSETP, OpFSETP:
+		return true
+	}
+	return false
+}
+
+// Cond is a comparison condition for ISETP/USETP/FSETP.
+type Cond uint8
+
+// Comparison conditions.
+const (
+	CondEQ Cond = iota
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+	condCount
+)
+
+var condNames = [...]string{"EQ", "NE", "LT", "LE", "GT", "GE"}
+
+// String returns the SASS-style condition suffix.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("COND(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined condition.
+func (c Cond) Valid() bool { return c < condCount }
+
+// ParseCond converts a condition suffix ("EQ", "NE", ...) to a Cond.
+func ParseCond(s string) (Cond, error) {
+	for i, n := range condNames {
+		if n == s {
+			return Cond(i), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown condition %q", s)
+}
+
+// SReg identifies a special (read-only) register readable with S2R.
+type SReg uint8
+
+// Special registers.
+const (
+	SRTidX    SReg = iota // thread index within CTA, x dimension
+	SRTidY                // thread index within CTA, y dimension
+	SRCtaidX              // CTA index within grid, x dimension
+	SRCtaidY              // CTA index within grid, y dimension
+	SRNtidX               // CTA size, x dimension
+	SRNtidY               // CTA size, y dimension
+	SRNctaidX             // grid size, x dimension
+	SRNctaidY             // grid size, y dimension
+	SRLaneID              // lane within the warp [0,32)
+	SRWarpID              // hardware warp slot within the SM
+	SRGtid                // flattened global thread id
+	sregCount
+)
+
+var sregNames = [...]string{
+	"%tid.x", "%tid.y", "%ctaid.x", "%ctaid.y",
+	"%ntid.x", "%ntid.y", "%nctaid.x", "%nctaid.y",
+	"%laneid", "%warpid", "%gtid",
+}
+
+// String returns the PTX-style special register name.
+func (s SReg) String() string {
+	if int(s) < len(sregNames) {
+		return sregNames[s]
+	}
+	return fmt.Sprintf("%%sr(%d)", uint8(s))
+}
+
+// Valid reports whether s is a defined special register.
+func (s SReg) Valid() bool { return s < sregCount }
+
+// ParseSReg converts a PTX-style name ("%tid.x", ...) to an SReg.
+func ParseSReg(name string) (SReg, error) {
+	for i, n := range sregNames {
+		if n == name {
+			return SReg(i), nil
+		}
+	}
+	return 0, fmt.Errorf("isa: unknown special register %q", name)
+}

@@ -1,0 +1,178 @@
+// Package mem models the GPU device (global) memory: a flat 32-bit address
+// space backed by a growable byte image, plus an allocator that tracks
+// valid ranges so that fault-corrupted pointers dereferencing unallocated
+// memory raise the address violations that the classifier reports as
+// Crashes.
+//
+// Local memory is carved out of this space too (as on real GPUs, where
+// local memory resides in device DRAM), so local accesses flow through the
+// cache hierarchy and local-memory fault injections are bit flips in this
+// image.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BaseAddr is the first allocatable device address. Address 0 and the rest
+// of the first page stay unmapped so that null-pointer dereferences (a
+// classic consequence of a corrupted pointer) fault.
+const BaseAddr = 0x1000
+
+// allocAlign is the allocation granularity. 256 bytes matches CUDA's
+// cudaMalloc alignment guarantee.
+const allocAlign = 256
+
+// maxSize caps the address space at 1 GiB to catch runaway allocations.
+const maxSize = 1 << 30
+
+type extent struct {
+	addr, size uint32
+}
+
+// Memory is a device memory image with allocation tracking. It is not safe
+// for concurrent use; each simulation owns its instance.
+type Memory struct {
+	data   []byte
+	next   uint32   // bump pointer for fresh allocations
+	allocs []extent // sorted by addr; includes reserved regions
+}
+
+// New returns an empty device memory.
+func New() *Memory {
+	return &Memory{next: BaseAddr}
+}
+
+// Alloc reserves size bytes and returns the base device address. The
+// region is zero-initialized.
+func (m *Memory) Alloc(size uint32) (uint32, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("mem: zero-size allocation")
+	}
+	aligned := (size + allocAlign - 1) &^ uint32(allocAlign-1)
+	addr := m.next
+	if uint64(addr)+uint64(aligned) > maxSize {
+		return 0, fmt.Errorf("mem: out of device memory (%d bytes requested at %#x)", size, addr)
+	}
+	m.next = addr + aligned
+	m.insert(extent{addr, size})
+	m.grow(addr + size)
+	return addr, nil
+}
+
+// Free releases an allocation made by Alloc. The address must be an
+// allocation base address.
+func (m *Memory) Free(addr uint32) error {
+	i := sort.Search(len(m.allocs), func(i int) bool { return m.allocs[i].addr >= addr })
+	if i == len(m.allocs) || m.allocs[i].addr != addr {
+		return fmt.Errorf("mem: free of unallocated address %#x", addr)
+	}
+	m.allocs = append(m.allocs[:i], m.allocs[i+1:]...)
+	return nil
+}
+
+func (m *Memory) insert(e extent) {
+	i := sort.Search(len(m.allocs), func(i int) bool { return m.allocs[i].addr >= e.addr })
+	m.allocs = append(m.allocs, extent{})
+	copy(m.allocs[i+1:], m.allocs[i:])
+	m.allocs[i] = e
+}
+
+func (m *Memory) grow(limit uint32) {
+	if int(limit) > len(m.data) {
+		grown := make([]byte, int(limit))
+		copy(grown, m.data)
+		m.data = grown
+	}
+}
+
+// Valid reports whether [addr, addr+size) lies entirely inside one
+// allocated region.
+func (m *Memory) Valid(addr, size uint32) bool {
+	if size == 0 {
+		return false
+	}
+	end := uint64(addr) + uint64(size)
+	// Find the last extent with base <= addr.
+	i := sort.Search(len(m.allocs), func(i int) bool { return m.allocs[i].addr > addr })
+	if i == 0 {
+		return false
+	}
+	e := m.allocs[i-1]
+	return end <= uint64(e.addr)+uint64(e.size)
+}
+
+// Size returns the current image size in bytes (high-water mark).
+func (m *Memory) Size() int { return len(m.data) }
+
+// Read32 reads a little-endian 32-bit word. The caller must have validated
+// the address; out-of-image reads return 0.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if int(addr)+4 > len(m.data) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(m.data[addr:])
+}
+
+// Write32 writes a little-endian 32-bit word. The caller must have
+// validated the address; out-of-image writes are dropped.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if int(addr)+4 > len(m.data) {
+		return
+	}
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst. Bytes beyond
+// the image read as zero.
+func (m *Memory) ReadBytes(addr uint32, dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	if int(addr) >= len(m.data) {
+		return
+	}
+	copy(dst, m.data[addr:])
+}
+
+// WriteBytes copies src into the image at addr, dropping bytes beyond the
+// image.
+func (m *Memory) WriteBytes(addr uint32, src []byte) {
+	if int(addr) >= len(m.data) {
+		return
+	}
+	copy(m.data[addr:], src)
+}
+
+// FlipBit flips one bit of the image: bit index 0 is the LSB of the byte
+// at addr. Used for local-memory (off-chip) fault injection and for cache
+// write-back of corrupted lines. Flips beyond the image are ignored.
+func (m *Memory) FlipBit(addr uint32, bit uint) {
+	idx := int(addr) + int(bit/8)
+	if idx >= len(m.data) {
+		return
+	}
+	m.data[idx] ^= 1 << (bit % 8)
+}
+
+// HostWrite copies host data into device memory (cudaMemcpyHostToDevice).
+// The destination must be a valid allocated range.
+func (m *Memory) HostWrite(addr uint32, src []byte) error {
+	if !m.Valid(addr, uint32(len(src))) {
+		return fmt.Errorf("mem: HostWrite to invalid range [%#x,+%d)", addr, len(src))
+	}
+	copy(m.data[addr:], src)
+	return nil
+}
+
+// HostRead copies device memory to the host (cudaMemcpyDeviceToHost). The
+// source must be a valid allocated range.
+func (m *Memory) HostRead(addr uint32, dst []byte) error {
+	if !m.Valid(addr, uint32(len(dst))) {
+		return fmt.Errorf("mem: HostRead from invalid range [%#x,+%d)", addr, len(dst))
+	}
+	copy(dst, m.data[addr:])
+	return nil
+}

@@ -1,0 +1,207 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	m := New()
+	a, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < BaseAddr {
+		t.Errorf("allocation below base: %#x", a)
+	}
+	if a%256 != 0 {
+		t.Errorf("allocation not 256-aligned: %#x", a)
+	}
+	b, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Errorf("second allocation %#x not after first %#x", b, a)
+	}
+	if _, err := m.Alloc(0); err == nil {
+		t.Error("zero-size allocation accepted")
+	}
+}
+
+func TestValidity(t *testing.T) {
+	m := New()
+	a, _ := m.Alloc(100)
+	cases := []struct {
+		addr, size uint32
+		want       bool
+	}{
+		{a, 100, true},
+		{a, 1, true},
+		{a + 99, 1, true},
+		{a + 100, 1, false}, // one past the end
+		{a, 101, false},
+		{a - 1, 1, false},
+		{0, 4, false}, // null pointer
+		{a, 0, false}, // zero size never valid
+	}
+	for _, tc := range cases {
+		if got := m.Valid(tc.addr, tc.size); got != tc.want {
+			t.Errorf("Valid(%#x, %d) = %v, want %v", tc.addr, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestFree(t *testing.T) {
+	m := New()
+	a, _ := m.Alloc(64)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if m.Valid(a, 1) {
+		t.Error("freed region still valid")
+	}
+	if err := m.Free(a); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := m.Free(12345); err == nil {
+		t.Error("free of random address accepted")
+	}
+}
+
+func TestReadWrite32(t *testing.T) {
+	m := New()
+	a, _ := m.Alloc(64)
+	m.Write32(a+8, 0xDEADBEEF)
+	if got := m.Read32(a + 8); got != 0xDEADBEEF {
+		t.Errorf("Read32 = %#x", got)
+	}
+	// Little-endian layout.
+	var buf [4]byte
+	m.ReadBytes(a+8, buf[:])
+	if buf[0] != 0xEF || buf[3] != 0xDE {
+		t.Errorf("byte order wrong: %x", buf)
+	}
+	// Out-of-image access is inert.
+	m.Write32(1<<28, 7)
+	if got := m.Read32(1 << 28); got != 0 {
+		t.Errorf("OOB read = %d, want 0", got)
+	}
+}
+
+func TestHostTransfer(t *testing.T) {
+	m := New()
+	a, _ := m.Alloc(16)
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := m.HostWrite(a, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 8)
+	if err := m.HostRead(a, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Errorf("round trip: %v != %v", dst, src)
+	}
+	if err := m.HostWrite(a+12, src); err == nil {
+		t.Error("HostWrite past allocation accepted")
+	}
+	if err := m.HostRead(4, dst); err == nil {
+		t.Error("HostRead from unmapped accepted")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	m := New()
+	a, _ := m.Alloc(8)
+	m.Write32(a, 0)
+	m.FlipBit(a, 0)
+	if got := m.Read32(a); got != 1 {
+		t.Errorf("after flip bit 0: %d", got)
+	}
+	m.FlipBit(a, 31)
+	if got := m.Read32(a); got != 1|1<<31 {
+		t.Errorf("after flip bit 31: %#x", got)
+	}
+	// Bit index spanning bytes: bit 9 is bit 1 of byte 1.
+	m.FlipBit(a, 9)
+	var buf [4]byte
+	m.ReadBytes(a, buf[:])
+	if buf[1] != 2 {
+		t.Errorf("bit 9 flip landed wrong: %x", buf)
+	}
+	m.FlipBit(1<<28, 3) // OOB flip must not panic
+}
+
+func TestFlipBitTwiceIdentity(t *testing.T) {
+	m := New()
+	a, _ := m.Alloc(64)
+	f := func(word uint32, bit uint16) bool {
+		b := uint(bit) % 512
+		m.Write32(a, word)
+		before := make([]byte, 64)
+		m.ReadBytes(a, before)
+		m.FlipBit(a, b)
+		m.FlipBit(a, b)
+		after := make([]byte, 64)
+		m.ReadBytes(a, after)
+		return bytes.Equal(before, after)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocations never overlap and are all valid.
+func TestQuickAllocDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		m := New()
+		type r struct{ a, s uint32 }
+		var regions []r
+		for _, s16 := range sizes {
+			s := uint32(s16)%4096 + 1
+			a, err := m.Alloc(s)
+			if err != nil {
+				return false
+			}
+			regions = append(regions, r{a, s})
+		}
+		for i, x := range regions {
+			if !m.Valid(x.a, x.s) {
+				return false
+			}
+			for j, y := range regions {
+				if i != j && x.a < y.a+y.s && y.a < x.a+x.s {
+					return false // overlap
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := New()
+	if _, err := m.Alloc(1 << 29); err != nil {
+		t.Fatalf("first big alloc failed: %v", err)
+	}
+	if _, err := m.Alloc(1 << 29); err == nil {
+		t.Error("allocation beyond 1 GiB cap accepted")
+	}
+}
+
+func TestSizeHighWater(t *testing.T) {
+	m := New()
+	if m.Size() != 0 {
+		t.Errorf("fresh size = %d", m.Size())
+	}
+	a, _ := m.Alloc(1000)
+	if m.Size() < int(a)+1000 {
+		t.Errorf("size %d below allocation end", m.Size())
+	}
+}

@@ -1,0 +1,504 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpufi/internal/cache"
+	"gpufi/internal/isa"
+)
+
+// thread is one CUDA thread's architectural state.
+type thread struct {
+	regs      []uint32
+	preds     uint8 // bit i = predicate Pi
+	tidX      int
+	tidY      int
+	gtid      int    // flattened global thread id
+	localBase uint32 // device address of this thread's local memory
+	exited    bool
+	valid     bool // false for padding lanes past the CTA size
+}
+
+// readReg returns a register value. Indices beyond the thread's
+// allocation read as zero: fault-corrupted instructions can carry any
+// operand field, and the pipeline reads unused source fields too.
+func (t *thread) readReg(r uint8) uint32 {
+	if r == isa.RegRZ || int(r) >= len(t.regs) {
+		return 0
+	}
+	return t.regs[r]
+}
+
+func (t *thread) writeReg(r uint8, v uint32) {
+	if r != isa.RegRZ && int(r) < len(t.regs) {
+		t.regs[r] = v
+	}
+}
+
+func (t *thread) readPred(p uint8) bool {
+	if p == isa.PredPT {
+		return true
+	}
+	return t.preds&(1<<p) != 0
+}
+
+func (t *thread) writePred(p uint8, v bool) {
+	if p == isa.PredPT {
+		return
+	}
+	if v {
+		t.preds |= 1 << p
+	} else {
+		t.preds &^= 1 << p
+	}
+}
+
+// stackEntry is one SIMT reconvergence stack level.
+type stackEntry struct {
+	pc   int32
+	rpc  int32 // reconvergence pc; -1 = only thread exit reconverges
+	mask uint32
+}
+
+// warp is a group of 32 threads executing in lockstep under a SIMT stack.
+type warp struct {
+	cta       *cta
+	slot      int // hardware warp slot within the core
+	threads   [32]*thread
+	stack     []stackEntry
+	busyUntil uint64
+	atBarrier bool
+	exited    bool
+	lastIssue uint64
+
+	// Instruction-fetch state: the line the warp last fetched from the
+	// L1I; crossing into a new line charges a fetch access.
+	fetchLine  uint32
+	fetchValid bool
+}
+
+// liveMask returns the mask of threads that have not exited.
+func (w *warp) liveMask() uint32 {
+	var m uint32
+	for i, t := range w.threads {
+		if t != nil && t.valid && !t.exited {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// cta is a resident Compute Thread Array (thread block).
+type cta struct {
+	id        int // linear CTA index within the grid
+	core      *core
+	smem      []byte
+	warps     []*warp
+	liveWarps int
+}
+
+// core is one SIMT core (SM): resident CTAs, warp slots, L1 caches, and
+// per-SM occupancy bookkeeping.
+type core struct {
+	id  int
+	gpu *GPU
+
+	l1d *cache.Cache // nil when the model has no L1 data cache
+	l1t *cache.Cache
+	l1c *cache.Cache // constant/parameter cache (nil if unconfigured)
+	l1i *cache.Cache // instruction cache (nil if unconfigured)
+
+	// corruptInstr switches this core to decode-from-cache instruction
+	// fetch after an L1I injection, so corrupted instruction bits decode
+	// and execute (or fault as illegal instructions).
+	corruptInstr bool
+
+	ctas        []*cta
+	warps       []*warp // all resident warps, in placement order
+	liveThreads int
+
+	usedThreads int
+	usedRegs    int
+	usedSmem    int
+
+	rr int // round-robin pointer for greedy-then-oldest issue
+}
+
+func newCore(g *GPU, id int) *core {
+	c := &core{id: id, gpu: g}
+	if g.cfg.L1D != nil {
+		c.l1d = cache.New(g.cfg.L1D, g.l2)
+	}
+	c.l1t = cache.New(g.cfg.L1T, g.l2)
+	if g.cfg.L1C != nil {
+		c.l1c = cache.New(g.cfg.L1C, g.l2)
+	}
+	if g.cfg.L1I != nil {
+		c.l1i = cache.New(g.cfg.L1I, g.l2)
+	}
+	return c
+}
+
+// reset drops all resident state (launch teardown). Cache contents persist
+// across launches within a GPU lifetime, as on hardware.
+func (c *core) reset() {
+	c.ctas = nil
+	c.warps = nil
+	c.liveThreads = 0
+	c.usedThreads = 0
+	c.usedRegs = 0
+	c.usedSmem = 0
+	c.rr = 0
+	c.corruptInstr = false
+}
+
+// tryPlaceCTA places linear CTA ctaID on this core if the per-SM limits
+// (CTAs, threads, registers, shared memory) allow. Returns success.
+func (c *core) tryPlaceCTA(ctaID int) bool {
+	g := c.gpu
+	p := g.curProg
+	ctaThreads := g.curBlock.Count()
+	if len(c.ctas)+1 > g.cfg.MaxCTAsPerSM {
+		return false
+	}
+	if c.usedThreads+ctaThreads > g.cfg.MaxThreadsPerSM {
+		return false
+	}
+	if c.usedRegs+ctaThreads*p.RegsPerThread > g.cfg.RegistersPerSM {
+		return false
+	}
+	if c.usedSmem+p.SmemBytes > g.cfg.SmemPerSM {
+		return false
+	}
+
+	b := &cta{id: ctaID, core: c, smem: make([]byte, p.SmemBytes)}
+	nWarps := (ctaThreads + 31) / 32
+	blockX := g.curBlock.X
+	for wi := 0; wi < nWarps; wi++ {
+		w := &warp{cta: b, slot: len(c.warps)}
+		w.stack = []stackEntry{{pc: 0, rpc: -1}}
+		for lane := 0; lane < 32; lane++ {
+			tLinear := wi*32 + lane
+			if tLinear >= ctaThreads {
+				break
+			}
+			gtid := ctaID*ctaThreads + tLinear
+			t := &thread{
+				regs:  make([]uint32, p.RegsPerThread),
+				tidX:  tLinear % blockX,
+				tidY:  tLinear / blockX,
+				gtid:  gtid,
+				valid: true,
+			}
+			if g.localStep > 0 {
+				t.localBase = g.localBase + uint32(gtid)*g.localStep
+			}
+			w.threads[lane] = t
+			w.stack[0].mask |= 1 << uint(lane)
+		}
+		b.warps = append(b.warps, w)
+		c.warps = append(c.warps, w)
+	}
+	b.liveWarps = len(b.warps)
+	c.ctas = append(c.ctas, b)
+	c.usedThreads += ctaThreads
+	c.usedRegs += ctaThreads * p.RegsPerThread
+	c.usedSmem += p.SmemBytes
+	c.liveThreads += ctaThreads
+	return true
+}
+
+// retireCTA releases a fully exited CTA's resources.
+func (c *core) retireCTA(b *cta) {
+	g := c.gpu
+	ctaThreads := g.curBlock.Count()
+	for i, x := range c.ctas {
+		if x == b {
+			c.ctas = append(c.ctas[:i], c.ctas[i+1:]...)
+			break
+		}
+	}
+	// Remove its warps from the issue list.
+	kept := c.warps[:0]
+	for _, w := range c.warps {
+		if w.cta != b {
+			kept = append(kept, w)
+		}
+	}
+	c.warps = kept
+	if c.rr >= len(c.warps) {
+		c.rr = 0
+	}
+	c.usedThreads -= ctaThreads
+	c.usedRegs -= ctaThreads * g.curProg.RegsPerThread
+	c.usedSmem -= g.curProg.SmemBytes
+	g.doneCTAs++
+}
+
+// liveWarps counts resident warps that have not fully exited.
+func (c *core) liveWarps() int {
+	n := 0
+	for _, w := range c.warps {
+		if !w.exited {
+			n++
+		}
+	}
+	return n
+}
+
+// nextReadyCycle returns the earliest cycle at which some warp on this
+// core can issue, or 0 if none ever will (all exited or at barriers).
+func (c *core) nextReadyCycle() uint64 {
+	var next uint64
+	for _, w := range c.warps {
+		if w.exited || w.atBarrier {
+			continue
+		}
+		t := w.busyUntil
+		if t <= c.gpu.cycle {
+			t = c.gpu.cycle + 1
+		}
+		if next == 0 || t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// tick issues up to IssuePerCycle warp instructions using a
+// greedy-then-oldest scheduler. Returns whether any warp was ready.
+func (c *core) tick() bool {
+	if len(c.warps) == 0 {
+		return false
+	}
+	issued := 0
+	anyReady := false
+	n := len(c.warps)
+	for scan := 0; scan < n && issued < c.gpu.cfg.IssuePerCycle; scan++ {
+		idx := (c.rr + scan) % n
+		w := c.warps[idx]
+		if w.exited || w.atBarrier || w.busyUntil > c.gpu.cycle {
+			continue
+		}
+		anyReady = true
+		c.step(w)
+		issued++
+		if c.gpu.cfg.Scheduler == "lrr" || w.exited || w.atBarrier || w.busyUntil > c.gpu.cycle {
+			// Loose round-robin always moves on; greedy-then-oldest only
+			// when the warp stalls.
+			c.rr = (idx + 1) % n
+		} else {
+			c.rr = idx
+		}
+		if c.gpu.violation != nil {
+			return true
+		}
+		n = len(c.warps) // retireCTA may shrink the list
+		if n == 0 {
+			break
+		}
+	}
+	return anyReady
+}
+
+// guardMask returns the submask of m whose threads satisfy the guard.
+func (w *warp) guardMask(in *isa.Instr, m uint32) uint32 {
+	if !in.Guarded() {
+		return m
+	}
+	var g uint32
+	for lane := 0; lane < 32; lane++ {
+		if m&(1<<uint(lane)) == 0 {
+			continue
+		}
+		t := w.threads[lane]
+		v := t.readPred(in.Guard)
+		if in.GuardNeg {
+			v = !v
+		}
+		if v {
+			g |= 1 << uint(lane)
+		}
+	}
+	return g
+}
+
+// popReconverged pops stack entries whose pc reached their reconvergence
+// point or whose mask emptied.
+func (w *warp) popReconverged() {
+	for len(w.stack) > 0 {
+		top := &w.stack[len(w.stack)-1]
+		if top.mask == 0 || (top.rpc >= 0 && top.pc == top.rpc) {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return
+	}
+}
+
+// exitThreads retires the given lanes from the warp and all stack levels.
+func (w *warp) exitThreads(mask uint32) {
+	for lane := 0; lane < 32; lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		t := w.threads[lane]
+		if t != nil && !t.exited {
+			t.exited = true
+			w.cta.core.liveThreads--
+		}
+	}
+	for i := range w.stack {
+		w.stack[i].mask &^= mask
+	}
+}
+
+// step executes one instruction for warp w (functional execution at issue
+// time) and charges its latency.
+func (c *core) step(w *warp) {
+	g := c.gpu
+	p := g.curProg
+	top := &w.stack[len(w.stack)-1]
+	pc := top.pc
+	if pc < 0 || int(pc) >= len(p.Instrs) {
+		// Only reachable through corrupted control flow.
+		g.violation = &IllegalInstr{Kernel: p.Name, PC: int(pc), Reason: "pc outside program"}
+		return
+	}
+	fetchCost := c.fetchAccess(w, pc)
+	in := &p.Instrs[pc]
+	if c.corruptInstr {
+		decoded, err := c.fetchDecode(pc)
+		if err != nil {
+			g.violation = err
+			return
+		}
+		in = decoded
+	}
+	g.kernelStat.Instructions++
+	if g.TraceWriter != nil {
+		fmt.Fprintf(g.TraceWriter, "%8d core%02d w%02d pc%4d mask %08x  %s\n",
+			g.cycle, c.id, w.slot, pc, top.mask, in.String())
+	}
+
+	eff := top.mask & w.guardMask(in, top.mask)
+	latency := g.cfg.ALULatency + fetchCost
+
+	switch in.Op {
+	case isa.OpBRA:
+		taken := eff
+		notTaken := top.mask &^ taken
+		switch {
+		case taken == 0:
+			top.pc = pc + 1
+		case notTaken == 0:
+			top.pc = in.Target
+		default:
+			// Divergence: the current entry becomes the join entry.
+			reconv := in.Reconv
+			top.pc = reconv // -1 entries pop only via thread exit
+			fall := stackEntry{pc: pc + 1, rpc: reconv, mask: notTaken}
+			jump := stackEntry{pc: in.Target, rpc: reconv, mask: taken}
+			w.stack = append(w.stack, fall, jump)
+		}
+	case isa.OpEXIT:
+		w.exitThreads(eff)
+		if rem := top.mask; rem != 0 {
+			top.pc = pc + 1
+		}
+	case isa.OpBAR:
+		w.atBarrier = true
+		top.pc = pc + 1
+		c.checkBarrier(w.cta)
+	case isa.OpNOP:
+		top.pc = pc + 1
+	default:
+		latency = c.execute(w, in, eff)
+		if g.violation != nil {
+			return
+		}
+		top.pc = pc + 1
+	}
+
+	w.popReconverged()
+	w.lastIssue = g.cycle
+	w.busyUntil = g.cycle + uint64(latency)
+
+	if len(w.stack) == 0 || w.liveMask() == 0 {
+		if !w.exited {
+			w.exited = true
+			b := w.cta
+			b.liveWarps--
+			if b.liveWarps == 0 {
+				c.retireCTA(b)
+			} else {
+				// A warp exiting may release a barrier its siblings wait on.
+				c.checkBarrier(b)
+			}
+		}
+	}
+}
+
+// checkBarrier releases the CTA's barrier once every live warp has
+// arrived. Warps with no live threads do not count (hardware semantics:
+// exited warps do not participate).
+func (c *core) checkBarrier(b *cta) {
+	for _, w := range b.warps {
+		if !w.exited && !w.atBarrier {
+			return
+		}
+	}
+	for _, w := range b.warps {
+		if w.atBarrier {
+			w.atBarrier = false
+			w.busyUntil = c.gpu.cycle + 1
+		}
+	}
+}
+
+// fetchAccess charges the L1I access when the warp's fetch crosses into a
+// new cache line. Returns the extra cycles (L1I misses reach the L2).
+func (c *core) fetchAccess(w *warp, pc int32) int {
+	if c.l1i == nil {
+		return 0
+	}
+	g := c.gpu
+	addr := g.progBase + uint32(pc)*isa.InstrBytes
+	lineAddr := addr &^ uint32(c.l1i.Geometry().LineBytes-1)
+	if w.fetchValid && w.fetchLine == lineAddr {
+		return 0
+	}
+	w.fetchLine, w.fetchValid = lineAddr, true
+	hit, below := c.l1i.AccessRead(lineAddr)
+	if hit {
+		return 0 // hit latency hidden by the fetch pipeline
+	}
+	return c.l1i.Geometry().HitCycles + below
+}
+
+// fetchDecode reads the instruction word at pc through the L1I (possibly
+// corrupted by an injection) and decodes it. Structurally invalid words
+// fault like hardware illegal instructions.
+func (c *core) fetchDecode(pc int32) (*isa.Instr, error) {
+	g := c.gpu
+	p := g.curProg
+	addr := g.progBase + uint32(pc)*isa.InstrBytes
+	var buf [isa.InstrBytes]byte
+	for i := 0; i < isa.InstrBytes; i += 4 {
+		var v uint32
+		if c.l1i != nil {
+			v = c.l1i.LoadWord(addr + uint32(i))
+		} else {
+			v = g.l2.LoadWord(addr + uint32(i))
+		}
+		buf[i] = byte(v)
+		buf[i+1] = byte(v >> 8)
+		buf[i+2] = byte(v >> 16)
+		buf[i+3] = byte(v >> 24)
+	}
+	in := isa.DecodeInstr(buf)
+	if err := in.Sane(len(p.Instrs), p.RegsPerThread); err != nil {
+		return nil, &IllegalInstr{Kernel: p.Name, PC: int(pc), Reason: err.Error()}
+	}
+	return &in, nil
+}

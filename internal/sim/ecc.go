@@ -1,0 +1,85 @@
+package sim
+
+import "fmt"
+
+// SEC-DED ECC model (extension over the paper, which evaluates an
+// unprotected chip). Every injectable structure is protected at 32-bit
+// word granularity (cache tags count as one word per line). For the bits
+// of one injection that land in the same protected word:
+//
+//   - 1 bit:  corrected in place — the flip is dropped;
+//   - 2 bits: detected but uncorrectable — the device raises a DUE and
+//     the application aborts (classified as a Crash, like a real
+//     ECC-triggered kernel kill);
+//   - 3+ bits: escape SEC-DED undetected — the flips are applied.
+type ECCError struct {
+	Structure Structure
+	Cycle     uint64
+}
+
+// Error implements the error interface.
+func (e *ECCError) Error() string {
+	return fmt.Sprintf("sim: uncorrectable ECC error in %s at cycle %d", e.Structure, e.Cycle)
+}
+
+// eccWordBits is the protected word size.
+const eccWordBits = 32
+
+// eccFilter groups positions by protected word under the given word
+// mapping and applies SEC-DED: it returns the positions that still flip,
+// how many were corrected, and whether a detected-uncorrectable error
+// occurred.
+func eccFilter(positions []int64, wordOf func(int64) int64) (apply []int64, corrected int, due bool) {
+	groups := make(map[int64][]int64, len(positions))
+	for _, p := range positions {
+		w := wordOf(p)
+		groups[w] = append(groups[w], p)
+	}
+	for _, g := range groups {
+		switch len(g) {
+		case 1:
+			corrected++
+		case 2:
+			due = true
+		default:
+			apply = append(apply, g...)
+		}
+	}
+	return apply, corrected, due
+}
+
+// eccWordLinear maps a flat bit index to its 32-bit word.
+func eccWordLinear(p int64) int64 { return p / eccWordBits }
+
+// eccWordCacheLine maps a bit index within a cache's abstract layout
+// (57-bit tag + data per line) to a protected word: the whole tag is word
+// 0 of the line; data bits fall into words 1.. of the line.
+func eccWordCacheLine(lineBits int64, tagBits int64) func(int64) int64 {
+	return func(p int64) int64 {
+		line := p / lineBits
+		off := p % lineBits
+		if off < tagBits {
+			return line * 1024 // tag word slot for this line
+		}
+		return line*1024 + 1 + (off-tagBits)/eccWordBits
+	}
+}
+
+// applyECC runs the spec's positions through the ECC model if the GPU has
+// ECC enabled. It returns the surviving positions; if a DUE occurred the
+// GPU's violation is set (aborting the launch) and rec is annotated.
+func (g *GPU) applyECC(spec *FaultSpec, rec *InjectionRecord, wordOf func(int64) int64) []int64 {
+	if !g.cfg.ECC {
+		return spec.BitPositions
+	}
+	apply, corrected, due := eccFilter(spec.BitPositions, wordOf)
+	if due {
+		g.violation = &ECCError{Structure: spec.Structure, Cycle: g.cycle}
+		rec.Detail = "ECC: detected uncorrectable error"
+		return nil
+	}
+	if corrected > 0 && len(apply) == 0 {
+		rec.Detail = fmt.Sprintf("ECC: corrected %d single-bit upset(s)", corrected)
+	}
+	return apply
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpufi/internal/isa"
+)
+
+func TestECCFilterRules(t *testing.T) {
+	// Single bit per word: corrected.
+	apply, corrected, due := eccFilter([]int64{5, 40}, eccWordLinear)
+	if len(apply) != 0 || corrected != 2 || due {
+		t.Errorf("two isolated bits: apply=%v corrected=%d due=%v", apply, corrected, due)
+	}
+	// Two bits in one word: DUE.
+	_, _, due = eccFilter([]int64{5, 7}, eccWordLinear)
+	if !due {
+		t.Error("double-bit fault not detected")
+	}
+	// Three bits in one word: silent escape, all applied.
+	apply, corrected, due = eccFilter([]int64{64, 65, 66}, eccWordLinear)
+	if len(apply) != 3 || due || corrected != 0 {
+		t.Errorf("triple-bit: apply=%v corrected=%d due=%v", apply, corrected, due)
+	}
+}
+
+func TestECCCacheWordMapping(t *testing.T) {
+	wordOf := eccWordCacheLine(57+128*8, 57)
+	// All 57 tag bits of line 0 share one word.
+	if wordOf(0) != wordOf(56) {
+		t.Error("tag bits of one line not in one ECC word")
+	}
+	// Tag and data words differ.
+	if wordOf(56) == wordOf(57) {
+		t.Error("tag and first data bit share a word")
+	}
+	// Data bits 0..31 of a line share a word, 32 starts the next.
+	if wordOf(57) != wordOf(57+31) || wordOf(57) == wordOf(57+32) {
+		t.Error("data word boundaries wrong")
+	}
+	// Different lines never share words.
+	lineBits := int64(57 + 128*8)
+	if wordOf(0) == wordOf(lineBits) || wordOf(57) == wordOf(lineBits+57) {
+		t.Error("lines share ECC words")
+	}
+}
+
+// With ECC on, a single-bit register fault is always corrected: the run
+// matches the golden output in the same cycle count.
+func TestECCCorrectsSingleBit(t *testing.T) {
+	cfg := testConfig()
+	cfg.ECC = true
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ArmFault(&FaultSpec{
+		Structure:    StructRegFile,
+		Cycle:        40,
+		BitPositions: []int64{7*32 + 30}, // the bit that causes SDCs without ECC
+		Seed:         3,
+	})
+	p := mustAssemble(t, vecaddAsm)
+	n := 512
+	a := make([]uint32, n)
+	for i := range a {
+		a[i] = isa.F32Bits(float32(i))
+	}
+	da, _ := g.Malloc(uint32(4 * n))
+	db, _ := g.Malloc(uint32(4 * n))
+	dc, _ := g.Malloc(uint32(4 * n))
+	g.MemcpyHtoD(da, u32sToBytes(a))
+	g.MemcpyHtoD(db, u32sToBytes(a))
+	if _, err := g.Launch(p, Dim1(8), Dim1(64), da, db, dc, uint32(n)); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*n)
+	g.MemcpyDtoH(out, dc)
+	for i, v := range bytesToU32s(out) {
+		if isa.F32(v) != 2*float32(i) {
+			t.Fatalf("output corrupted despite ECC at %d", i)
+		}
+	}
+	rec := g.Injection()
+	if rec == nil || !rec.Applied {
+		t.Fatalf("injection record: %+v", rec)
+	}
+}
+
+// With ECC on, a double-bit fault in one word aborts the launch (DUE).
+func TestECCDoubleBitDUE(t *testing.T) {
+	cfg := testConfig()
+	cfg.ECC = true
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ArmFault(&FaultSpec{
+		Structure:    StructRegFile,
+		Cycle:        40,
+		BitPositions: []int64{7*32 + 3, 7*32 + 9}, // same word
+		Seed:         3,
+	})
+	p := mustAssemble(t, vecaddAsm)
+	da, _ := g.Malloc(4 * 256)
+	db, _ := g.Malloc(4 * 256)
+	dc, _ := g.Malloc(4 * 256)
+	_, err = g.Launch(p, Dim1(4), Dim1(64), da, db, dc, 256)
+	if err == nil {
+		t.Fatal("double-bit fault under ECC did not abort")
+	}
+	if _, ok := err.(*ECCError); !ok {
+		t.Fatalf("error type %T, want *ECCError", err)
+	}
+}
+
+// Property: the ECC filter never invents positions and never lets a pair
+// in the same word through.
+func TestQuickECCFilter(t *testing.T) {
+	f := func(raw []uint16) bool {
+		positions := make([]int64, len(raw))
+		for i, r := range raw {
+			positions[i] = int64(r)
+		}
+		apply, corrected, due := eccFilter(positions, eccWordLinear)
+		if due {
+			return true // nothing else to check: the run aborts
+		}
+		// Every applied position must come from the input.
+		in := map[int64]int{}
+		for _, p := range positions {
+			in[p]++
+		}
+		words := map[int64]int{}
+		for _, p := range apply {
+			if in[p] == 0 {
+				return false
+			}
+			words[p/32]++
+		}
+		for _, n := range words {
+			if n < 3 {
+				return false // 1- and 2-bit groups must not be applied
+			}
+		}
+		return corrected >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"gpufi/internal/cache"
+	"gpufi/internal/isa"
+)
+
+// execute performs the functional semantics of a non-control instruction
+// for the active lanes and returns its latency in cycles.
+func (c *core) execute(w *warp, in *isa.Instr, eff uint32) int {
+	g := c.gpu
+	switch {
+	case in.Op.IsMem():
+		return c.executeMem(w, in, eff)
+	case in.Op == isa.OpS2R:
+		for lane := 0; lane < 32; lane++ {
+			if eff&(1<<uint(lane)) == 0 {
+				continue
+			}
+			t := w.threads[lane]
+			t.writeReg(in.Dst, c.specialReg(w, t, lane, in.SReg))
+		}
+		return g.cfg.ALULatency
+	default:
+		for lane := 0; lane < 32; lane++ {
+			if eff&(1<<uint(lane)) == 0 {
+				continue
+			}
+			t := w.threads[lane]
+			a := t.readReg(in.SrcA)
+			var b uint32
+			if in.HasImm {
+				b = uint32(in.Imm)
+			} else {
+				b = t.readReg(in.SrcB)
+			}
+			cc := t.readReg(in.SrcC)
+			val, pred, ok := isa.EvalALU(in.Op, in.Cond, a, b, cc, t.readPred(in.PSrc))
+			if !ok {
+				// Validated programs never reach this; treat as NOP.
+				continue
+			}
+			if in.Op.WritesPred() {
+				t.writePred(in.PDst, pred)
+			} else {
+				t.writeReg(in.Dst, val)
+			}
+		}
+		if in.Op.Class() == isa.ClassSFU {
+			return g.cfg.SFULatency
+		}
+		return g.cfg.ALULatency
+	}
+}
+
+// specialReg returns the value of a special register for a thread.
+func (c *core) specialReg(w *warp, t *thread, lane int, sr isa.SReg) uint32 {
+	g := c.gpu
+	ctaID := w.cta.id
+	switch sr {
+	case isa.SRTidX:
+		return uint32(t.tidX)
+	case isa.SRTidY:
+		return uint32(t.tidY)
+	case isa.SRCtaidX:
+		return uint32(ctaID % g.curGrid.X)
+	case isa.SRCtaidY:
+		return uint32(ctaID / g.curGrid.X)
+	case isa.SRNtidX:
+		return uint32(g.curBlock.X)
+	case isa.SRNtidY:
+		return uint32(g.curBlock.Y)
+	case isa.SRNctaidX:
+		return uint32(g.curGrid.X)
+	case isa.SRNctaidY:
+		return uint32(g.curGrid.Y)
+	case isa.SRLaneID:
+		return uint32(lane)
+	case isa.SRWarpID:
+		return uint32(w.slot)
+	case isa.SRGtid:
+		return uint32(t.gtid)
+	}
+	return 0
+}
+
+// lineServiceInterval is the per-extra-line pipelining cost of a coalesced
+// warp memory transaction.
+const lineServiceInterval = 4
+
+// executeMem performs a warp memory instruction: per-lane address
+// generation, validation (violations abort the launch — the Crash
+// outcome), line coalescing, cache routing with the configured policies,
+// and data movement.
+func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
+	g := c.gpu
+	if eff == 0 {
+		return g.cfg.ALULatency
+	}
+
+	switch in.Op {
+	case isa.OpLDC:
+		// Constant/parameter path through the per-core L1 constant cache
+		// (an extension target; the paper's gpuFI-4 could not inject it).
+		idx := in.Imm
+		if idx < 0 || idx%4 != 0 || int(idx/4) >= len(g.curParams) {
+			g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+				Addr: uint32(idx), Space: "param"}
+			return 0
+		}
+		v := g.curParams[idx/4]
+		cost := g.cfg.ALULatency
+		if c.l1c != nil {
+			addr := g.paramBase + uint32(idx)
+			_, below := c.l1c.AccessRead(addr)
+			cost = g.cfg.L1C.HitCycles + below
+			v = c.l1c.LoadWord(addr)
+		}
+		for lane := 0; lane < 32; lane++ {
+			if eff&(1<<uint(lane)) != 0 {
+				w.threads[lane].writeReg(in.Dst, v)
+			}
+		}
+		return cost
+
+	case isa.OpLDS, isa.OpSTS:
+		return c.sharedAccess(w, in, eff)
+	}
+
+	// Per-lane effective addresses.
+	var addrs [32]uint32
+	for lane := 0; lane < 32; lane++ {
+		if eff&(1<<uint(lane)) == 0 {
+			continue
+		}
+		t := w.threads[lane]
+		addr := t.readReg(in.SrcA) + uint32(in.Imm)
+		switch in.Op {
+		case isa.OpLDL, isa.OpSTL:
+			// Local space: per-thread offset, translated into the carved
+			// DRAM region (paper: local memory resides in device memory).
+			if addr%4 != 0 {
+				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "local"}
+				return 0
+			}
+			if uint64(addr)+4 > uint64(g.localStep) && !g.cfg.LenientMemory {
+				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "local"}
+				return 0
+			}
+			addr = t.localBase + addr
+		default:
+			if addr%4 != 0 {
+				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "global"}
+				return 0
+			}
+			if !g.mem.Valid(addr, 4) && !g.cfg.LenientMemory {
+				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "global"}
+				return 0
+			}
+		}
+		addrs[lane] = addr
+	}
+
+	local := in.Op == isa.OpLDL || in.Op == isa.OpSTL
+	texture := in.Op == isa.OpTLD
+
+	// First-level cache for this access (Table II routing).
+	var l1 *cache.Cache
+	switch {
+	case texture:
+		l1 = c.l1t
+	default:
+		l1 = c.l1d // may be nil (Kepler): access goes straight to L2
+	}
+
+	// Coalesce into line transactions, preserving lane order.
+	lineSize := uint32(g.cfg.L2.LineBytes)
+	if l1 != nil {
+		lineSize = uint32(l1.Geometry().LineBytes)
+	}
+	var lines []uint32
+	seen := make(map[uint32]bool, 4)
+	for lane := 0; lane < 32; lane++ {
+		if eff&(1<<uint(lane)) == 0 {
+			continue
+		}
+		la := addrs[lane] &^ (lineSize - 1)
+		if !seen[la] {
+			seen[la] = true
+			lines = append(lines, la)
+		}
+	}
+
+	maxCost := 0
+	if in.Op.IsLoad() {
+		for _, la := range lines {
+			cost := c.lineRead(l1, la)
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+		for lane := 0; lane < 32; lane++ {
+			if eff&(1<<uint(lane)) == 0 {
+				continue
+			}
+			v := c.wordRead(l1, addrs[lane])
+			w.threads[lane].writeReg(in.Dst, v)
+		}
+	} else {
+		mode := cache.ModeGlobal
+		if local {
+			mode = cache.ModeLocal
+		}
+		for _, la := range lines {
+			cost := c.lineWrite(l1, la, mode)
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+		for lane := 0; lane < 32; lane++ {
+			if eff&(1<<uint(lane)) == 0 {
+				continue
+			}
+			c.wordWrite(l1, addrs[lane], w.threads[lane].readReg(in.SrcC), mode)
+		}
+	}
+	return maxCost + (len(lines)-1)*lineServiceInterval
+}
+
+// lineRead performs the timing/state access for one line read.
+func (c *core) lineRead(l1 *cache.Cache, lineAddr uint32) int {
+	if l1 == nil {
+		_, below := c.gpu.l2.AccessRead(lineAddr)
+		return c.gpu.l2.Geometry().HitCycles + below + c.gpu.l2QueueDelay(lineAddr)
+	}
+	hit, below := l1.AccessRead(lineAddr)
+	cost := l1.Geometry().HitCycles + below
+	if !hit {
+		cost += c.gpu.l2QueueDelay(lineAddr) // the miss was serviced by an L2 bank
+	}
+	return cost
+}
+
+// wordRead returns the word for one lane (after lineRead made it resident).
+func (c *core) wordRead(l1 *cache.Cache, addr uint32) uint32 {
+	if l1 == nil {
+		return c.gpu.l2.LoadWord(addr)
+	}
+	return l1.LoadWord(addr)
+}
+
+// lineWrite performs the policy state transition for one stored line.
+func (c *core) lineWrite(l1 *cache.Cache, lineAddr uint32, mode cache.Mode) int {
+	if l1 == nil {
+		// No L1: the L2 absorbs the store with write-allocate.
+		_, below := c.gpu.l2.AccessWrite(lineAddr, cache.ModeLocal)
+		return c.gpu.l2.Geometry().HitCycles + below + c.gpu.l2QueueDelay(lineAddr)
+	}
+	hit, below := l1.AccessWrite(lineAddr, mode)
+	cost := l1.Geometry().HitCycles + below
+	if mode == cache.ModeGlobal {
+		// Evict-on-write: the data travels to L2; charge one L2 access.
+		_, l2below := c.gpu.l2.AccessWrite(lineAddr, cache.ModeLocal)
+		cost += c.gpu.l2.Geometry().HitCycles + l2below + c.gpu.l2QueueDelay(lineAddr)
+	} else if !hit {
+		cost += c.gpu.l2QueueDelay(lineAddr) // write-allocate fill from an L2 bank
+	}
+	return cost
+}
+
+// wordWrite routes one lane's store data according to the policy.
+func (c *core) wordWrite(l1 *cache.Cache, addr uint32, v uint32, mode cache.Mode) {
+	switch {
+	case l1 == nil:
+		c.gpu.l2.StoreWordLocal(addr, v)
+	case mode == cache.ModeLocal:
+		l1.StoreWordLocal(addr, v)
+	default:
+		// Global store: write-through below the (evicted) L1 line.
+		c.gpu.l2.StoreWordLocal(addr, v)
+	}
+}
+
+// sharedAccess performs LDS/STS against the CTA's shared memory.
+func (c *core) sharedAccess(w *warp, in *isa.Instr, eff uint32) int {
+	g := c.gpu
+	smem := w.cta.smem
+	for lane := 0; lane < 32; lane++ {
+		if eff&(1<<uint(lane)) == 0 {
+			continue
+		}
+		t := w.threads[lane]
+		addr := t.readReg(in.SrcA) + uint32(in.Imm)
+		if uint64(addr)+4 > uint64(len(smem)) || addr%4 != 0 {
+			g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+				Addr: addr, Space: "shared"}
+			return 0
+		}
+		if in.Op == isa.OpLDS {
+			v := uint32(smem[addr]) | uint32(smem[addr+1])<<8 |
+				uint32(smem[addr+2])<<16 | uint32(smem[addr+3])<<24
+			t.writeReg(in.Dst, v)
+		} else {
+			v := t.readReg(in.SrcC)
+			smem[addr] = byte(v)
+			smem[addr+1] = byte(v >> 8)
+			smem[addr+2] = byte(v >> 16)
+			smem[addr+3] = byte(v >> 24)
+		}
+	}
+	return g.cfg.SmemLatency
+}
+
+// pcOf reports the current pc of a warp for diagnostics.
+func (c *core) pcOf(w *warp) int {
+	if len(w.stack) == 0 {
+		return -1
+	}
+	return int(w.stack[len(w.stack)-1].pc)
+}

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpufi/internal/cache"
+	"gpufi/internal/config"
+)
+
+// liveThreadsOf collects all live (created, not exited) threads, their
+// warps and cores, in deterministic order — the candidate pool for
+// register-file and local-memory injections.
+func (g *GPU) liveThreadRefs() (threads []*thread, warps []*warp, cores []int) {
+	for _, c := range g.cores {
+		for _, w := range c.warps {
+			if w.exited {
+				continue
+			}
+			for _, t := range w.threads {
+				if t != nil && t.valid && !t.exited {
+					threads = append(threads, t)
+					warps = append(warps, w)
+					cores = append(cores, c.id)
+				}
+			}
+		}
+	}
+	return
+}
+
+// liveWarpRefs collects all live warps and their cores.
+func (g *GPU) liveWarpRefs() (warps []*warp, cores []int) {
+	for _, c := range g.cores {
+		for _, w := range c.warps {
+			if !w.exited {
+				warps = append(warps, w)
+				cores = append(cores, c.id)
+			}
+		}
+	}
+	return
+}
+
+// injectRegFile flips the spec's bit positions in a random active thread's
+// allocated registers (or every thread of a random active warp).
+func (g *GPU) injectRegFile(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand) {
+	positions := g.applyECC(spec, rec, eccWordLinear)
+	if g.cfg.ECC && len(positions) == 0 {
+		rec.Applied = true
+		return
+	}
+	flip := func(t *thread, pos int64) {
+		reg := int(pos / 32)
+		bit := uint(pos % 32)
+		if reg < len(t.regs) {
+			t.regs[reg] ^= 1 << bit
+		}
+	}
+	if spec.WarpWide {
+		warps, cores := g.liveWarpRefs()
+		if len(warps) == 0 {
+			rec.Detail = "no live warp"
+			return
+		}
+		i := rng.Intn(len(warps))
+		w := warps[i]
+		for _, t := range w.threads {
+			if t == nil || !t.valid || t.exited {
+				continue
+			}
+			for _, pos := range positions {
+				flip(t, pos)
+			}
+		}
+		rec.Applied = true
+		rec.Core = cores[i]
+		rec.Warp = w.slot
+		rec.Detail = fmt.Sprintf("warp-wide regfile flip x%d", len(positions))
+		return
+	}
+	threads, warps, cores := g.liveThreadRefs()
+	if len(threads) == 0 {
+		rec.Detail = "no live thread"
+		return
+	}
+	i := rng.Intn(len(threads))
+	for _, pos := range positions {
+		flip(threads[i], pos)
+	}
+	rec.Applied = true
+	rec.Core = cores[i]
+	rec.Warp = warps[i].slot
+	rec.Thread = threads[i].gtid
+	rec.Detail = fmt.Sprintf("regfile flip x%d", len(positions))
+}
+
+// injectLocal flips bits in a random active thread's local memory (or a
+// whole warp's). Local memory lives in device DRAM; a cached dirty copy in
+// the L1D may mask the flip, exactly as on hardware.
+func (g *GPU) injectLocal(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand) {
+	if g.localStep == 0 {
+		rec.Detail = "kernel uses no local memory"
+		return
+	}
+	positions := g.applyECC(spec, rec, eccWordLinear)
+	if g.cfg.ECC && len(positions) == 0 {
+		rec.Applied = true
+		return
+	}
+	flip := func(t *thread, pos int64) {
+		byteOff := uint32(pos / 8)
+		if byteOff < g.localStep {
+			g.mem.FlipBit(t.localBase+byteOff, uint(pos%8))
+		}
+	}
+	if spec.WarpWide {
+		warps, cores := g.liveWarpRefs()
+		if len(warps) == 0 {
+			rec.Detail = "no live warp"
+			return
+		}
+		i := rng.Intn(len(warps))
+		for _, t := range warps[i].threads {
+			if t == nil || !t.valid || t.exited {
+				continue
+			}
+			for _, pos := range positions {
+				flip(t, pos)
+			}
+		}
+		rec.Applied = true
+		rec.Core = cores[i]
+		rec.Warp = warps[i].slot
+		rec.Detail = fmt.Sprintf("warp-wide local flip x%d", len(positions))
+		return
+	}
+	threads, warps, cores := g.liveThreadRefs()
+	if len(threads) == 0 {
+		rec.Detail = "no live thread"
+		return
+	}
+	i := rng.Intn(len(threads))
+	for _, pos := range positions {
+		flip(threads[i], pos)
+	}
+	rec.Applied = true
+	rec.Core = cores[i]
+	rec.Warp = warps[i].slot
+	rec.Thread = threads[i].gtid
+	rec.Detail = fmt.Sprintf("local flip x%d", len(positions))
+}
+
+// injectShared flips bits in the shared memory of one or more random
+// active CTAs (the same flips per CTA, per the paper's Table IV).
+func (g *GPU) injectShared(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand) {
+	var ctas []*cta
+	var cores []int
+	for _, c := range g.cores {
+		for _, b := range c.ctas {
+			if len(b.smem) > 0 {
+				ctas = append(ctas, b)
+				cores = append(cores, c.id)
+			}
+		}
+	}
+	if len(ctas) == 0 {
+		rec.Detail = "no active CTA with shared memory"
+		return
+	}
+	positions := g.applyECC(spec, rec, eccWordLinear)
+	if g.cfg.ECC && len(positions) == 0 {
+		rec.Applied = true
+		return
+	}
+	n := spec.Blocks
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(ctas) {
+		n = len(ctas)
+	}
+	perm := rng.Perm(len(ctas))[:n]
+	for _, pi := range perm {
+		b := ctas[pi]
+		for _, pos := range positions {
+			byteOff := pos / 8
+			if byteOff < int64(len(b.smem)) {
+				b.smem[byteOff] ^= 1 << uint(pos%8)
+			}
+		}
+	}
+	rec.Applied = true
+	rec.CTA = ctas[perm[0]].id
+	rec.Core = cores[perm[0]]
+	rec.Detail = fmt.Sprintf("shared flip x%d in %d block(s)", len(positions), n)
+}
+
+// injectL1 flips bits in the L1 data or texture cache of a random core
+// drawn from the spec's core mask.
+func (g *GPU) injectL1(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand, data bool) {
+	candidates := spec.CoreMask
+	if len(candidates) == 0 {
+		candidates = make([]int, len(g.cores))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	var eligible []int
+	for _, id := range candidates {
+		if id < 0 || id >= len(g.cores) {
+			continue
+		}
+		if data && g.cores[id].l1d == nil {
+			continue
+		}
+		eligible = append(eligible, id)
+	}
+	if len(eligible) == 0 {
+		rec.Detail = "no eligible core (cache absent)"
+		return
+	}
+	id := eligible[rng.Intn(len(eligible))]
+	var target *cache.Cache
+	if data {
+		target = g.cores[id].l1d
+	} else {
+		target = g.cores[id].l1t
+	}
+	wordOf := eccWordCacheLine(int64(target.Geometry().LineBits()), config.TagBits)
+	positions := g.applyECC(spec, rec, wordOf)
+	if g.cfg.ECC && len(positions) == 0 {
+		rec.Applied = true
+		rec.Core = id
+		return
+	}
+	outcomes := g.injectCacheBits(target, positions)
+	rec.Applied = true
+	rec.Core = id
+	rec.Detail = outcomes
+}
+
+// injectL2 flips bits in the device L2, addressed as a single entity.
+func (g *GPU) injectL2(spec *FaultSpec, rec *InjectionRecord) {
+	wordOf := eccWordCacheLine(int64(g.l2.Geometry().LineBits()), config.TagBits)
+	positions := g.applyECC(spec, rec, wordOf)
+	rec.Applied = true
+	if g.cfg.ECC && len(positions) == 0 {
+		return
+	}
+	rec.Detail = g.injectCacheBits(g.l2, positions)
+}
+
+// injectL1C flips bits in the L1 constant cache of a random eligible core
+// (extension target).
+func (g *GPU) injectL1C(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand) {
+	candidates := spec.CoreMask
+	if len(candidates) == 0 {
+		candidates = make([]int, len(g.cores))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	var eligible []int
+	for _, id := range candidates {
+		if id >= 0 && id < len(g.cores) && g.cores[id].l1c != nil {
+			eligible = append(eligible, id)
+		}
+	}
+	if len(eligible) == 0 {
+		rec.Detail = "no eligible core (constant cache absent)"
+		return
+	}
+	id := eligible[rng.Intn(len(eligible))]
+	target := g.cores[id].l1c
+	wordOf := eccWordCacheLine(int64(target.Geometry().LineBits()), config.TagBits)
+	positions := g.applyECC(spec, rec, wordOf)
+	if g.cfg.ECC && len(positions) == 0 {
+		rec.Applied = true
+		rec.Core = id
+		return
+	}
+	rec.Applied = true
+	rec.Core = id
+	rec.Detail = g.injectCacheBits(target, positions)
+}
+
+// injectL1I flips bits in the L1 instruction cache of a random eligible
+// core (extension target) and switches that core to decode-from-cache
+// fetch so the corruption takes architectural effect.
+func (g *GPU) injectL1I(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand) {
+	candidates := spec.CoreMask
+	if len(candidates) == 0 {
+		candidates = make([]int, len(g.cores))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+	var eligible []int
+	for _, id := range candidates {
+		if id >= 0 && id < len(g.cores) && g.cores[id].l1i != nil {
+			eligible = append(eligible, id)
+		}
+	}
+	if len(eligible) == 0 {
+		rec.Detail = "no eligible core (instruction cache absent)"
+		return
+	}
+	id := eligible[rng.Intn(len(eligible))]
+	target := g.cores[id].l1i
+	wordOf := eccWordCacheLine(int64(target.Geometry().LineBits()), config.TagBits)
+	positions := g.applyECC(spec, rec, wordOf)
+	if g.cfg.ECC && len(positions) == 0 {
+		rec.Applied = true
+		rec.Core = id
+		return
+	}
+	rec.Applied = true
+	rec.Core = id
+	rec.Detail = g.injectCacheBits(target, positions)
+	core := g.cores[id]
+	core.corruptInstr = true
+	// Force every warp on the core to refetch so armed hooks can fire.
+	for _, w := range core.warps {
+		w.fetchValid = false
+	}
+}
+
+func (g *GPU) injectCacheBits(c *cache.Cache, positions []int64) string {
+	var masked, tags, hooks int
+	for _, pos := range positions {
+		out, err := c.InjectBit(pos % c.SizeBits())
+		if err != nil {
+			continue
+		}
+		switch out {
+		case cache.InjectMasked:
+			masked++
+		case cache.InjectTag:
+			tags++
+		case cache.InjectHook:
+			hooks++
+		}
+	}
+	return fmt.Sprintf("cache flips: %d tag, %d hook, %d invalid-line", tags, hooks, masked)
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+// launchVecaddWithFault arms spec, runs vecadd over n elements, and
+// returns (result, err, record).
+func launchVecaddWithFault(t *testing.T, n int, spec *FaultSpec) ([]float32, error, *InjectionRecord) {
+	t.Helper()
+	g := newTestGPU(t)
+	if err := g.ArmFault(spec); err != nil {
+		t.Fatal(err)
+	}
+	p := mustAssemble(t, vecaddAsm)
+	a := make([]uint32, n)
+	b := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		a[i] = isa.F32Bits(float32(i))
+		b[i] = isa.F32Bits(float32(2 * i))
+	}
+	da, _ := g.Malloc(uint32(4 * n))
+	db, _ := g.Malloc(uint32(4 * n))
+	dc, _ := g.Malloc(uint32(4 * n))
+	g.MemcpyHtoD(da, u32sToBytes(a))
+	g.MemcpyHtoD(db, u32sToBytes(b))
+	_, err := g.Launch(p, Dim1((n+63)/64), Dim1(64), da, db, dc, uint32(n))
+	if err != nil {
+		return nil, err, g.Injection()
+	}
+	out := make([]byte, 4*n)
+	g.MemcpyDtoH(out, dc)
+	words := bytesToU32s(out)
+	res := make([]float32, n)
+	for i := range res {
+		res[i] = isa.F32(words[i])
+	}
+	return res, nil, g.Injection()
+}
+
+func TestRegFileInjectionApplies(t *testing.T) {
+	spec := &FaultSpec{
+		Structure:    StructRegFile,
+		Cycle:        30,
+		BitPositions: []int64{7*32 + 30}, // R7 bit 30: live data in vecadd
+		Seed:         42,
+	}
+	_, err, rec := launchVecaddWithFault(t, 512, spec)
+	if err != nil {
+		// A crash is a legitimate outcome of a corrupted register.
+		if _, ok := err.(*MemViolation); !ok {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if rec == nil || !rec.Applied {
+		t.Fatalf("injection not applied: %+v", rec)
+	}
+	if rec.Structure != StructRegFile || rec.Thread < 0 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestRegFileInjectionCanCorruptOutput(t *testing.T) {
+	// Across many seeds, flipping a high data bit of a live register must
+	// produce at least one silent data corruption and at least one masked
+	// run — the basic premise of the whole paper.
+	n := 512
+	sdc, masked := 0, 0
+	for seed := int64(0); seed < 25; seed++ {
+		spec := &FaultSpec{
+			Structure:    StructRegFile,
+			Cycle:        40 + uint64(seed)*13,
+			BitPositions: []int64{7*32 + 30},
+			Seed:         seed,
+		}
+		res, err, rec := launchVecaddWithFault(t, n, spec)
+		if err != nil || rec == nil || !rec.Applied {
+			continue
+		}
+		clean := true
+		for i, v := range res {
+			if v != float32(3*i) {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			masked++
+		} else {
+			sdc++
+		}
+	}
+	if sdc == 0 {
+		t.Error("no SDC across 25 register-file injections of a live data bit")
+	}
+	if masked == 0 {
+		t.Error("no masked outcome across 25 injections")
+	}
+}
+
+func TestInjectionDeterministic(t *testing.T) {
+	spec := &FaultSpec{
+		Structure:    StructRegFile,
+		Cycle:        50,
+		BitPositions: []int64{5*32 + 3},
+		Seed:         7,
+	}
+	r1, e1, rec1 := launchVecaddWithFault(t, 256, spec)
+	r2, e2, rec2 := launchVecaddWithFault(t, 256, spec)
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("error mismatch: %v vs %v", e1, e2)
+	}
+	if rec1.Thread != rec2.Thread || rec1.Core != rec2.Core {
+		t.Errorf("targets differ: %+v vs %+v", rec1, rec2)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("results diverge at %d", i)
+		}
+	}
+}
+
+func TestWarpWideInjection(t *testing.T) {
+	spec := &FaultSpec{
+		Structure:    StructRegFile,
+		Cycle:        30,
+		BitPositions: []int64{0*32 + 1}, // R0 = gtid: address-forming register
+		WarpWide:     true,
+		Seed:         3,
+	}
+	_, _, rec := launchVecaddWithFault(t, 512, spec)
+	if rec == nil || !rec.Applied || rec.Warp < 0 {
+		t.Fatalf("warp-wide injection record = %+v", rec)
+	}
+	if rec.Thread != -1 {
+		t.Errorf("warp-wide record should not name a single thread: %+v", rec)
+	}
+}
+
+func TestInjectionPastEndNeverFires(t *testing.T) {
+	spec := &FaultSpec{
+		Structure:    StructRegFile,
+		Cycle:        1 << 40,
+		BitPositions: []int64{3},
+		Seed:         1,
+	}
+	res, err, rec := launchVecaddWithFault(t, 128, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Errorf("injection fired at cycle beyond app end: %+v", rec)
+	}
+	for i, v := range res {
+		if v != float32(3*i) {
+			t.Fatalf("output corrupted without injection at %d", i)
+		}
+	}
+}
+
+func TestSharedInjection(t *testing.T) {
+	// The reduction kernel from sim_test with a shared-memory fault: the
+	// injection must target an active CTA.
+	src := `
+.kernel sred
+.smem 256
+	S2R R0, %tid.x
+	SHL R1, R0, 2
+	STS [R1], R0
+	BAR
+	LDS R2, [R1]
+	LDC R3, c[0]
+	S2R R4, %gtid
+	SHL R5, R4, 2
+	IADD R5, R3, R5
+	STG [R5], R2
+	EXIT
+`
+	g := newTestGPU(t)
+	spec := &FaultSpec{
+		Structure:    StructShared,
+		Cycle:        10,
+		BitPositions: []int64{5}, // bit 5 of word 0 of the CTA's smem
+		Blocks:       1,
+		Seed:         11,
+	}
+	if err := g.ArmFault(spec); err != nil {
+		t.Fatal(err)
+	}
+	p := mustAssemble(t, src)
+	n := 128
+	dout, _ := g.Malloc(uint32(4 * n))
+	if _, err := g.Launch(p, Dim1(2), Dim1(64), dout); err != nil {
+		t.Fatal(err)
+	}
+	rec := g.Injection()
+	if rec == nil || !rec.Applied || rec.CTA < 0 {
+		t.Fatalf("shared injection record = %+v", rec)
+	}
+}
+
+func TestSharedInjectionNoSmemKernelMasked(t *testing.T) {
+	g := newTestGPU(t)
+	spec := &FaultSpec{
+		Structure:    StructShared,
+		Cycle:        5,
+		BitPositions: []int64{0},
+		Seed:         1,
+	}
+	g.ArmFault(spec)
+	p := mustAssemble(t, vecaddAsm) // no shared memory
+	da, _ := g.Malloc(512 * 4)
+	db, _ := g.Malloc(512 * 4)
+	dc, _ := g.Malloc(512 * 4)
+	if _, err := g.Launch(p, Dim1(4), Dim1(64), da, db, dc, 512); err != nil {
+		t.Fatal(err)
+	}
+	rec := g.Injection()
+	if rec == nil {
+		t.Fatal("injection never evaluated")
+	}
+	if rec.Applied {
+		t.Errorf("shared injection applied to kernel without shared memory: %+v", rec)
+	}
+}
+
+func TestL1DInjection(t *testing.T) {
+	g := newTestGPU(t)
+	spec := &FaultSpec{
+		Structure:    StructL1D,
+		Cycle:        60,
+		BitPositions: []int64{100, 2000, 30000},
+		CoreMask:     []int{0, 1, 2, 3},
+		Seed:         9,
+	}
+	g.ArmFault(spec)
+	p := mustAssemble(t, vecaddAsm)
+	n := 2048
+	a := make([]uint32, n)
+	da, _ := g.Malloc(uint32(4 * n))
+	db, _ := g.Malloc(uint32(4 * n))
+	dc, _ := g.Malloc(uint32(4 * n))
+	g.MemcpyHtoD(da, u32sToBytes(a))
+	g.MemcpyHtoD(db, u32sToBytes(a))
+	if _, err := g.Launch(p, Dim1(32), Dim1(64), da, db, dc, uint32(n)); err != nil {
+		if _, ok := err.(*MemViolation); !ok {
+			t.Fatal(err)
+		}
+	}
+	rec := g.Injection()
+	if rec == nil || !rec.Applied || rec.Core < 0 {
+		t.Fatalf("L1D injection record = %+v", rec)
+	}
+}
+
+func TestL2InjectionAndLocalInjection(t *testing.T) {
+	g := newTestGPU(t)
+	spec := &FaultSpec{
+		Structure:    StructL2,
+		Cycle:        80,
+		BitPositions: []int64{12345},
+		Seed:         13,
+	}
+	g.ArmFault(spec)
+	runVecadd(t, g, 1024)
+	rec := g.Injection()
+	if rec == nil || !rec.Applied {
+		t.Fatalf("L2 injection record = %+v", rec)
+	}
+
+	// Local injection on a kernel with local memory.
+	src := `
+.kernel lk
+.local 16
+	S2R R0, %gtid
+	MOV R1, 77
+	STL [0], R1
+	LDL R2, [0]
+	LDC R3, c[0]
+	SHL R4, R0, 2
+	IADD R4, R3, R4
+	STG [R4], R2
+	EXIT
+`
+	g2 := newTestGPU(t)
+	g2.ArmFault(&FaultSpec{
+		Structure:    StructLocal,
+		Cycle:        10,
+		BitPositions: []int64{3},
+		Seed:         5,
+	})
+	p := mustAssemble(t, src)
+	dout, _ := g2.Malloc(64 * 4)
+	if _, err := g2.Launch(p, Dim1(2), Dim1(32), dout); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := g2.Injection()
+	if rec2 == nil || !rec2.Applied {
+		t.Fatalf("local injection record = %+v", rec2)
+	}
+}
+
+func TestFaultSpecValidate(t *testing.T) {
+	bad := []FaultSpec{
+		{Structure: Structure(99), BitPositions: []int64{0}},
+		{Structure: StructRegFile},
+		{Structure: StructRegFile, BitPositions: []int64{-1}},
+		{Structure: StructShared, BitPositions: []int64{0}, Blocks: -1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	good := FaultSpec{Structure: StructL2, BitPositions: []int64{0, 5, 9}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestStructureParse(t *testing.T) {
+	for _, s := range Structures() {
+		got, err := ParseStructure(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStructure(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStructure("l3"); err == nil {
+		t.Error("unknown structure accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+// randomALUProgram generates a random straight-line program of ALU/SFU
+// instructions over nRegs registers, ending with stores of every register
+// to the output buffer and EXIT. Returns the program and a function
+// computing the expected register state for a given thread id.
+func randomALUProgram(r *rand.Rand, nInstr, nRegs int) (*isa.Program, func(gtid uint32) []uint32) {
+	ops := []isa.Op{
+		isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpIMAD, isa.OpIMIN, isa.OpIMAX,
+		isa.OpSHL, isa.OpSHR, isa.OpSHRA, isa.OpAND, isa.OpOR, isa.OpXOR,
+		isa.OpNOT, isa.OpIABS, isa.OpMOV, isa.OpFADD, isa.OpFMUL, isa.OpFSUB,
+	}
+	type step struct {
+		in isa.Instr
+	}
+	var steps []step
+	// Seed registers: R0 = gtid, others = constants.
+	steps = append(steps, step{isa.Instr{Op: isa.OpS2R, Dst: 0, SReg: isa.SRGtid,
+		Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1}})
+	for rg := 1; rg < nRegs; rg++ {
+		steps = append(steps, step{isa.Instr{Op: isa.OpMOV, Dst: uint8(rg),
+			HasImm: true, Imm: int32(r.Uint32()),
+			Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1}})
+	}
+	for i := 0; i < nInstr; i++ {
+		op := ops[r.Intn(len(ops))]
+		in := isa.Instr{
+			Op:    op,
+			Dst:   uint8(r.Intn(nRegs)),
+			SrcA:  uint8(r.Intn(nRegs)),
+			SrcB:  uint8(r.Intn(nRegs)),
+			SrcC:  uint8(r.Intn(nRegs)),
+			Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1,
+		}
+		if r.Intn(3) == 0 {
+			in.HasImm = true
+			in.Imm = int32(r.Intn(1000)) - 500
+		}
+		steps = append(steps, step{in})
+	}
+	prog := &isa.Program{Name: "fuzz", RegsPerThread: nRegs + 2}
+	for _, s := range steps {
+		prog.Instrs = append(prog.Instrs, s.in)
+	}
+	// Store every register: out[gtid*nRegs + r] = R_r. The random body may
+	// have overwritten R0, so reload %gtid into a scratch register to form
+	// the address.
+	base := uint8(nRegs) // address register
+	scratch := uint8(nRegs + 1)
+	prog.Instrs = append(prog.Instrs,
+		isa.Instr{Op: isa.OpS2R, Dst: scratch, SReg: isa.SRGtid,
+			Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1},
+		isa.Instr{Op: isa.OpMOV, Dst: base, HasImm: true, Imm: int32(4 * nRegs),
+			Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1},
+		isa.Instr{Op: isa.OpIMUL, Dst: base, SrcA: scratch, SrcB: base,
+			Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1})
+	for rg := 0; rg < nRegs; rg++ {
+		prog.Instrs = append(prog.Instrs,
+			isa.Instr{Op: isa.OpSTG, SrcA: base, SrcC: uint8(rg), Imm: int32(4 * rg),
+				Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1})
+	}
+	prog.Instrs = append(prog.Instrs, isa.Instr{Op: isa.OpEXIT,
+		Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1})
+
+	// Reference evaluator: replay the body with isa.EvalALU.
+	body := make([]isa.Instr, len(steps))
+	for i, s := range steps {
+		body[i] = s.in
+	}
+	ref := func(gtid uint32) []uint32 {
+		regs := make([]uint32, nRegs+2)
+		for _, in := range body {
+			var a, b, cc uint32
+			rd := func(x uint8) uint32 {
+				if x == isa.RegRZ {
+					return 0
+				}
+				return regs[x]
+			}
+			if in.Op == isa.OpS2R {
+				regs[in.Dst] = gtid
+				continue
+			}
+			a = rd(in.SrcA)
+			if in.HasImm {
+				b = uint32(in.Imm)
+			} else {
+				b = rd(in.SrcB)
+			}
+			cc = rd(in.SrcC)
+			v, _, ok := isa.EvalALU(in.Op, in.Cond, a, b, cc, true)
+			if ok && in.Op.WritesReg() {
+				regs[in.Dst] = v
+			}
+		}
+		return regs[:nRegs]
+	}
+	return prog, ref
+}
+
+// Differential fuzz: the simulator's architectural results must match the
+// pure-ISA reference evaluator for random ALU programs. The offset base
+// address is patched in via an extra IADD using c[0].
+func TestFuzzALUDifferential(t *testing.T) {
+	const nRegs = 6
+	for trial := 0; trial < 30; trial++ {
+		r := rand.New(rand.NewSource(int64(trial + 1000)))
+		prog, ref := randomALUProgram(r, 25, nRegs)
+		// Patch: add the output base (param c[0]) to the address register
+		// just before the stores. Find the IMUL computing the address.
+		patched := make([]isa.Instr, 0, len(prog.Instrs)+1)
+		for _, in := range prog.Instrs {
+			patched = append(patched, in)
+			if in.Op == isa.OpIMUL && in.Dst == uint8(nRegs) {
+				patched = append(patched,
+					isa.Instr{Op: isa.OpLDC, Dst: uint8(nRegs) + 1, Imm: 0,
+						Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1},
+					isa.Instr{Op: isa.OpIADD, Dst: uint8(nRegs), SrcA: uint8(nRegs), SrcB: uint8(nRegs) + 1,
+						Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1})
+			}
+		}
+		prog.Instrs = patched
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+
+		g := newTestGPU(t)
+		nThreads := 64
+		dout, _ := g.Malloc(uint32(4 * nRegs * nThreads))
+		if _, err := g.Launch(prog, Dim1(2), Dim1(32), dout); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		out := make([]byte, 4*nRegs*nThreads)
+		g.MemcpyDtoH(out, dout)
+		words := bytesToU32s(out)
+		for tid := 0; tid < nThreads; tid++ {
+			want := ref(uint32(tid))
+			for rg := 0; rg < nRegs; rg++ {
+				if got := words[tid*nRegs+rg]; got != want[rg] {
+					t.Fatalf("trial %d thread %d R%d = %#x, want %#x\n%s",
+						trial, tid, rg, got, want[rg], prog.Disassemble())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,504 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"gpufi/internal/cache"
+	"gpufi/internal/config"
+	"gpufi/internal/isa"
+	"gpufi/internal/mem"
+)
+
+// dramBacking adapts the device memory image as the lowest Backing level.
+type dramBacking struct {
+	mem     *mem.Memory
+	latency int
+}
+
+func (d *dramBacking) FetchLine(addr uint32, dst []byte) int {
+	d.mem.ReadBytes(addr, dst)
+	return d.latency
+}
+
+func (d *dramBacking) StoreLine(addr uint32, src []byte) int {
+	d.mem.WriteBytes(addr, src)
+	return d.latency
+}
+
+func (d *dramBacking) StoreWord(addr uint32, v uint32) int {
+	d.mem.Write32(addr, v)
+	return d.latency
+}
+
+func (d *dramBacking) PeekWord(addr uint32) uint32 { return d.mem.Read32(addr) }
+
+// GPU is a simulated device instance: one GPU chip plus its DRAM. A GPU is
+// single-use per simulation run and not safe for concurrent use; campaigns
+// run many GPUs in parallel, one per experiment.
+type GPU struct {
+	cfg      *config.GPU
+	mem      *mem.Memory
+	dram     *dramBacking
+	l2       *cache.Cache
+	cores    []*core
+	bankFree []uint64 // per-L2-bank busy-until cycle (L2QueueCycles > 0)
+
+	cycle uint64
+
+	// CycleLimit aborts any launch once the global cycle exceeds it
+	// (0 = unlimited). Campaigns set it to twice the fault-free total.
+	CycleLimit uint64
+
+	// TraceWriter, when non-nil, receives one line per issued warp
+	// instruction (cycle, core, warp, pc, active mask, disassembly) — the
+	// debugging trace GPGPU-Sim emits with -trace_enabled. Tracing slows
+	// simulation considerably; leave nil for campaigns.
+	TraceWriter io.Writer
+
+	// Pending faults, sorted by cycle. The paper supports single or
+	// multiple faults in the same entry, different entries, and different
+	// hardware structures simultaneously — each pending spec is applied
+	// independently when its cycle arrives.
+	faults    []*FaultSpec
+	faultRecs []*InjectionRecord
+
+	kernels   map[string]*KernelStats
+	kernelSeq []string
+	launches  []LaunchResult
+
+	// current launch state
+	curProg    *isa.Program
+	curParams  []uint32
+	curGrid    Dim
+	curBlock   Dim
+	nextCTA    int // next linear CTA id to schedule
+	totalCTAs  int
+	doneCTAs   int
+	localBase  uint32
+	localStep  uint32 // bytes of local memory per thread
+	paramBase  uint32 // device address of the current launch's parameters
+	progBase   uint32 // device address of the current kernel's binary image
+	violation  error
+	kernelStat *KernelStats
+}
+
+// New builds a GPU from a validated configuration.
+func New(cfg *config.GPU) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPU{
+		cfg:     cfg,
+		mem:     mem.New(),
+		kernels: make(map[string]*KernelStats),
+	}
+	g.dram = &dramBacking{mem: g.mem, latency: cfg.DRAMLatency}
+	g.l2 = cache.New(cfg.L2, g.dram)
+	g.bankFree = make([]uint64, cfg.L2Banks)
+	g.cores = make([]*core, cfg.SMs)
+	for i := range g.cores {
+		g.cores[i] = newCore(g, i)
+	}
+	return g, nil
+}
+
+// Config returns the GPU's configuration.
+func (g *GPU) Config() *config.GPU { return g.cfg }
+
+// Cycle returns the current global cycle.
+func (g *GPU) Cycle() uint64 { return g.cycle }
+
+// Malloc allocates device memory (cudaMalloc).
+func (g *GPU) Malloc(size uint32) (uint32, error) { return g.mem.Alloc(size) }
+
+// Free releases device memory (cudaFree).
+func (g *GPU) Free(addr uint32) error { return g.mem.Free(addr) }
+
+// MemcpyHtoD copies host bytes to device memory, keeping resident L2 lines
+// coherent (as the copy engine does through the L2 on real parts).
+func (g *GPU) MemcpyHtoD(dst uint32, src []byte) error {
+	if err := g.mem.HostWrite(dst, src); err != nil {
+		return err
+	}
+	line := uint32(g.cfg.L2.LineBytes)
+	for off := uint32(0); off < uint32(len(src)); {
+		addr := dst + off
+		chunk := line - addr%line
+		if rem := uint32(len(src)) - off; chunk > rem {
+			chunk = rem
+		}
+		g.l2.UpdateResident(addr, src[off:off+chunk])
+		off += chunk
+	}
+	return nil
+}
+
+// MemcpyDtoH copies device memory to host bytes, overlaying resident
+// (possibly dirty) L2 lines on the DRAM image.
+func (g *GPU) MemcpyDtoH(dst []byte, src uint32) error {
+	if err := g.mem.HostRead(src, dst); err != nil {
+		return err
+	}
+	line := uint32(g.cfg.L2.LineBytes)
+	for off := uint32(0); off < uint32(len(dst)); {
+		addr := src + off
+		chunk := line - addr%line
+		if rem := uint32(len(dst)) - off; chunk > rem {
+			chunk = rem
+		}
+		if data := g.l2.PeekLine(addr); data != nil {
+			lo := addr % line
+			copy(dst[off:off+chunk], data[lo:lo+chunk])
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// ArmFault schedules a fault injection for this GPU's lifetime. Must be
+// called before the launch whose cycle window contains spec.Cycle. It may
+// be called several times to inject multiple faults — in the same or in
+// different hardware structures — within one execution (the paper's
+// simultaneous multi-structure campaigns).
+func (g *GPU) ArmFault(spec *FaultSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	g.faults = append(g.faults, spec)
+	sort.SliceStable(g.faults, func(i, j int) bool { return g.faults[i].Cycle < g.faults[j].Cycle })
+	return nil
+}
+
+// Injection returns the record of the first fault's application, or nil
+// if no fault fired yet.
+func (g *GPU) Injection() *InjectionRecord {
+	if len(g.faultRecs) == 0 {
+		return nil
+	}
+	return g.faultRecs[0]
+}
+
+// Injections returns the records of every fault applied so far, in firing
+// order.
+func (g *GPU) Injections() []*InjectionRecord { return g.faultRecs }
+
+// KernelStats returns per-static-kernel profiling data, finalized.
+func (g *GPU) KernelStats() map[string]*KernelStats {
+	for _, k := range g.kernels {
+		k.finalize()
+	}
+	return g.kernels
+}
+
+// KernelNames returns static kernel names in first-launch order.
+func (g *GPU) KernelNames() []string { return g.kernelSeq }
+
+// Launches returns the per-launch results in order.
+func (g *GPU) Launches() []LaunchResult { return g.launches }
+
+// L2 exposes the L2 cache (for injection and statistics).
+func (g *GPU) L2() *cache.Cache { return g.l2 }
+
+// CoreL1D returns core i's L1 data cache (nil if the model has none).
+func (g *GPU) CoreL1D(i int) *cache.Cache { return g.cores[i].l1d }
+
+// CoreL1T returns core i's L1 texture cache.
+func (g *GPU) CoreL1T(i int) *cache.Cache { return g.cores[i].l1t }
+
+// CoreL1C returns core i's L1 constant cache (nil if unconfigured).
+func (g *GPU) CoreL1C(i int) *cache.Cache { return g.cores[i].l1c }
+
+// Launch runs one kernel to completion (synchronous, like the paper's
+// benchmark applications). Args are 32-bit parameter words read by LDC.
+func (g *GPU) Launch(p *isa.Program, grid, block Dim, args ...uint32) (*LaunchResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if block.Count() > g.cfg.MaxThreadsPerSM {
+		return nil, fmt.Errorf("sim: block of %d threads exceeds SM limit %d", block.Count(), g.cfg.MaxThreadsPerSM)
+	}
+	if block.Count()*p.RegsPerThread > g.cfg.RegistersPerSM {
+		return nil, fmt.Errorf("sim: kernel %s needs %d registers per CTA, SM has %d",
+			p.Name, block.Count()*p.RegsPerThread, g.cfg.RegistersPerSM)
+	}
+	if p.SmemBytes > g.cfg.SmemPerSM {
+		return nil, fmt.Errorf("sim: kernel %s needs %d B shared memory, SM has %d",
+			p.Name, p.SmemBytes, g.cfg.SmemPerSM)
+	}
+	if grid.Count() <= 0 || block.Count() <= 0 {
+		return nil, fmt.Errorf("sim: empty launch %v x %v", grid, block)
+	}
+
+	g.curProg = p
+	g.curParams = args
+	g.curGrid, g.curBlock = grid, block
+	// Parameters live in device memory and are read through the constant
+	// path (per-core L1C when configured).
+	if len(args) > 0 {
+		base, err := g.mem.Alloc(uint32(4 * len(args)))
+		if err != nil {
+			return nil, fmt.Errorf("sim: parameter memory: %v", err)
+		}
+		buf := make([]byte, 4*len(args))
+		for i, a := range args {
+			buf[4*i] = byte(a)
+			buf[4*i+1] = byte(a >> 8)
+			buf[4*i+2] = byte(a >> 16)
+			buf[4*i+3] = byte(a >> 24)
+		}
+		if err := g.mem.HostWrite(base, buf); err != nil {
+			return nil, err
+		}
+		g.paramBase = base
+	} else {
+		g.paramBase = 0
+	}
+	// The kernel binary lives in device memory so instruction fetches flow
+	// through the L1 instruction caches (and instruction bits are
+	// injectable, an extension over the paper).
+	img := make([]byte, len(p.Instrs)*isa.InstrBytes)
+	for i := range p.Instrs {
+		word := isa.EncodeInstr(&p.Instrs[i])
+		copy(img[i*isa.InstrBytes:], word[:])
+	}
+	imgBase, err := g.mem.Alloc(uint32(len(img)))
+	if err != nil {
+		return nil, fmt.Errorf("sim: instruction memory: %v", err)
+	}
+	if err := g.mem.HostWrite(imgBase, img); err != nil {
+		return nil, err
+	}
+	g.progBase = imgBase
+	g.nextCTA = 0
+	g.totalCTAs = grid.Count()
+	g.doneCTAs = 0
+	g.violation = nil
+	g.localStep = uint32(p.LocalBytes)
+	g.localBase = 0
+	if p.LocalBytes > 0 {
+		total := uint32(p.LocalBytes) * uint32(grid.Count()*block.Count())
+		base, err := g.mem.Alloc(total)
+		if err != nil {
+			return nil, fmt.Errorf("sim: local memory: %v", err)
+		}
+		g.localBase = base
+	}
+
+	ks := g.kernels[p.Name]
+	if ks == nil {
+		ks = &KernelStats{Name: p.Name}
+		g.kernels[p.Name] = ks
+		g.kernelSeq = append(g.kernelSeq, p.Name)
+	}
+	ks.Invocations++
+	ks.RegsPerThread = p.RegsPerThread
+	ks.SmemPerCTA = p.SmemBytes
+	ks.LocalPerThr = p.LocalBytes
+	g.kernelStat = ks
+
+	start := g.cycle
+	usedCores := make(map[int]bool)
+
+	// Initial CTA placement, breadth-first across cores as the hardware
+	// GigaThread scheduler does (one CTA per SM per pass until full).
+	for placed := true; placed && g.nextCTA < g.totalCTAs; {
+		placed = false
+		for _, c := range g.cores {
+			if g.nextCTA >= g.totalCTAs {
+				break
+			}
+			if c.tryPlaceCTA(g.nextCTA) {
+				usedCores[c.id] = true
+				g.nextCTA++
+				placed = true
+			}
+		}
+	}
+
+	instrBefore := ks.Instructions
+	for g.doneCTAs < g.totalCTAs {
+		g.cycle++
+		if g.CycleLimit > 0 && g.cycle > g.CycleLimit {
+			g.releaseLaunch()
+			return nil, &ErrTimeout{Kernel: p.Name, Cycle: g.cycle, Limit: g.CycleLimit}
+		}
+		for len(g.faults) > 0 && g.cycle >= g.faults[0].Cycle {
+			g.applyFault(g.faults[0])
+			g.faults = g.faults[1:]
+		}
+		anyReady := false
+		for _, c := range g.cores {
+			if c.tick() {
+				anyReady = true
+			}
+		}
+		g.sampleStats(1)
+		if g.violation != nil {
+			err := g.violation
+			g.releaseLaunch()
+			return nil, err
+		}
+		// Refill freed CTA slots.
+		if g.nextCTA < g.totalCTAs {
+			for _, c := range g.cores {
+				for g.nextCTA < g.totalCTAs && c.tryPlaceCTA(g.nextCTA) {
+					usedCores[c.id] = true
+					g.nextCTA++
+				}
+			}
+		}
+		if !anyReady && g.doneCTAs < g.totalCTAs {
+			g.fastForward()
+		}
+	}
+	// Kernel completion flushes the L1s, as GPGPU-Sim does at kernel
+	// boundaries: dirty local data reaches L2, and stale read-only texture
+	// lines cannot leak into the next launch.
+	for _, c := range g.cores {
+		if usedCores[c.id] {
+			if c.l1d != nil {
+				c.l1d.Flush()
+			}
+			c.l1t.Flush()
+			if c.l1c != nil {
+				c.l1c.Flush()
+			}
+			if c.l1i != nil {
+				c.l1i.Flush()
+			}
+		}
+	}
+
+	end := g.cycle
+	ks.Windows = append(ks.Windows, CycleWindow{Start: start, End: end})
+	ks.TotalCycles += end - start
+	for id := range usedCores {
+		ks.UsedCores = appendUnique(ks.UsedCores, id)
+	}
+	sort.Ints(ks.UsedCores)
+
+	res := LaunchResult{
+		Kernel:       p.Name,
+		Cycles:       end - start,
+		StartCycle:   start,
+		EndCycle:     end,
+		Instructions: ks.Instructions - instrBefore,
+	}
+	g.launches = append(g.launches, res)
+	g.releaseLaunch()
+	return &res, nil
+}
+
+// releaseLaunch clears per-launch core state (CTAs, warps) after
+// completion or abort.
+func (g *GPU) releaseLaunch() {
+	for _, c := range g.cores {
+		c.reset()
+	}
+	g.curProg = nil
+	g.curParams = nil
+}
+
+// fastForward advances the global clock to the next cycle at which any
+// warp becomes ready (memory latency skipping), bounded by the pending
+// injection cycle and the cycle limit, accumulating statistics for the
+// skipped span.
+func (g *GPU) fastForward() {
+	next := uint64(0)
+	for _, c := range g.cores {
+		if t := c.nextReadyCycle(); t > 0 && (next == 0 || t < next) {
+			next = t
+		}
+	}
+	if next <= g.cycle+1 {
+		return
+	}
+	target := next - 1 // loop will ++ to `next`
+	if len(g.faults) > 0 && g.faults[0].Cycle > g.cycle && g.faults[0].Cycle-1 < target {
+		target = g.faults[0].Cycle - 1
+	}
+	if g.CycleLimit > 0 && g.CycleLimit < target {
+		target = g.CycleLimit
+	}
+	if target > g.cycle {
+		g.sampleStats(float64(target - g.cycle))
+		g.cycle = target
+	}
+}
+
+// l2QueueDelay models bank contention: the line's bank is occupied for
+// L2QueueCycles per request; a request to a busy bank waits its turn.
+// Returns the extra wait in cycles (0 when queueing is disabled).
+func (g *GPU) l2QueueDelay(lineAddr uint32) int {
+	q := uint64(g.cfg.L2QueueCycles)
+	if q == 0 {
+		return 0
+	}
+	bank := int(lineAddr/uint32(g.cfg.L2.LineBytes)) % g.cfg.L2Banks
+	free := g.bankFree[bank]
+	if free < g.cycle {
+		free = g.cycle
+	}
+	g.bankFree[bank] = free + q
+	return int(free - g.cycle)
+}
+
+// sampleStats accumulates cycle-weighted occupancy statistics with weight w.
+func (g *GPU) sampleStats(w float64) {
+	ks := g.kernelStat
+	if ks == nil {
+		return
+	}
+	maxWarps := float64(g.cfg.MaxWarpsPerSM())
+	for _, c := range g.cores {
+		if len(c.ctas) == 0 {
+			continue
+		}
+		ks.accActiveSM += w
+		ks.accThreads += w * float64(c.liveThreads)
+		ks.accCTAs += w * float64(len(c.ctas))
+		ks.accWarpOcc += w * float64(c.liveWarps()) / maxWarps
+	}
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// applyFault performs one armed injection at the current cycle, choosing
+// the container among the live candidates with the spec's seed.
+func (g *GPU) applyFault(spec *FaultSpec) {
+	rec := &InjectionRecord{
+		Structure: spec.Structure,
+		Cycle:     g.cycle,
+		Core:      -1, Warp: -1, Thread: -1, CTA: -1,
+	}
+	g.faultRecs = append(g.faultRecs, rec)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	switch spec.Structure {
+	case StructRegFile:
+		g.injectRegFile(spec, rec, rng)
+	case StructLocal:
+		g.injectLocal(spec, rec, rng)
+	case StructShared:
+		g.injectShared(spec, rec, rng)
+	case StructL1D:
+		g.injectL1(spec, rec, rng, true)
+	case StructL1T:
+		g.injectL1(spec, rec, rng, false)
+	case StructL2:
+		g.injectL2(spec, rec)
+	case StructL1C:
+		g.injectL1C(spec, rec, rng)
+	case StructL1I:
+		g.injectL1I(spec, rec, rng)
+	}
+}

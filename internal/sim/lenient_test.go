@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// Under lenient memory (GPGPU-Sim's lazily allocated functional memory),
+// wild accesses succeed: reads of unmapped addresses return zero and
+// writes are absorbed, so the classification shifts from Crash to
+// SDC/Masked — the paper's near-zero-crash behavior.
+func TestLenientMemoryAbsorbsWildAccesses(t *testing.T) {
+	src := `
+.kernel wild
+	LDC R1, c[0]
+	MOV R2, 0x04FFFF00
+	LDG R3, [R2]       // unmapped read: returns 0 leniently
+	STG [R2], R3       // unmapped write: absorbed
+	S2R R4, %gtid
+	SHL R5, R4, 2
+	IADD R5, R1, R5
+	STG [R5], R3
+	EXIT
+`
+	cfg := testConfig()
+	cfg.LenientMemory = true
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustAssemble(t, src)
+	dout, _ := g.Malloc(4 * 32)
+	if _, err := g.Launch(p, Dim1(1), Dim1(32), dout); err != nil {
+		t.Fatalf("lenient run crashed: %v", err)
+	}
+	out := make([]byte, 4*32)
+	g.MemcpyDtoH(out, dout)
+	for i, v := range bytesToU32s(out) {
+		if v != 0 {
+			t.Errorf("out[%d] = %d, want 0 (unmapped read)", i, v)
+		}
+	}
+
+	// Misaligned accesses still fault, even leniently.
+	mis := mustAssemble(t, ".kernel mis\nMOV R1, 2\nLDG R2, [R1]\nEXIT")
+	g2, _ := New(cfg)
+	if _, err := g2.Launch(mis, Dim1(1), Dim1(32)); err == nil {
+		t.Error("misaligned access did not fault under lenient memory")
+	}
+
+	// Strict mode still crashes on the wild kernel.
+	g3, _ := New(testConfig())
+	d3, _ := g3.Malloc(4 * 32)
+	if _, err := g3.Launch(p, Dim1(1), Dim1(32), d3); err == nil {
+		t.Error("strict mode accepted wild access")
+	}
+}
+
+// Lenient local accesses beyond the per-thread footprint spill into the
+// flat image instead of faulting.
+func TestLenientLocalOverflow(t *testing.T) {
+	src := `
+.kernel lspill
+.local 16
+	MOV R1, 64
+	STL [0], R1
+	LDL R2, [R1]       // offset 64 > 16B footprint
+	EXIT
+`
+	cfg := testConfig()
+	cfg.LenientMemory = true
+	g, _ := New(cfg)
+	p := mustAssemble(t, src)
+	if _, err := g.Launch(p, Dim1(1), Dim1(32)); err != nil {
+		t.Fatalf("lenient local overflow crashed: %v", err)
+	}
+	g2, _ := New(testConfig())
+	if _, err := g2.Launch(p, Dim1(1), Dim1(32)); err == nil {
+		t.Error("strict local overflow did not crash")
+	}
+}

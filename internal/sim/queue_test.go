@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// With L2 bank queueing enabled, runs take longer (contention is real
+// wait time) and remain functionally identical; with it disabled (the
+// default) the timing matches the pure latency model exactly.
+func TestL2QueueingSlowsButPreservesResults(t *testing.T) {
+	run := func(queue int) ([]float32, uint64) {
+		cfg := testConfig()
+		cfg.L2QueueCycles = queue
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runVecadd(t, g, 2048)
+		return res, g.Cycle()
+	}
+	base, baseCycles := run(0)
+	queued, queuedCycles := run(8)
+	for i := range base {
+		if base[i] != queued[i] {
+			t.Fatalf("results diverge at %d under queueing", i)
+		}
+	}
+	if queuedCycles <= baseCycles {
+		t.Errorf("bank queueing did not slow the run: %d vs %d cycles", queuedCycles, baseCycles)
+	}
+	t.Logf("cycles: no-queue %d, queue(8) %d", baseCycles, queuedCycles)
+}
+
+// Queueing makes timing address-sensitive: two functionally equivalent
+// access patterns — all lines in one bank vs spread across banks — must
+// differ in cycles under contention. This is the mechanism that lets
+// fault-corrupted addresses produce Performance effects.
+func TestL2QueueingAddressSensitivity(t *testing.T) {
+	// stride picks how lines map to banks: stride = lineBytes*banks keeps
+	// every access in bank 0; stride = lineBytes spreads round-robin.
+	kernel := func(shift int) string {
+		return `
+.kernel qs
+	S2R R0, %tid.x
+	LDC R1, c[0]
+	SHL R2, R0, ` + string(rune('0'+shift)) + `
+	IADD R2, R1, R2
+	LDG R3, [R2]
+	EXIT
+`
+	}
+	run := func(shift int) uint64 {
+		cfg := testConfig()
+		cfg.L2QueueCycles = 16
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mustAssemble(t, kernel(shift))
+		d, _ := g.Malloc(32 * 1 << 9)
+		if _, err := g.Launch(p, Dim1(1), Dim1(32), d); err != nil {
+			t.Fatal(err)
+		}
+		return g.Cycle()
+	}
+	// Test config: 128B lines, 2 banks. Shift 8 = stride 256: all even
+	// banks alternate? stride 256 with 2 banks of 128B lines alternates
+	// bank 0,0? line index = addr/128: stride 256 -> line indices 0,2,4:
+	// all even -> bank 0 only. Shift 7 = stride 128: lines 0,1,2,... ->
+	// banks alternate.
+	sameBank := run(8)
+	spread := run(7)
+	if sameBank <= spread {
+		t.Errorf("single-bank pattern (%d cycles) not slower than spread (%d)", sameBank, spread)
+	}
+}
+
+func TestL2QueueValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.L2QueueCycles = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative queue cycles accepted")
+	}
+}

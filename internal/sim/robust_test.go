@@ -1,0 +1,89 @@
+package sim
+
+import "testing"
+
+// A GPU that aborted a launch (crash) must be reusable for subsequent
+// launches, with the failed launch's state fully torn down.
+func TestLaunchAfterCrash(t *testing.T) {
+	g := newTestGPU(t)
+	bad := mustAssemble(t, ".kernel bad\nMOV R1, 64\nSTG [R1], R1\nEXIT")
+	if _, err := g.Launch(bad, Dim1(1), Dim1(32)); err == nil {
+		t.Fatal("wild store did not crash")
+	}
+	res := runVecadd(t, g, 128)
+	for i, v := range res {
+		if v != float32(3*i) {
+			t.Fatalf("post-crash launch wrong at %d: %g", i, v)
+		}
+	}
+}
+
+// A GPU that timed out must be reusable too, with a raised limit.
+func TestLaunchAfterTimeout(t *testing.T) {
+	g := newTestGPU(t)
+	g.CycleLimit = 500
+	spin := mustAssemble(t, ".kernel spin\ntop:\nBRA top\nEXIT")
+	if _, err := g.Launch(spin, Dim1(1), Dim1(32)); err == nil {
+		t.Fatal("spin did not time out")
+	}
+	g.CycleLimit = 0
+	res := runVecadd(t, g, 64)
+	if res[63] != float32(3*63) {
+		t.Fatal("post-timeout launch wrong")
+	}
+}
+
+// Device memory Free releases tracking; subsequent access to the freed
+// region from a kernel crashes.
+func TestFreeRevokesAccess(t *testing.T) {
+	g := newTestGPU(t)
+	p := mustAssemble(t, `
+.kernel reader
+	LDC R1, c[0]
+	LDG R2, [R1]
+	EXIT
+`)
+	d, err := g.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Launch(p, Dim1(1), Dim1(32), d); err != nil {
+		t.Fatalf("read of live allocation failed: %v", err)
+	}
+	if err := g.Free(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Launch(p, Dim1(1), Dim1(32), d); err == nil {
+		t.Error("read of freed allocation succeeded under strict memory")
+	}
+}
+
+// Zero-dimension launches are rejected, not simulated.
+func TestDegenerateLaunchRejected(t *testing.T) {
+	g := newTestGPU(t)
+	p := mustAssemble(t, ".kernel k\nEXIT")
+	if _, err := g.Launch(p, Dim{X: 0}, Dim1(32)); err == nil {
+		// Dim.Count treats 0 as 1; a zero grid is normalized, so this
+		// must still run exactly one CTA.
+		ks := g.KernelStats()["k"]
+		if ks == nil || ks.Invocations != 1 {
+			t.Error("normalized launch did not run")
+		}
+	}
+}
+
+// ArmFault after some faults already fired keeps ordering intact.
+func TestArmFaultIncremental(t *testing.T) {
+	g := newTestGPU(t)
+	g.ArmFault(&FaultSpec{Structure: StructL2, Cycle: 10, BitPositions: []int64{1}, Seed: 1})
+	runVecadd(t, g, 64)
+	if len(g.Injections()) != 1 {
+		t.Fatalf("first fault did not fire: %d", len(g.Injections()))
+	}
+	// Arm another for a later launch on the same device.
+	g.ArmFault(&FaultSpec{Structure: StructL2, Cycle: g.Cycle() + 20, BitPositions: []int64{2}, Seed: 2})
+	runVecadd(t, g, 64)
+	if len(g.Injections()) != 2 {
+		t.Errorf("second fault did not fire: %d records", len(g.Injections()))
+	}
+}

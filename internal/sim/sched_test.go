@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Both scheduling policies must produce identical functional results;
+// their cycle counts may differ.
+func TestSchedulerPoliciesFunctionallyEqual(t *testing.T) {
+	run := func(policy string) ([]float32, uint64) {
+		cfg := testConfig()
+		cfg.Scheduler = policy
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runVecadd(t, g, 512)
+		return res, g.Cycle()
+	}
+	gto, gtoCycles := run("gto")
+	lrr, lrrCycles := run("lrr")
+	for i := range gto {
+		if gto[i] != lrr[i] {
+			t.Fatalf("results diverge between schedulers at %d", i)
+		}
+	}
+	t.Logf("gto=%d cycles, lrr=%d cycles", gtoCycles, lrrCycles)
+	if gtoCycles == 0 || lrrCycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Scheduler = "fifo"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	for _, s := range []string{"", "gto", "lrr"} {
+		cfg.Scheduler = s
+		if _, err := New(cfg); err != nil {
+			t.Errorf("scheduler %q rejected: %v", s, err)
+		}
+	}
+}
+
+func TestStatsReport(t *testing.T) {
+	g := newTestGPU(t)
+	runVecadd(t, g, 512)
+	rep := g.StatsReport()
+	for _, want := range []string{"vecadd", "L1D(all)", "L2", "hit-rate", "high-water", "cycles"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("stats report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTraceWriter(t *testing.T) {
+	g := newTestGPU(t)
+	var buf strings.Builder
+	g.TraceWriter = &buf
+	p := mustAssemble(t, ".kernel tr\nMOV R0, 7\nEXIT")
+	if _, err := g.Launch(p, Dim1(1), Dim1(32)); err != nil {
+		t.Fatal(err)
+	}
+	trace := buf.String()
+	for _, want := range []string{"MOV R0, 7", "EXIT", "core00", "pc"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+}

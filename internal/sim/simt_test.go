@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+// Nested divergence inside a loop: classic SIMT stack stress. Each thread
+// runs a loop of its own trip count; inside, an inner branch picks one of
+// two accumulators.
+func TestNestedDivergenceInLoop(t *testing.T) {
+	src := `
+.kernel nestloop
+	S2R R0, %gtid
+	LDC R1, c[0]
+	MOV R2, 0            // acc
+	MOV R3, 0            // i
+lt_top:
+	ISETP.GT P0, R3, R0  // loop while i <= gtid
+@P0	BRA lt_done
+	AND R4, R3, 1
+	ISETP.EQ P1, R4, 0
+@!P1	BRA lt_odd
+	IADD R2, R2, 2       // even i: +2
+	BRA lt_next
+lt_odd:
+	IADD R2, R2, 3       // odd i: +3
+lt_next:
+	IADD R3, R3, 1
+	BRA lt_top
+lt_done:
+	SHL R5, R0, 2
+	IADD R6, R1, R5
+	STG [R6], R2
+	EXIT
+`
+	g := newTestGPU(t)
+	p := mustAssemble(t, src)
+	n := 64
+	dout, _ := g.Malloc(uint32(4 * n))
+	if _, err := g.Launch(p, Dim1(2), Dim1(32), dout); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*n)
+	g.MemcpyDtoH(out, dout)
+	for i, v := range bytesToU32s(out) {
+		want := uint32(0)
+		for k := 0; k <= i; k++ {
+			if k%2 == 0 {
+				want += 2
+			} else {
+				want += 3
+			}
+		}
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// A warp where half the threads EXIT early inside divergent code: the
+// remaining threads must still complete correctly.
+func TestEarlyExitHalfWarp(t *testing.T) {
+	src := `
+.kernel halfexit
+	S2R R0, %gtid
+	LDC R1, c[0]
+	ISETP.LT P0, R0, 16
+@P0	EXIT                  // low half leaves immediately
+	IMUL R2, R0, 10
+	SHL R3, R0, 2
+	IADD R3, R1, R3
+	STG [R3], R2
+	EXIT
+`
+	g := newTestGPU(t)
+	p := mustAssemble(t, src)
+	n := 32
+	init := make([]uint32, n)
+	for i := range init {
+		init[i] = 0xAAAA
+	}
+	dout, _ := g.Malloc(uint32(4 * n))
+	g.MemcpyHtoD(dout, u32sToBytes(init))
+	if _, err := g.Launch(p, Dim1(1), Dim1(n), dout); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*n)
+	g.MemcpyDtoH(out, dout)
+	for i, v := range bytesToU32s(out) {
+		if i < 16 {
+			if v != 0xAAAA {
+				t.Errorf("exited thread %d wrote %d", i, v)
+			}
+		} else if v != uint32(i*10) {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+// Barrier after partial warp exit: warps that fully exited must not block
+// the remaining warps' barrier.
+func TestBarrierWithExitedWarp(t *testing.T) {
+	src := `
+.kernel barexit
+.smem 16
+	S2R R0, %tid.x
+	ISETP.GE P0, R0, 32
+@!P0	BRA work
+	EXIT                 // warp 1 (tids 32..63) exits before the barrier
+work:
+	MOV R1, 7
+	SHL R2, R0, 2
+	AND R2, R2, 12       // fold into 16B of smem
+	STS [R2], R1
+	BAR
+	LDS R3, [0]
+	LDC R4, c[0]
+	SHL R5, R0, 2
+	IADD R5, R4, R5
+	STG [R5], R3
+	EXIT
+`
+	g := newTestGPU(t)
+	p := mustAssemble(t, src)
+	dout, _ := g.Malloc(4 * 64)
+	if _, err := g.Launch(p, Dim1(1), Dim1(64), dout); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*64)
+	g.MemcpyDtoH(out, dout)
+	for i, v := range bytesToU32s(out)[:32] {
+		if v != 7 {
+			t.Errorf("thread %d read %d after barrier, want 7", i, v)
+		}
+	}
+}
+
+// Warp-uniform unconditional branches must not diverge (stack depth 1).
+func TestUniformBranchNoDivergence(t *testing.T) {
+	src := `
+.kernel uni
+	MOV R0, 0
+	BRA skip
+	MOV R0, 99
+skip:
+	LDC R1, c[0]
+	S2R R2, %gtid
+	SHL R3, R2, 2
+	IADD R3, R1, R3
+	STG [R3], R0
+	EXIT
+`
+	g := newTestGPU(t)
+	p := mustAssemble(t, src)
+	dout, _ := g.Malloc(4 * 32)
+	if _, err := g.Launch(p, Dim1(1), Dim1(32), dout); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*32)
+	g.MemcpyDtoH(out, dout)
+	for i, v := range bytesToU32s(out) {
+		if v != 0 {
+			t.Errorf("out[%d] = %d (dead code executed?)", i, v)
+		}
+	}
+}
+
+// Coalescing: 32 threads touching one 128-byte line must generate exactly
+// one L1D access; a fully strided pattern generates 32.
+func TestCoalescingAccessCounts(t *testing.T) {
+	coalesced := `
+.kernel co
+	S2R R0, %tid.x
+	LDC R1, c[0]
+	SHL R2, R0, 2
+	IADD R2, R1, R2
+	LDG R3, [R2]         // 32 threads x 4B = one 128B line
+	EXIT
+`
+	strided := `
+.kernel st
+	S2R R0, %tid.x
+	LDC R1, c[0]
+	SHL R2, R0, 7        // stride 128: every thread its own line
+	IADD R2, R1, R2
+	LDG R3, [R2]
+	EXIT
+`
+	run := func(src string, bytes uint32) int64 {
+		g := newTestGPU(t)
+		p := mustAssemble(t, src)
+		d, _ := g.Malloc(bytes)
+		if _, err := g.Launch(p, Dim1(1), Dim1(32), d); err != nil {
+			t.Fatal(err)
+		}
+		return g.CoreL1D(0).Stats().Accesses
+	}
+	if got := run(coalesced, 128); got != 1 {
+		t.Errorf("coalesced access count = %d, want 1", got)
+	}
+	if got := run(strided, 32*128); got != 32 {
+		t.Errorf("strided access count = %d, want 32", got)
+	}
+}
+
+// A memory-bound warp costs more cycles when its accesses split into many
+// lines (the coalescing penalty must be visible in timing).
+func TestCoalescingTiming(t *testing.T) {
+	run := func(shift int) uint64 {
+		src := `
+.kernel k
+	S2R R0, %tid.x
+	LDC R1, c[0]
+	SHL R2, R0, ` + string(rune('0'+shift)) + `
+	IADD R2, R1, R2
+	LDG R3, [R2]
+	EXIT
+`
+		g := newTestGPU(t)
+		p := mustAssemble(t, src)
+		d, _ := g.Malloc(32 * 128)
+		if _, err := g.Launch(p, Dim1(1), Dim1(32), d); err != nil {
+			t.Fatal(err)
+		}
+		return g.Cycle()
+	}
+	fast := run(2) // stride 4: one line
+	slow := run(7) // stride 128: 32 lines
+	if slow <= fast {
+		t.Errorf("uncoalesced run (%d cycles) not slower than coalesced (%d)", slow, fast)
+	}
+}
+
+// Shared-memory out-of-bounds and local out-of-bounds accesses crash.
+func TestSharedAndLocalViolations(t *testing.T) {
+	smemOOB := `
+.kernel soob
+.smem 64
+	MOV R0, 128
+	STS [R0], R0
+	EXIT
+`
+	localOOB := `
+.kernel loob
+.local 16
+	MOV R0, 64
+	LDL R1, [R0]
+	EXIT
+`
+	for _, src := range []string{smemOOB, localOOB} {
+		g := newTestGPU(t)
+		p := mustAssemble(t, src)
+		_, err := g.Launch(p, Dim1(1), Dim1(32))
+		if err == nil {
+			t.Errorf("kernel %s did not crash", p.Name)
+			continue
+		}
+		if _, ok := err.(*MemViolation); !ok {
+			t.Errorf("kernel %s error %T, want *MemViolation", p.Name, err)
+		}
+	}
+}
+
+// Reads through RZ as base register with an absolute offset hit address 0
+// territory and crash (null pointer).
+func TestNullDereferenceCrashes(t *testing.T) {
+	g := newTestGPU(t)
+	p := mustAssemble(t, ".kernel null\nLDG R1, [0]\nEXIT")
+	if _, err := g.Launch(p, Dim1(1), Dim1(32)); err == nil {
+		t.Fatal("null dereference did not crash")
+	}
+}
+
+// The L2 is shared: data written by a CTA on one core is visible to a CTA
+// on another core in a later kernel.
+func TestL2SharedAcrossCores(t *testing.T) {
+	producer := `
+.kernel prod
+	S2R R0, %gtid
+	LDC R1, c[0]
+	SHL R2, R0, 2
+	IADD R2, R1, R2
+	IMUL R3, R0, 3
+	STG [R2], R3
+	EXIT
+`
+	consumer := `
+.kernel cons
+	S2R R0, %gtid
+	LDC R1, c[0]
+	LDC R2, c[4]
+	SHL R3, R0, 2
+	IADD R4, R1, R3
+	LDG R5, [R4]
+	IADD R5, R5, 1
+	IADD R6, R2, R3
+	STG [R6], R5
+	EXIT
+`
+	g := newTestGPU(t)
+	pp := mustAssemble(t, producer)
+	pc := mustAssemble(t, consumer)
+	n := 256
+	da, _ := g.Malloc(uint32(4 * n))
+	db, _ := g.Malloc(uint32(4 * n))
+	if _, err := g.Launch(pp, Dim1(8), Dim1(32), da); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Launch(pc, Dim1(8), Dim1(32), da, db); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*n)
+	g.MemcpyDtoH(out, db)
+	for i, v := range bytesToU32s(out) {
+		if want := uint32(i*3 + 1); v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// Issue width: a config with IssuePerCycle 1 must be slower than 2 on an
+// ALU-bound multi-warp kernel.
+func TestIssueWidthMatters(t *testing.T) {
+	src := `
+.kernel alu
+	MOV R0, 0
+	MOV R1, 0
+top:
+	IADD R1, R1, 3
+	IADD R0, R0, 1
+	ISETP.LT P0, R0, 200
+@P0	BRA top
+	EXIT
+`
+	run := func(width int) uint64 {
+		cfg := testConfig()
+		cfg.IssuePerCycle = width
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mustAssemble(t, src)
+		// One fat CTA keeps all 8 warps on a single SM, where the issue
+		// width is the bottleneck.
+		if _, err := g.Launch(p, Dim1(1), Dim1(256)); err != nil {
+			t.Fatal(err)
+		}
+		return g.Cycle()
+	}
+	if w1, w2 := run(1), run(2); w2 >= w1 {
+		t.Errorf("dual issue (%d cycles) not faster than single issue (%d)", w2, w1)
+	}
+}
+
+// Special registers seen by the kernel must reflect launch geometry.
+func TestSpecialRegisterValues(t *testing.T) {
+	src := `
+.kernel sr
+	LDC R1, c[0]
+	S2R R2, %gtid
+	S2R R3, %laneid
+	S2R R4, %nctaid.x
+	S2R R5, %ntid.x
+	IMUL R6, R4, 1000
+	IMAD R6, R5, 100, R6
+	IADD R6, R6, R3
+	SHL R7, R2, 2
+	IADD R7, R1, R7
+	STG [R7], R6
+	EXIT
+`
+	g := newTestGPU(t)
+	p := mustAssemble(t, src)
+	dout, _ := g.Malloc(4 * 128)
+	if _, err := g.Launch(p, Dim1(2), Dim1(64), dout); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*128)
+	g.MemcpyDtoH(out, dout)
+	vals := bytesToU32s(out)
+	// thread 70: cta 1, tid 6 -> lane 6; nctaid=2, ntid=64.
+	if want := uint32(2*1000 + 64*100 + 6); vals[70] != want {
+		t.Errorf("sreg word = %d, want %d", vals[70], want)
+	}
+}
+
+// isa.Program resource demands gate CTA placement: a kernel using 64
+// registers at 256 threads/CTA exceeds the test SM's 8192 registers, so
+// only one CTA fits per SM at 128 threads (64*128=8192).
+func TestRegisterPressureLimitsOccupancy(t *testing.T) {
+	src := ".kernel fat\n.reg 64\nMOV R5, 1\nEXIT"
+	g := newTestGPU(t)
+	p := mustAssemble(t, src)
+	if _, err := g.Launch(p, Dim1(8), Dim1(128), 0); err != nil {
+		t.Fatal(err)
+	}
+	ks := g.KernelStats()["fat"]
+	if ks.MeanCTAsPerSM > 1.01 {
+		t.Errorf("mean CTAs/SM = %g despite register pressure", ks.MeanCTAsPerSM)
+	}
+	_ = isa.NumRegs // document the 64-register architectural limit
+}

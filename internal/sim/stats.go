@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"gpufi/internal/cache"
+)
+
+// StatsReport renders a per-device summary of the memory-system event
+// counters and kernel statistics — the kind of log GPGPU-Sim prints after
+// a run. Cores that saw no traffic are omitted.
+func (g *GPU) StatsReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %d cycles ===\n", g.cfg.Name, g.cycle)
+	for _, name := range g.kernelSeq {
+		ks := g.kernels[name]
+		ks.finalize()
+		fmt.Fprintf(&b, "kernel %-14s invocations=%-3d cycles=%-8d instrs=%-8d occ=%.2f threads/SM=%.1f CTAs/SM=%.1f\n",
+			name, ks.Invocations, ks.TotalCycles, ks.Instructions,
+			ks.Occupancy, ks.MeanThreadsPerSM, ks.MeanCTAsPerSM)
+	}
+	line := func(label string, s cache.Stats) {
+		if s.Accesses == 0 {
+			return
+		}
+		hitRate := float64(s.Hits) / float64(s.Accesses)
+		fmt.Fprintf(&b, "%-10s accesses=%-8d hits=%-8d misses=%-8d hit-rate=%.2f evictions=%d writebacks=%d\n",
+			label, s.Accesses, s.Hits, s.Misses, hitRate, s.Evictions, s.Writebacks)
+	}
+	var l1d, l1t, l1c, l1i cache.Stats
+	for _, c := range g.cores {
+		if c.l1d != nil {
+			merge(&l1d, c.l1d.Stats())
+		}
+		merge(&l1t, c.l1t.Stats())
+		if c.l1c != nil {
+			merge(&l1c, c.l1c.Stats())
+		}
+		if c.l1i != nil {
+			merge(&l1i, c.l1i.Stats())
+		}
+	}
+	line("L1D(all)", l1d)
+	line("L1T(all)", l1t)
+	line("L1C(all)", l1c)
+	line("L1I(all)", l1i)
+	line("L2", g.l2.Stats())
+	fmt.Fprintf(&b, "device memory high-water: %d bytes\n", g.mem.Size())
+	return b.String()
+}
+
+func merge(dst *cache.Stats, s cache.Stats) {
+	dst.Accesses += s.Accesses
+	dst.Hits += s.Hits
+	dst.Misses += s.Misses
+	dst.Evictions += s.Evictions
+	dst.Writebacks += s.Writebacks
+	dst.TagFlips += s.TagFlips
+	dst.HookArms += s.HookArms
+	dst.HookFires += s.HookFires
+	dst.HookKills += s.HookKills
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"gpufi/internal/config"
+)
+
+// titanLike returns a small config without an L1 data cache (the Kepler
+// shape: global accesses go straight to L2).
+func titanLike() *config.GPU {
+	cfg := testConfig()
+	cfg.Name = "TestKepler"
+	cfg.L1D = nil
+	return cfg
+}
+
+func TestNoL1DGlobalThroughL2(t *testing.T) {
+	g, err := New(titanLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runVecadd(t, g, 256)
+	for i, v := range res {
+		if v != float32(3*i) {
+			t.Fatalf("c[%d] = %g", i, v)
+		}
+	}
+	if g.L2().Stats().Accesses == 0 {
+		t.Error("no L2 traffic without L1D")
+	}
+	if g.CoreL1D(0) != nil {
+		t.Error("L1D exists on Kepler-like config")
+	}
+}
+
+func TestNoL1DLocalMemory(t *testing.T) {
+	// Local memory without an L1D routes through the L2 write-back path.
+	src := `
+.kernel lk
+.local 16
+	S2R R0, %gtid
+	IMUL R1, R0, 5
+	STL [4], R1
+	LDL R2, [4]
+	LDC R3, c[0]
+	SHL R4, R0, 2
+	IADD R4, R3, R4
+	STG [R4], R2
+	EXIT
+`
+	g, err := New(titanLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustAssemble(t, src)
+	dout, _ := g.Malloc(4 * 64)
+	if _, err := g.Launch(p, Dim1(2), Dim1(32), dout); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 4*64)
+	g.MemcpyDtoH(out, dout)
+	for i, v := range bytesToU32s(out) {
+		if v != uint32(i*5) {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*5)
+		}
+	}
+}
+
+func TestL1DInjectionMaskedWithoutL1D(t *testing.T) {
+	g, err := New(titanLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ArmFault(&FaultSpec{
+		Structure:    StructL1D,
+		Cycle:        20,
+		BitPositions: []int64{5},
+		Seed:         1,
+	})
+	runVecadd(t, g, 128)
+	rec := g.Injection()
+	if rec == nil {
+		t.Fatal("injection not evaluated")
+	}
+	if rec.Applied {
+		t.Errorf("L1D injection applied on a card without L1D: %+v", rec)
+	}
+}
+
+func TestL1CInjectionCanCorruptParameters(t *testing.T) {
+	// Parameters flow through the L1C; flipping a high bit of a cached
+	// pointer parameter must produce crashes or corruption across seeds.
+	effects := 0
+	applied := 0
+	for seed := int64(0); seed < 30; seed++ {
+		g := newTestGPU(t)
+		lineBits := int64(g.Config().L1C.LineBits())
+		var positions []int64
+		// Flip the same data bit in every line: the parameter line is hit.
+		bit := int64(57) + 28 + (seed%2)*32 // high bits of param words 0/1
+		for line := int64(0); line < int64(g.Config().L1C.Lines()); line++ {
+			positions = append(positions, line*lineBits+bit)
+		}
+		g.ArmFault(&FaultSpec{
+			Structure:    StructL1C,
+			Cycle:        10 + uint64(seed)*9,
+			BitPositions: positions,
+			Seed:         seed,
+		})
+		g.CycleLimit = 1 << 20
+		// A grid larger than the chip's resident capacity launches CTAs in
+		// waves; warps of later waves re-read the (corrupted) parameters.
+		p := mustAssemble(t, vecaddAsm)
+		n := 4096
+		da, _ := g.Malloc(uint32(4 * n))
+		db, _ := g.Malloc(uint32(4 * n))
+		dc, _ := g.Malloc(uint32(4 * n))
+		_, err := g.Launch(p, Dim1(n/64), Dim1(64), da, db, dc, uint32(n))
+		if rec := g.Injection(); rec != nil && rec.Applied {
+			applied++
+		}
+		if err != nil {
+			effects++
+			continue
+		}
+		out := make([]byte, 4*n)
+		g.MemcpyDtoH(out, dc)
+		for _, v := range bytesToU32s(out) {
+			if v != 0 {
+				effects++
+				break
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no L1C injection applied")
+	}
+	if effects == 0 {
+		t.Error("30 L1C parameter-bit injections had no architectural effect")
+	}
+	t.Logf("L1C injections: %d applied, %d with effects", applied, effects)
+}

@@ -1,0 +1,275 @@
+// Package sim implements the GPU microarchitectural simulator that gpuFI-4
+// runs on: SIMT cores with warp scheduling and a SIMT reconvergence stack,
+// per-SM register files and shared memories, L1 data/texture caches, a
+// banked L2, DRAM, a CTA scheduler honoring per-SM occupancy limits, and a
+// global cycle loop. It plays the role GPGPU-Sim 4.0 plays for the paper:
+// both the functional simulator (executing the SASS-like ISA) and the
+// performance simulator (timing), plus the fault-injection backend hooks.
+package sim
+
+import (
+	"fmt"
+
+	"gpufi/internal/isa"
+)
+
+// Dim is a 2-D launch dimension (the benchmarks use X and Y only).
+type Dim struct {
+	X, Y int
+}
+
+// Count returns the flattened element count.
+func (d Dim) Count() int {
+	if d.X <= 0 {
+		d.X = 1
+	}
+	if d.Y <= 0 {
+		d.Y = 1
+	}
+	return d.X * d.Y
+}
+
+// Dim1 builds a one-dimensional Dim.
+func Dim1(x int) Dim { return Dim{X: x, Y: 1} }
+
+// Dim2 builds a two-dimensional Dim.
+func Dim2(x, y int) Dim { return Dim{X: x, Y: y} }
+
+// Structure identifies an injectable hardware structure (paper Table IV).
+type Structure uint8
+
+// Injectable structures.
+const (
+	StructRegFile Structure = iota
+	StructShared
+	StructLocal
+	StructL1D
+	StructL1T
+	StructL2
+
+	// StructL1C is an extension over the paper: the constant cache, which
+	// the original gpuFI-4 could not inject because GPGPU-Sim keeps no
+	// line-to-data linkage for it. This simulator's caches hold real data,
+	// so the limitation does not apply. It is not part of the paper's
+	// chip-AVF structure set by default.
+	StructL1C
+
+	// StructL1I is the matching extension for the instruction cache: the
+	// kernel binary lives in device memory, fetches flow through a
+	// per-core L1I, and flipped instruction bits decode into different —
+	// possibly illegal — instructions.
+	StructL1I
+	structCount
+)
+
+var structNames = [...]string{
+	"regfile", "shared", "local", "l1d", "l1t", "l2", "l1c", "l1i",
+}
+
+// String returns the structure's short name.
+func (s Structure) String() string {
+	if int(s) < len(structNames) {
+		return structNames[s]
+	}
+	return fmt.Sprintf("struct(%d)", uint8(s))
+}
+
+// Valid reports whether s names a defined structure.
+func (s Structure) Valid() bool { return s < structCount }
+
+// Structures lists all injectable structures in display order, including
+// the L1 constant cache extension.
+func Structures() []Structure {
+	return []Structure{StructRegFile, StructShared, StructLocal, StructL1D, StructL1T, StructL2, StructL1C, StructL1I}
+}
+
+// ParseStructure converts a short name to a Structure.
+func ParseStructure(name string) (Structure, error) {
+	for i, n := range structNames {
+		if n == name {
+			return Structure(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown structure %q", name)
+}
+
+// FaultSpec describes one transient-fault injection experiment: which
+// structure, at which global cycle, and which bit positions to flip. The
+// *container* (thread, warp, CTA, or SIMT core) is chosen at injection time
+// among the active ones, using the spec's seed — exactly the paper's
+// procedure ("the tool at a given cycle chooses a random active thread...").
+type FaultSpec struct {
+	Structure Structure
+
+	// Cycle is the global simulator cycle at which to inject.
+	Cycle uint64
+
+	// BitPositions are the bit indices to flip, in the structure's own
+	// coordinate space:
+	//   - regfile: bit i of the thread's allocated registers, i in
+	//     [0, 32*RegsPerThread);
+	//   - shared:  bit i of the CTA's shared memory, i in [0, 8*SmemBytes);
+	//   - local:   bit i of the thread's local memory, i in [0, 8*LocalBytes);
+	//   - l1d/l1t: bit i of the selected core's cache (57-bit tag + data
+	//     per line), i in [0, cache.SizeBits());
+	//   - l2:      bit i of the whole L2, the banks abstracted as one
+	//     entity, i in [0, l2.SizeBits()).
+	BitPositions []int64
+
+	// WarpWide applies register-file/local flips to every thread of a
+	// randomly chosen warp instead of a single thread.
+	WarpWide bool
+
+	// Blocks is the number of CTAs hit by a shared-memory injection (the
+	// same flips are applied to each); 0 means 1.
+	Blocks int
+
+	// CoreMask restricts L1 injections to these core IDs (the paper's
+	// per-kernel list of SIMT cores used). Empty means all cores.
+	CoreMask []int
+
+	// Seed drives the runtime container choice.
+	Seed int64
+}
+
+// Validate checks spec consistency against structural limits.
+func (f *FaultSpec) Validate() error {
+	if !f.Structure.Valid() {
+		return fmt.Errorf("sim: invalid structure %d", f.Structure)
+	}
+	if len(f.BitPositions) == 0 {
+		return fmt.Errorf("sim: no bit positions")
+	}
+	for _, b := range f.BitPositions {
+		if b < 0 {
+			return fmt.Errorf("sim: negative bit position %d", b)
+		}
+	}
+	if f.Blocks < 0 {
+		return fmt.Errorf("sim: negative block count")
+	}
+	return nil
+}
+
+// InjectionRecord reports what an injection actually did, for logging.
+type InjectionRecord struct {
+	Applied   bool // false: no live target existed at the cycle (masked)
+	Structure Structure
+	Cycle     uint64
+	Core      int // SIMT core hit (L1/RF/shared/local), -1 if n/a
+	Warp      int // warp slot hit (RF/local), -1 if n/a
+	Thread    int // global thread id hit, -1 if n/a
+	CTA       int // linear CTA id hit (shared), -1 if n/a
+	Detail    string
+}
+
+// MemViolation is the error produced when a (possibly fault-corrupted)
+// memory access leaves the allocated address space — the event classified
+// as a Crash.
+type MemViolation struct {
+	Kernel string
+	PC     int
+	Op     isa.Op
+	Addr   uint32
+	Space  string
+}
+
+// Error implements the error interface.
+func (v *MemViolation) Error() string {
+	return fmt.Sprintf("sim: %s memory violation: kernel %s pc %d %s addr %#x",
+		v.Space, v.Kernel, v.PC, v.Op, v.Addr)
+}
+
+// IllegalInstr is the error produced when corrupted instruction bits
+// decode into an inexecutable instruction or drive the PC outside the
+// program — classified as a Crash.
+type IllegalInstr struct {
+	Kernel string
+	PC     int
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *IllegalInstr) Error() string {
+	return fmt.Sprintf("sim: illegal instruction: kernel %s pc %d: %s", e.Kernel, e.PC, e.Reason)
+}
+
+// ErrTimeout is returned when a launch exceeds the configured cycle limit
+// (the classifier's Timeout outcome: twice the fault-free execution time).
+type ErrTimeout struct {
+	Kernel string
+	Cycle  uint64
+	Limit  uint64
+}
+
+// Error implements the error interface.
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("sim: timeout in kernel %s: cycle %d exceeds limit %d", e.Kernel, e.Cycle, e.Limit)
+}
+
+// KernelStats aggregates per-static-kernel profiling data across all of its
+// invocations: the inputs to the campaign's cycle sampling and to the
+// derating factors df_reg and df_smem.
+type KernelStats struct {
+	Name        string
+	Invocations int
+
+	// Windows are the [start,end) global-cycle intervals of each
+	// invocation; campaigns sample injection cycles inside them.
+	Windows []CycleWindow
+
+	// TotalCycles is the summed width of all windows.
+	TotalCycles uint64
+
+	// RegsPerThread and SmemPerCTA are the kernel's static demands.
+	RegsPerThread int
+	SmemPerCTA    int
+	LocalPerThr   int
+
+	// UsedCores lists the SIMT cores that executed at least one CTA of
+	// this kernel (the campaign's L1 core mask).
+	UsedCores []int
+
+	// Cycle-weighted means over active SMs, for df_reg/df_smem.
+	MeanThreadsPerSM float64
+	MeanCTAsPerSM    float64
+
+	// Occupancy is the cycle-weighted ratio of resident live warps to the
+	// warp slots of active SMs (the red dots of Fig. 3).
+	Occupancy float64
+
+	// Instructions is the number of warp instructions issued.
+	Instructions int64
+
+	// accumulators (cycle-weighted sums over active SMs)
+	accThreads  float64
+	accCTAs     float64
+	accWarpOcc  float64
+	accActiveSM float64
+}
+
+// CycleWindow is a [Start, End) interval of global cycles.
+type CycleWindow struct {
+	Start, End uint64
+}
+
+// Width returns the window length in cycles.
+func (w CycleWindow) Width() uint64 { return w.End - w.Start }
+
+// finalize converts accumulators to means.
+func (k *KernelStats) finalize() {
+	if k.accActiveSM > 0 {
+		k.MeanThreadsPerSM = k.accThreads / k.accActiveSM
+		k.MeanCTAsPerSM = k.accCTAs / k.accActiveSM
+		k.Occupancy = k.accWarpOcc / k.accActiveSM
+	}
+}
+
+// LaunchResult describes one completed kernel launch.
+type LaunchResult struct {
+	Kernel       string
+	Cycles       uint64 // cycles consumed by this launch
+	StartCycle   uint64
+	EndCycle     uint64
+	Instructions int64
+}
