@@ -8,8 +8,11 @@
 package gpufi_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"gpufi"
 )
@@ -32,7 +35,7 @@ func evalOne(b *testing.B, appName, gpuName string, bits int) *gpufi.AppEval {
 	if err != nil {
 		b.Fatal(err)
 	}
-	eval, err := gpufi.Evaluate(app, gpu, gpufi.EvalConfig{Runs: benchRuns, Bits: bits, Seed: 1})
+	eval, err := gpufi.Evaluate(nil, app, gpu, gpufi.EvalConfig{Runs: benchRuns, Bits: bits, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -110,7 +113,7 @@ func BenchmarkTableII_MemorySpaces(b *testing.B) {
 func BenchmarkTableIV_Targets(b *testing.B) {
 	app, _ := gpufi.AppByName("SP")
 	gpu := gpufi.RTX2060()
-	prof, err := gpufi.Profile(app, gpu)
+	prof, err := gpufi.Profile(nil, app, gpu)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -275,7 +278,7 @@ func BenchmarkAblationECC(b *testing.B) {
 				app, _ := gpufi.AppByName("SP")
 				gpu := gpufi.RTX2060()
 				gpu.ECC = ecc
-				prof, err := gpufi.Profile(app, gpu)
+				prof, err := gpufi.Profile(nil, app, gpu)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -307,7 +310,7 @@ func BenchmarkAblationLenientMemory(b *testing.B) {
 			app, _ := gpufi.AppByName("KM")
 			gpu := gpufi.RTX2060()
 			gpu.LenientMemory = lenient
-			prof, err := gpufi.Profile(app, gpu)
+			prof, err := gpufi.Profile(nil, app, gpu)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -333,7 +336,7 @@ func BenchmarkAblationWarpWide(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		app, _ := gpufi.AppByName("SP")
 		gpu := gpufi.RTX2060()
-		prof, err := gpufi.Profile(app, gpu)
+		prof, err := gpufi.Profile(nil, app, gpu)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -409,7 +412,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkCampaignThroughput(b *testing.B) {
 	app, _ := gpufi.AppByName("VA")
 	gpu := gpufi.RTX2060()
-	prof, err := gpufi.Profile(app, gpu)
+	prof, err := gpufi.Profile(nil, app, gpu)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -425,6 +428,110 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(10, "injections/op")
 }
 
+// BenchmarkCampaignForkVsReplay runs the same 300-run register-file
+// campaign (BP's bp_adjust kernel, last invocation — a late injection
+// window, where replaying the fault-free prefix hurts most) on the
+// snapshot-and-fork engine and on the legacy full-replay engine. Each
+// iteration verifies the two produce bit-identical Counts and reports the
+// wall-clock speedup; the fork engine's acceptance bar is 3x.
+func BenchmarkCampaignForkVsReplay(b *testing.B) {
+	app, err := gpufi.AppByName("BP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpu := gpufi.RTX2060()
+	prof, err := gpufi.Profile(nil, app, gpu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lastInv := len(prof.Kernels["bp_adjust"].Windows)
+	run := func(legacy bool) (*gpufi.CampaignResult, time.Duration) {
+		opts := []gpufi.CampaignOption{
+			gpufi.WithTarget(app, gpu, "bp_adjust", gpufi.StructRegFile),
+			gpufi.WithRuns(300),
+			gpufi.WithSeed(5),
+			gpufi.WithInvocation(lastInv),
+			gpufi.WithProfile(prof),
+		}
+		if legacy {
+			opts = append(opts, gpufi.WithLegacyReplay())
+		}
+		t0 := time.Now()
+		res, err := gpufi.NewCampaign(opts...).Run(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+	var forkTime, replayTime time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fork, tf := run(false)
+		replay, tr := run(true)
+		if fork.Counts != replay.Counts {
+			b.Fatalf("engines disagree: fork %+v vs replay %+v", fork.Counts, replay.Counts)
+		}
+		forkTime += tf
+		replayTime += tr
+	}
+	b.ReportMetric(forkTime.Seconds()/float64(b.N), "fork-s/op")
+	b.ReportMetric(replayTime.Seconds()/float64(b.N), "replay-s/op")
+	b.ReportMetric(float64(replayTime)/float64(forkTime), "speedup-x")
+}
+
+// TestCampaignAPI exercises the public Campaign surface: functional
+// options, validation, progress callbacks, and cancellation with partial
+// results.
+func TestCampaignAPI(t *testing.T) {
+	app, err := gpufi.AppByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu := gpufi.RTX2060()
+	if err := gpufi.NewCampaign(gpufi.WithTarget(app, gpu, "nope", gpufi.StructRegFile),
+		gpufi.WithRuns(5)).Validate(); err == nil {
+		t.Error("Validate accepted an unknown kernel")
+	}
+	done := 0
+	c := gpufi.NewCampaign(
+		gpufi.WithTarget(app, gpu, "va_add", gpufi.StructRegFile),
+		gpufi.WithRuns(12),
+		gpufi.WithSeed(9),
+		gpufi.WithWorkers(4),
+		gpufi.WithProgress(func(gpufi.Experiment) { done++ }),
+	)
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Total() != 12 || done != 12 {
+		t.Errorf("total=%d progress=%d, want 12/12", res.Counts.Total(), done)
+	}
+	// Cancelling from the progress callback returns promptly with the
+	// finished subset.
+	ctx, cancel := context.WithCancel(context.Background())
+	seen := 0
+	c2 := gpufi.NewCampaign(
+		gpufi.WithTarget(app, gpu, "va_add", gpufi.StructRegFile),
+		gpufi.WithRuns(200),
+		gpufi.WithSeed(9),
+		gpufi.WithWorkers(2),
+		gpufi.WithProgress(func(gpufi.Experiment) {
+			if seen++; seen == 3 {
+				cancel()
+			}
+		}),
+	)
+	res2, err := c2.Run(ctx)
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res2 == nil || res2.Counts.Total() == 0 || res2.Counts.Total() >= 200 {
+		t.Errorf("partial result: %+v", res2)
+	}
+}
+
 // Example-style smoke check for the facade, kept with the benchmarks so
 // `go test` at the repo root exercises the public API.
 func TestFacadeSmoke(t *testing.T) {
@@ -438,7 +545,7 @@ func TestFacadeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof, err := gpufi.Profile(app, gpufi.RTX2060())
+	prof, err := gpufi.Profile(nil, app, gpufi.RTX2060())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,144 @@
+package gpufi
+
+import (
+	"context"
+
+	"gpufi/internal/core"
+)
+
+// Campaign is a configured injection campaign point: an application, a GPU
+// model, a target kernel and hardware structure, and the experiment batch
+// parameters. Build one with NewCampaign and functional options, then
+// execute it with Run — campaigns run on the snapshot-and-fork engine,
+// which simulates the fault-free prefix once per cycle-cluster and forks
+// every experiment from a deep GPU snapshot instead of replaying from
+// cycle 0.
+//
+//	app, _ := gpufi.AppByName("VA")
+//	gpu := gpufi.RTX2060()
+//	c := gpufi.NewCampaign(
+//	    gpufi.WithTarget(app, gpu, "va_add", gpufi.StructRegFile),
+//	    gpufi.WithRuns(3000),
+//	    gpufi.WithSeed(42),
+//	    gpufi.WithProgress(func(e gpufi.Experiment) { fmt.Print(".") }),
+//	)
+//	res, err := c.Run(ctx)
+//
+// A Campaign is single-goroutine on the outside (Run may be called again
+// after it returns); the experiments inside run in parallel.
+type Campaign struct {
+	cfg  CampaignConfig
+	prof *AppProfile
+}
+
+// CampaignOption configures a Campaign under construction.
+type CampaignOption func(*Campaign)
+
+// NewCampaign builds a campaign from functional options. Everything has a
+// sensible zero default except the target (application, GPU, kernel,
+// structure) and the run count; Validate or Run reports what is missing.
+func NewCampaign(opts ...CampaignOption) *Campaign {
+	c := &Campaign{cfg: CampaignConfig{Bits: 1}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// WithTarget sets the campaign point: which application on which GPU
+// model, which static kernel, and which hardware structure to inject into.
+func WithTarget(app *App, gpu *GPU, kernel string, st Structure) CampaignOption {
+	return func(c *Campaign) {
+		c.cfg.App, c.cfg.GPU, c.cfg.Kernel, c.cfg.Structure = app, gpu, kernel, st
+	}
+}
+
+// WithRuns sets the number of injection experiments.
+func WithRuns(n int) CampaignOption { return func(c *Campaign) { c.cfg.Runs = n } }
+
+// WithWorkers sets the number of parallel experiment workers
+// (0 = GOMAXPROCS). The outcome is identical for any worker count.
+func WithWorkers(n int) CampaignOption { return func(c *Campaign) { c.cfg.Workers = n } }
+
+// WithSeed sets the campaign seed. Same seed, same outcomes — bit for bit.
+func WithSeed(seed int64) CampaignOption { return func(c *Campaign) { c.cfg.Seed = seed } }
+
+// WithBits sets the fault multiplicity (1 = single-bit, 3 = triple, ...).
+func WithBits(bits int) CampaignOption { return func(c *Campaign) { c.cfg.Bits = bits } }
+
+// WithProgress registers a callback invoked once per finished experiment
+// (serialized, in completion order) — for progress bars and incremental
+// log flushing.
+func WithProgress(fn func(Experiment)) CampaignOption {
+	return func(c *Campaign) { c.cfg.Progress = fn }
+}
+
+// WithInvocation targets a single dynamic instance of the static kernel
+// (1-based; 0 = all invocations together, the paper's default).
+func WithInvocation(n int) CampaignOption { return func(c *Campaign) { c.cfg.Invocation = n } }
+
+// WithWarpWide makes register-file and local-memory injections hit the
+// same register of every thread in a warp.
+func WithWarpWide(v bool) CampaignOption { return func(c *Campaign) { c.cfg.WarpWide = v } }
+
+// WithBlocks sets how many CTAs a shared-memory injection hits.
+func WithBlocks(n int) CampaignOption { return func(c *Campaign) { c.cfg.Blocks = n } }
+
+// WithSimultaneous adds structures injected in the same run at the same
+// cycle as the primary target (the paper's combination campaigns).
+func WithSimultaneous(sts ...Structure) CampaignOption {
+	return func(c *Campaign) { c.cfg.Simultaneous = append(c.cfg.Simultaneous, sts...) }
+}
+
+// WithLegacyReplay forces the original engine that re-simulates the whole
+// fault-free prefix for every experiment. Outcomes are bit-identical to
+// the default snapshot-and-fork engine; this exists for validation and
+// benchmarking.
+func WithLegacyReplay() CampaignOption { return func(c *Campaign) { c.cfg.LegacyReplay = true } }
+
+// WithProfile supplies a precomputed fault-free profile, so several
+// campaign points against the same app/GPU share one golden run.
+func WithProfile(prof *AppProfile) CampaignOption { return func(c *Campaign) { c.prof = prof } }
+
+// Config returns a copy of the underlying campaign configuration.
+func (c *Campaign) Config() CampaignConfig { return c.cfg }
+
+// Validate checks the campaign configuration without running anything.
+func (c *Campaign) Validate() error { return c.cfg.Validate() }
+
+// Run executes the campaign. The context cancels it: on cancellation Run
+// returns promptly with ctx's error and a partial CampaignResult holding
+// every experiment that finished, so callers can still flush logs.
+// If no profile was supplied with WithProfile, Run performs the fault-free
+// golden run first.
+func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := c.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof := c.prof
+	if prof == nil {
+		p, err := core.ProfileApp(ctx, c.cfg.App, c.cfg.GPU)
+		if err != nil {
+			return nil, err
+		}
+		c.prof = p
+		prof = p
+	}
+	return core.RunCampaign(ctx, &c.cfg, prof)
+}
+
+// Profile returns the campaign's fault-free profile, computing it on first
+// use.
+func (c *Campaign) Profile(ctx context.Context) (*AppProfile, error) {
+	if c.prof == nil {
+		p, err := core.ProfileApp(ctx, c.cfg.App, c.cfg.GPU)
+		if err != nil {
+			return nil, err
+		}
+		c.prof = p
+	}
+	return c.prof, nil
+}

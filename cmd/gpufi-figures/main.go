@@ -74,7 +74,7 @@ func (d *driver) eval(appName, gpuName string, bits int) *gpufi.AppEval {
 	gpu.L2QueueCycles = d.l2queue
 	fmt.Fprintf(os.Stderr, "  evaluating %s on %s (%d-bit, %d runs/point)...\n",
 		appName, gpuName, bits, d.runs)
-	e, err := gpufi.Evaluate(app, gpu, gpufi.EvalConfig{
+	e, err := gpufi.Evaluate(nil, app, gpu, gpufi.EvalConfig{
 		Runs: d.runs, Bits: bits, Seed: d.seed, Workers: d.workers,
 	})
 	if err != nil {
@@ -143,7 +143,7 @@ func (d *driver) table4() {
 	}
 	app, _ := gpufi.AppByName("VA")
 	gpu := gpufi.RTX2060()
-	prof, err := gpufi.Profile(app, gpu)
+	prof, err := gpufi.Profile(nil, app, gpu)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,13 +3,19 @@
 // benchmark on a GPU model, runs one campaign point (kernel x structure x
 // multiplicity), prints the fault-effect breakdown, and optionally writes
 // the JSONL experiment log.
+//
+// SIGINT cancels the campaign: in-flight experiments stop promptly, and
+// whatever finished is still reported and flushed to the log file.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"gpufi"
 	"gpufi/internal/report"
@@ -35,6 +41,8 @@ func main() {
 		lenient   = flag.Bool("lenient", false, "GPGPU-Sim-style lazily allocated memory (wild accesses succeed)")
 		ecc       = flag.Bool("ecc", false, "enable SEC-DED ECC on all structures (protection ablation)")
 		stats     = flag.Bool("stats", false, "print the memory-system statistics of the fault-free run")
+		legacy    = flag.Bool("legacy-replay", false, "use the legacy full-replay engine instead of snapshot-and-fork")
+		progress  = flag.Bool("progress", false, "print one dot per finished experiment")
 		tracePath = flag.String("trace", "", "write the fault-free instruction trace to this file (slow)")
 		listApps  = flag.Bool("list", false, "list benchmarks and kernels, then exit")
 	)
@@ -46,6 +54,11 @@ func main() {
 		}
 		return
 	}
+
+	// SIGINT cancels the campaign context; a second SIGINT kills the
+	// process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	app, err := gpufi.AppByNameScale(*appName, *scale)
 	if err != nil {
@@ -64,7 +77,7 @@ func main() {
 	}
 
 	fmt.Printf("profiling %s on %s...\n", app.Name, gpu.Name)
-	prof, err := gpufi.Profile(app, gpu)
+	prof, err := gpufi.Profile(ctx, app, gpu)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,14 +125,38 @@ func main() {
 		Header: []string{"kernel", "Masked", "SDC", "Crash", "Timeout", "Performance", "FR (Eq.1)", "99% margin"},
 	}
 	var total gpufi.Counts
+	cancelled := false
 	for _, k := range kernels {
-		res, err := gpufi.Run(&gpufi.CampaignConfig{
-			App: app, GPU: gpu, Kernel: k, Structure: st,
-			Runs: *runs, Bits: *bits, WarpWide: *warpWide, Blocks: *blocks,
-			Seed: *seed, Workers: *workers,
-		}, prof)
+		opts := []gpufi.CampaignOption{
+			gpufi.WithTarget(app, gpu, k, st),
+			gpufi.WithRuns(*runs),
+			gpufi.WithBits(*bits),
+			gpufi.WithWarpWide(*warpWide),
+			gpufi.WithBlocks(*blocks),
+			gpufi.WithSeed(*seed),
+			gpufi.WithWorkers(*workers),
+			gpufi.WithProfile(prof),
+		}
+		if *legacy {
+			opts = append(opts, gpufi.WithLegacyReplay())
+		}
+		if *progress {
+			opts = append(opts, gpufi.WithProgress(func(gpufi.Experiment) {
+				fmt.Print(".")
+				os.Stdout.Sync()
+			}))
+		}
+		res, err := gpufi.NewCampaign(opts...).Run(ctx)
+		if *progress {
+			fmt.Println()
+		}
 		if err != nil {
-			log.Fatal(err)
+			// Cancellation still yields the finished experiments; anything
+			// else is fatal.
+			if !errors.Is(err, context.Canceled) || res == nil {
+				log.Fatal(err)
+			}
+			cancelled = true
 		}
 		c := res.Counts
 		tb.AddRow(k,
@@ -132,6 +169,11 @@ func main() {
 			if err := gpufi.WriteLog(logFile, res); err != nil {
 				log.Fatal(err)
 			}
+		}
+		if cancelled {
+			fmt.Printf("interrupted: %s finished %d of %d experiments; partial results follow\n",
+				k, c.Total(), *runs)
+			break
 		}
 	}
 	if len(kernels) > 1 {
@@ -146,5 +188,8 @@ func main() {
 	}
 	if *logPath != "" {
 		fmt.Printf("\nexperiment log: %s\n", *logPath)
+	}
+	if cancelled {
+		os.Exit(130)
 	}
 }

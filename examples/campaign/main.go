@@ -1,14 +1,19 @@
 // Campaign: a full single-structure injection campaign on one benchmark —
 // the basic experiment of the paper. Runs N register-file injections into
-// the BFS kernels on an RTX 2060, classifies every outcome, writes the
-// JSONL log, and reports the failure ratio (Eq. 1).
+// the BFS kernels on an RTX 2060 through the Campaign API (snapshot-and-
+// fork engine, Ctrl-C cancellation, per-experiment progress), classifies
+// every outcome, writes the JSONL log, and reports the failure ratio
+// (Eq. 1).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"gpufi"
 )
@@ -23,6 +28,9 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	app, err := gpufi.AppByName(*appName)
 	if err != nil {
 		log.Fatal(err)
@@ -30,7 +38,7 @@ func main() {
 	gpu := gpufi.RTX2060()
 
 	fmt.Printf("profiling %s on %s (fault-free golden run)...\n", app.Name, gpu.Name)
-	prof, err := gpufi.Profile(app, gpu)
+	prof, err := gpufi.Profile(ctx, app, gpu)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,22 +55,36 @@ func main() {
 
 	var total gpufi.Counts
 	for _, kernel := range prof.KernelOrder {
-		res, err := gpufi.Run(&gpufi.CampaignConfig{
-			App: app, GPU: gpu, Kernel: kernel,
-			Structure: gpufi.StructRegFile,
-			Runs:      *runs, Bits: *bits, Seed: *seed,
-		}, prof)
-		if err != nil {
+		done := 0
+		c := gpufi.NewCampaign(
+			gpufi.WithTarget(app, gpu, kernel, gpufi.StructRegFile),
+			gpufi.WithRuns(*runs),
+			gpufi.WithBits(*bits),
+			gpufi.WithSeed(*seed),
+			gpufi.WithProfile(prof),
+			gpufi.WithProgress(func(gpufi.Experiment) {
+				if done++; done%50 == 0 {
+					fmt.Printf("  %s: %d/%d\n", kernel, done, *runs)
+				}
+			}),
+		)
+		res, err := c.Run(ctx)
+		interrupted := err != nil && errors.Is(err, context.Canceled) && res != nil
+		if err != nil && !interrupted {
 			log.Fatal(err)
 		}
-		c := res.Counts
+		cc := res.Counts
 		fmt.Printf("kernel %-10s masked=%-4d sdc=%-4d crash=%-4d timeout=%-4d perf=%-4d  FR=%.3f\n",
-			kernel, c.Masked, c.SDC, c.Crash, c.Timeout, c.Performance, c.FailureRatio())
-		total.Merge(c)
+			kernel, cc.Masked, cc.SDC, cc.Crash, cc.Timeout, cc.Performance, cc.FailureRatio())
+		total.Merge(cc)
 		if logFile != nil {
 			if err := gpufi.WriteLog(logFile, res); err != nil {
 				log.Fatal(err)
 			}
+		}
+		if interrupted {
+			fmt.Printf("interrupted after %d experiments; partial results logged\n", cc.Total())
+			break
 		}
 	}
 	fmt.Printf("\nregister file over all kernels: %d runs, failure ratio %.3f\n",

@@ -31,7 +31,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("evaluating %s on %s...\n", app.Name, gpu.Name)
-		eval, err := gpufi.Evaluate(app, gpu, gpufi.EvalConfig{
+		eval, err := gpufi.Evaluate(nil, app, gpu, gpufi.EvalConfig{
 			Runs: *runs, Bits: 1, Seed: *seed,
 		})
 		if err != nil {

@@ -33,7 +33,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("evaluating %s with %d-bit faults...\n", app.Name, bits)
-		eval, err := gpufi.Evaluate(app, gpu, gpufi.EvalConfig{
+		eval, err := gpufi.Evaluate(nil, app, gpu, gpufi.EvalConfig{
 			Runs: *runs, Bits: bits, Seed: *seed,
 		})
 		if err != nil {

@@ -37,7 +37,7 @@ func main() {
 		for _, bits := range []int{1, 3} {
 			gpu := gpufi.RTX2060()
 			gpu.ECC = ecc
-			prof, err := gpufi.Profile(app, gpu)
+			prof, err := gpufi.Profile(nil, app, gpu)
 			if err != nil {
 				log.Fatal(err)
 			}

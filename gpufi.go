@@ -5,15 +5,20 @@
 // simulator in the spirit of GPGPU-Sim 4.0, a SASS-like ISA and assembler,
 // and the paper's twelve benchmark applications.
 //
-// The typical flow mirrors the paper's methodology:
+// The typical flow mirrors the paper's methodology: build a Campaign for
+// one injection point and Run it. Campaigns execute on the snapshot-and-
+// fork engine — the fault-free prefix is simulated once per cluster of
+// nearby injection cycles, and every experiment forks from a deep GPU
+// snapshot instead of replaying from cycle 0.
 //
-//	app, _ := gpufi.AppByName("VA")          // one of the 12 benchmarks
+//	app, _ := gpufi.AppByName("VA")           // one of the 12 benchmarks
 //	gpu := gpufi.RTX2060()                    // Table V configuration
-//	prof, _ := gpufi.Profile(app, gpu)        // fault-free golden run
-//	res, _ := gpufi.Run(&gpufi.CampaignConfig{
-//	    App: app, GPU: gpu, Kernel: "va_add",
-//	    Structure: gpufi.StructRegFile, Runs: 3000, Bits: 1,
-//	}, prof)
+//	c := gpufi.NewCampaign(
+//	    gpufi.WithTarget(app, gpu, "va_add", gpufi.StructRegFile),
+//	    gpufi.WithRuns(3000),
+//	    gpufi.WithSeed(42),
+//	)
+//	res, _ := c.Run(ctx)                      // ctx cancels mid-campaign
 //	fmt.Println(res.Counts.FailureRatio())    // Eq. (1)
 //
 // Full-application AVF/FIT evaluations (Eqs. 2-3, Section VI.F) run with
@@ -22,6 +27,7 @@
 package gpufi
 
 import (
+	"context"
 	"io"
 
 	"gpufi/internal/asm"
@@ -160,18 +166,26 @@ func ParseStructure(name string) (Structure, error) { return sim.ParseStructure(
 // Campaign methodology (the gpuFI-4 modules).
 
 // Profile runs an application fault-free and returns its golden output
-// and per-kernel statistics.
-func Profile(app *App, gpu *GPU) (*AppProfile, error) { return core.ProfileApp(app, gpu) }
+// and per-kernel statistics. The context cancels the run.
+func Profile(ctx context.Context, app *App, gpu *GPU) (*AppProfile, error) {
+	return core.ProfileApp(ctx, app, gpu)
+}
 
 // Run executes one injection campaign point against a profile.
+//
+// Deprecated: build a Campaign with NewCampaign (use WithProfile to reuse
+// prof) and call its Run method, which adds cancellation, progress
+// callbacks and partial results. This wrapper runs the same engine with a
+// background context.
 func Run(cfg *CampaignConfig, prof *AppProfile) (*CampaignResult, error) {
-	return core.RunCampaign(cfg, prof)
+	return core.RunCampaign(context.Background(), cfg, prof)
 }
 
 // Evaluate runs the full campaign matrix for an app on a GPU and
-// assembles the AVF (Eqs. 1-3) and FIT metrics.
-func Evaluate(app *App, gpu *GPU, cfg EvalConfig) (*AppEval, error) {
-	return core.EvaluateApp(app, gpu, cfg)
+// assembles the AVF (Eqs. 1-3) and FIT metrics. The context cancels the
+// evaluation.
+func Evaluate(ctx context.Context, app *App, gpu *GPU, cfg EvalConfig) (*AppEval, error) {
+	return core.EvaluateApp(ctx, app, gpu, cfg)
 }
 
 // StructBreakdown returns each structure's share of an evaluation's total

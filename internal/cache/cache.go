@@ -80,6 +80,7 @@ type Cache struct {
 	geom    *config.Cache
 	backing Backing
 	lines   []line
+	arena   []byte // contiguous backing store for all line data
 	useCtr  uint64
 	stats   Stats
 
@@ -95,15 +96,77 @@ func New(geom *config.Cache, backing Backing) *Cache {
 		geom:      geom,
 		backing:   backing,
 		lines:     make([]line, geom.Lines()),
+		arena:     make([]byte, geom.Lines()*geom.LineBytes),
 		lineShift: uint(bits.TrailingZeros32(uint32(geom.LineBytes))),
 		setMask:   uint32(geom.Sets - 1),
 		tagMask:   (uint64(1) << config.TagBits) - 1,
 	}
 	c.tagShift = c.lineShift + uint(bits.TrailingZeros32(uint32(geom.Sets)))
+	lb := geom.LineBytes
 	for i := range c.lines {
-		c.lines[i].data = make([]byte, geom.LineBytes)
+		c.lines[i].data = c.arena[i*lb : (i+1)*lb : (i+1)*lb]
 	}
 	return c
+}
+
+// Clone returns a deep copy of the cache — tags, data, dirty bits, LRU
+// state, armed fault hooks and statistics — wired over the given backing
+// level. Only valid lines' data is copied: an invalid line's contents are
+// unobservable (lookup requires the valid bit, fill overwrites the data
+// before setting it, and InjectBit masks on invalid lines), so the zeroed
+// arena is equivalent and the copy cost tracks occupancy, not capacity.
+// This is what keeps campaign forks cheap.
+func (c *Cache) Clone(backing Backing) *Cache {
+	n := &Cache{
+		geom:      c.geom,
+		backing:   backing,
+		lines:     make([]line, len(c.lines)),
+		arena:     make([]byte, len(c.arena)),
+		useCtr:    c.useCtr,
+		stats:     c.stats,
+		lineShift: c.lineShift,
+		setMask:   c.setMask,
+		tagShift:  c.tagShift,
+		tagMask:   c.tagMask,
+	}
+	copy(n.lines, c.lines)
+	lb := c.geom.LineBytes
+	for i := range n.lines {
+		if c.lines[i].valid {
+			copy(n.arena[i*lb:(i+1)*lb], c.lines[i].data)
+		}
+		n.lines[i].data = n.arena[i*lb : (i+1)*lb : (i+1)*lb]
+		if hb := c.lines[i].hookBits; len(hb) > 0 {
+			n.lines[i].hookBits = append([]uint16(nil), hb...)
+		}
+	}
+	return n
+}
+
+// CopyFrom makes c a deep copy of src (same geometry) wired over the given
+// backing level, reusing c's existing line and arena storage. Campaign
+// forks restore hundreds of snapshots; reuse turns each restore into plain
+// memmoves instead of multi-megabyte zeroed allocations. As in Clone, only
+// valid lines' data is copied — whatever c's arena held for lines invalid
+// in src is unobservable.
+func (c *Cache) CopyFrom(src *Cache, backing Backing) {
+	if c.geom != src.geom && *c.geom != *src.geom {
+		panic("cache: CopyFrom with mismatched geometry")
+	}
+	c.backing = backing
+	c.useCtr = src.useCtr
+	c.stats = src.stats
+	for i := range c.lines {
+		d := c.lines[i].data
+		c.lines[i] = src.lines[i]
+		c.lines[i].data = d
+		if src.lines[i].valid {
+			copy(d, src.lines[i].data)
+		}
+		if hb := src.lines[i].hookBits; len(hb) > 0 {
+			c.lines[i].hookBits = append([]uint16(nil), hb...)
+		}
+	}
 }
 
 // Stats returns a copy of the event counters.

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpufi/internal/avf"
 	"gpufi/internal/bench"
@@ -26,14 +28,22 @@ type Profile struct {
 
 // ProfileApp runs the application once without faults and collects the
 // profile. It also verifies the run against the CPU reference, the
-// equivalent of the paper's golden-reference preparation step.
-func ProfileApp(app *bench.App, gpu *config.GPU) (*Profile, error) {
+// equivalent of the paper's golden-reference preparation step. The context
+// cancels the run.
+func ProfileApp(ctx context.Context, app *bench.App, gpu *config.GPU) (*Profile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g, err := sim.New(gpu)
 	if err != nil {
 		return nil, err
 	}
+	g.SetContext(ctx)
 	out, err := app.Run(g)
 	if err != nil {
+		if isCancel(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("core: fault-free run of %s failed: %v", app.Name, err)
 	}
 	if !app.RefOK(out) {
@@ -72,6 +82,83 @@ type CampaignConfig struct {
 	// at the same cycle as Structure — the paper's Table IV combination
 	// campaigns ("different hardware structures simultaneously").
 	Simultaneous []sim.Structure
+
+	// LegacyReplay forces the original engine that re-simulates the whole
+	// fault-free prefix for every experiment, instead of the default
+	// snapshot-and-fork scheduler. Outcomes are bit-identical either way;
+	// the legacy path exists for validation and benchmarking.
+	LegacyReplay bool
+
+	// Progress, when non-nil, is called once per finished experiment (in
+	// completion order, serialized). Long campaigns use it for progress
+	// reporting and incremental logging.
+	Progress func(Experiment)
+}
+
+// workerCount resolves the configured worker count.
+func (c *CampaignConfig) workerCount() int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// Validate checks the campaign point for configuration errors that would
+// otherwise surface mid-campaign: unknown kernel, a structure the GPU
+// model does not have, non-positive run count or fault multiplicity.
+// Every entry point calls it before doing any work.
+func (c *CampaignConfig) Validate() error {
+	if c.App == nil {
+		return fmt.Errorf("core: campaign has no application")
+	}
+	if c.GPU == nil {
+		return fmt.Errorf("core: campaign has no GPU model")
+	}
+	if c.Runs <= 0 {
+		return fmt.Errorf("core: campaign Runs must be positive, got %d", c.Runs)
+	}
+	if c.Bits <= 0 {
+		return fmt.Errorf("core: campaign Bits (fault multiplicity) must be positive, got %d", c.Bits)
+	}
+	if c.Invocation < 0 {
+		return fmt.Errorf("core: campaign Invocation must not be negative, got %d", c.Invocation)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: campaign Workers must not be negative, got %d", c.Workers)
+	}
+	known := false
+	for _, k := range c.App.Kernels {
+		if k == c.Kernel {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: application %s has no kernel %q (have %v)",
+			c.App.Name, c.Kernel, c.App.Kernels)
+	}
+	structs := append([]sim.Structure{c.Structure}, c.Simultaneous...)
+	for _, st := range structs {
+		switch st {
+		case sim.StructL1D:
+			if c.GPU.L1D == nil {
+				return fmt.Errorf("core: GPU model %s has no L1 data cache to inject into", c.GPU.Name)
+			}
+		case sim.StructL1C:
+			if c.GPU.L1C == nil {
+				return fmt.Errorf("core: GPU model %s has no L1 constant cache to inject into", c.GPU.Name)
+			}
+		case sim.StructL1I:
+			if c.GPU.L1I == nil {
+				return fmt.Errorf("core: GPU model %s has no L1 instruction cache to inject into", c.GPU.Name)
+			}
+		case sim.StructRegFile, sim.StructShared, sim.StructLocal, sim.StructL1T, sim.StructL2:
+		default:
+			return fmt.Errorf("core: unknown injection structure %d", st)
+		}
+	}
+	return nil
 }
 
 // Experiment is one logged injection result.
@@ -99,13 +186,21 @@ type CampaignResult struct {
 	Exps      []Experiment `json:"-"`
 }
 
-// RunCampaign executes the campaign point: Runs fresh simulations, each
-// with one fault drawn by the mask generator, classified against the
-// profile's golden output. Experiments run in parallel; results are
-// deterministic given the seed.
-func RunCampaign(cfg *CampaignConfig, prof *Profile) (*CampaignResult, error) {
-	if cfg.Runs <= 0 {
-		return nil, fmt.Errorf("core: campaign needs a positive run count")
+// RunCampaign executes the campaign point: Runs experiments, each with one
+// fault drawn by the mask generator, classified against the profile's
+// golden output. Experiments run in parallel on the snapshot-and-fork
+// engine (or the legacy full-replay path when cfg.LegacyReplay is set);
+// results are deterministic given the seed, independent of the worker
+// count and of the engine choice.
+//
+// On context cancellation RunCampaign returns promptly with ctx's error
+// and a partial CampaignResult holding every experiment that finished.
+func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	ks := prof.Kernels[cfg.Kernel]
 	if ks == nil {
@@ -161,76 +256,101 @@ func RunCampaign(cfg *CampaignConfig, prof *Profile) (*CampaignResult, error) {
 		}
 	}
 
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Runs {
-		workers = cfg.Runs
+	// Derive every experiment's fault specs up front, serially: this is
+	// what pins the outcome to the seed regardless of worker count or
+	// scheduling, and the fork engine needs all injection cycles to plan
+	// its snapshot clusters.
+	specs := make([]*sim.FaultSpec, cfg.Runs)
+	extras := make([][]*sim.FaultSpec, cfg.Runs)
+	for i := range specs {
+		specs[i] = gen.Spec(i)
+		for _, eg := range extraGens {
+			es := eg.Spec(i)
+			es.Cycle = specs[i].Cycle // simultaneous: same injection instant
+			extras[i] = append(extras[i], es)
+		}
 	}
 
-	exps := make([]Experiment, cfg.Runs)
+	if cfg.LegacyReplay {
+		return runReplay(ctx, cfg, prof, specs, extras)
+	}
+	return runForked(ctx, cfg, prof, windows, specs, extras)
+}
+
+// runReplay is the legacy engine: every experiment is a fresh simulation
+// from cycle 0, re-executing the fault-free prefix up to its injection
+// cycle. Kept as the validation baseline for the fork engine.
+func runReplay(ctx context.Context, cfg *CampaignConfig, prof *Profile,
+	specs []*sim.FaultSpec, extras [][]*sim.FaultSpec) (*CampaignResult, error) {
+
+	workers := cfg.workerCount()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	col := newCollector(cfg, len(specs))
 	var wg sync.WaitGroup
-	idx := make(chan int)
+	var pos int64 = -1
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				exp, err := runOne(cfg, prof, gen, extraGens, i)
-				if err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
+			for {
+				i := int(atomic.AddInt64(&pos, 1))
+				if i >= len(specs) || ctx.Err() != nil {
 					return
 				}
-				exps[i] = exp
+				g, err := sim.New(cfg.GPU)
+				if err == nil {
+					var exp Experiment
+					exp, err = runExperiment(ctx, cfg, prof, g, specs[i], extras[i], i)
+					if err == nil {
+						col.add(i, exp)
+						continue
+					}
+				}
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
 			}
 		}()
 	}
-	for i := 0; i < cfg.Runs; i++ {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 	select {
 	case err := <-errCh:
-		return nil, err
+		if !isCancel(err) {
+			return nil, err
+		}
 	default:
 	}
-
-	res := &CampaignResult{
-		App: prof.App, GPU: prof.GPU, Kernel: cfg.Kernel,
-		Structure: cfg.Structure.String(), Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed,
-		Exps: exps,
+	if err := ctx.Err(); err != nil {
+		return col.result(prof), err
 	}
-	for i := range exps {
-		res.Counts.Add(exps[i].Outcome)
-	}
-	return res, nil
+	return col.result(prof), nil
 }
 
-// runOne executes and classifies a single injection experiment.
-func runOne(cfg *CampaignConfig, prof *Profile, gen *MaskGen, extraGens []*MaskGen, i int) (Experiment, error) {
-	spec := gen.Spec(i)
-	g, err := sim.New(cfg.GPU)
-	if err != nil {
-		return Experiment{}, err
-	}
+// runExperiment arms the faults on a prepared GPU (fresh or forked), runs
+// the application and classifies the outcome.
+func runExperiment(ctx context.Context, cfg *CampaignConfig, prof *Profile,
+	g *sim.GPU, spec *sim.FaultSpec, extras []*sim.FaultSpec, i int) (Experiment, error) {
+
 	g.CycleLimit = 2 * prof.TotalCycles // the paper's timeout threshold
+	g.SetContext(ctx)
 	if err := g.ArmFault(spec); err != nil {
 		return Experiment{}, err
 	}
-	for _, eg := range extraGens {
-		es := eg.Spec(i)
-		es.Cycle = spec.Cycle // simultaneous: same injection instant
+	for _, es := range extras {
 		if err := g.ArmFault(es); err != nil {
 			return Experiment{}, err
 		}
 	}
 	out, runErr := cfg.App.Run(g)
+	if runErr != nil && isCancel(runErr) {
+		// A cancelled run is an aborted campaign, not a Crash outcome.
+		return Experiment{}, runErr
+	}
 
 	exp := Experiment{
 		ID:    i,

@@ -150,7 +150,7 @@ func TestSampleSize(t *testing.T) {
 
 func TestProfileApp(t *testing.T) {
 	app := bench.VA()
-	prof, err := ProfileApp(app, config.RTX2060())
+	prof, err := ProfileApp(nil, app, config.RTX2060())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestProfileApp(t *testing.T) {
 func TestRunCampaignVA(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
-	prof, err := ProfileApp(app, gpu)
+	prof, err := ProfileApp(nil, app, gpu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestRunCampaignVA(t *testing.T) {
 		App: app, GPU: gpu, Kernel: "va_add",
 		Structure: sim.StructRegFile, Runs: 40, Bits: 1, Seed: 99,
 	}
-	res, err := RunCampaign(cfg, prof)
+	res, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,16 +203,16 @@ func TestRunCampaignVA(t *testing.T) {
 func TestCampaignDeterministic(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
-	prof, _ := ProfileApp(app, gpu)
+	prof, _ := ProfileApp(nil, app, gpu)
 	cfg := &CampaignConfig{
 		App: app, GPU: gpu, Kernel: "va_add",
 		Structure: sim.StructRegFile, Runs: 15, Bits: 1, Seed: 7, Workers: 4,
 	}
-	r1, err := RunCampaign(cfg, prof)
+	r1, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunCampaign(cfg, prof)
+	r2, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,12 +229,12 @@ func TestCampaignDeterministic(t *testing.T) {
 func TestCampaignAbsentStructureAllMasked(t *testing.T) {
 	app := bench.VA() // uses no shared memory
 	gpu := config.RTX2060()
-	prof, _ := ProfileApp(app, gpu)
+	prof, _ := ProfileApp(nil, app, gpu)
 	cfg := &CampaignConfig{
 		App: app, GPU: gpu, Kernel: "va_add",
 		Structure: sim.StructShared, Runs: 10, Bits: 1, Seed: 3,
 	}
-	res, err := RunCampaign(cfg, prof)
+	res, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,10 +246,10 @@ func TestCampaignAbsentStructureAllMasked(t *testing.T) {
 func TestCampaignUnknownKernel(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
-	prof, _ := ProfileApp(app, gpu)
+	prof, _ := ProfileApp(nil, app, gpu)
 	cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "nope",
 		Structure: sim.StructRegFile, Runs: 1, Bits: 1}
-	if _, err := RunCampaign(cfg, prof); err == nil {
+	if _, err := RunCampaign(nil, cfg, prof); err == nil {
 		t.Error("unknown kernel accepted")
 	}
 }
@@ -257,10 +257,10 @@ func TestCampaignUnknownKernel(t *testing.T) {
 func TestLogRoundTrip(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
-	prof, _ := ProfileApp(app, gpu)
+	prof, _ := ProfileApp(nil, app, gpu)
 	cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "va_add",
 		Structure: sim.StructRegFile, Runs: 12, Bits: 1, Seed: 5}
-	res, err := RunCampaign(cfg, prof)
+	res, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestParseSpecErrors(t *testing.T) {
 func TestEvaluateAppSmall(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
-	eval, err := EvaluateApp(app, gpu, EvalConfig{Runs: 10, Bits: 1, Seed: 21})
+	eval, err := EvaluateApp(nil, app, gpu, EvalConfig{Runs: 10, Bits: 1, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestEvaluateAppSmall(t *testing.T) {
 
 func TestEvaluateAppTitanSkipsL1D(t *testing.T) {
 	app := bench.VA()
-	eval, err := EvaluateApp(app, config.GTXTitan(), EvalConfig{Runs: 5, Bits: 1, Seed: 2})
+	eval, err := EvaluateApp(nil, app, config.GTXTitan(), EvalConfig{Runs: 5, Bits: 1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

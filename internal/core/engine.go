@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gpufi/internal/sim"
+)
+
+// This file is the snapshot-and-fork campaign scheduler. The legacy path
+// re-simulates the whole fault-free prefix for every experiment, which is
+// the dominant cost at paper-scale run counts (injection cycles average
+// half the execution, so ~half of every experiment is redundant work).
+// The engine instead sorts the experiment batch by injection cycle, groups
+// nearby cycles into clusters, and runs the fault-free prefix ONCE: at
+// each cluster's snapshot cycle the prefix pauses, deep-copies the GPU,
+// and the cluster's experiments fork from the copy — each one skipping
+// straight to just before its injection instant. Because the simulator is
+// deterministic, fork and legacy replay produce bit-identical outcomes.
+
+// cluster is a group of experiments whose injection cycles are close
+// enough to share one snapshot, taken one cycle before the earliest.
+type cluster struct {
+	snapCycle uint64
+	idxs      []int // experiment indices, ascending by injection cycle
+}
+
+// clusterSpanDivisor bounds how much post-snapshot prefix a fork may have
+// to re-simulate: a cluster never spans more than total-window-cycles /
+// clusterSpanDivisor, so per-experiment redundancy stays under ~1.6% of
+// the execution while the prefix takes at most that many snapshots.
+const clusterSpanDivisor = 64
+
+// planClusters sorts the experiments by injection cycle and greedily packs
+// them into clusters. Clusters never cross an invocation-window boundary:
+// a snapshot is most useful inside the launch it will resume.
+func planClusters(specs []*sim.FaultSpec, windows []sim.CycleWindow) []cluster {
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := specs[order[a]].Cycle, specs[order[b]].Cycle
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	var total uint64
+	for _, w := range windows {
+		total += w.Width()
+	}
+	maxSpan := total / clusterSpanDivisor
+	if maxSpan < 1 {
+		maxSpan = 1
+	}
+	windowStart := func(cycle uint64) uint64 {
+		for _, w := range windows {
+			// Injection cycles are drawn from (Start, End]: the fault fires
+			// entering the cycle, so Start+1 is the earliest instant.
+			if cycle > w.Start && cycle <= w.End {
+				return w.Start
+			}
+		}
+		return 0
+	}
+	var out []cluster
+	var curWin uint64
+	for _, i := range order {
+		c := specs[i].Cycle
+		w := windowStart(c)
+		if len(out) == 0 || w != curWin || c-(out[len(out)-1].snapCycle+1) > maxSpan {
+			out = append(out, cluster{snapCycle: c - 1})
+			curWin = w
+		}
+		cl := &out[len(out)-1]
+		cl.idxs = append(cl.idxs, i)
+	}
+	return out
+}
+
+// runForked executes the campaign on the snapshot-and-fork path: one
+// fault-free prefix run that pauses at each cluster's snapshot cycle and
+// fans the cluster's experiments out over the worker pool, each on a fork
+// of the snapshot. After the last cluster the prefix aborts (its suffix is
+// never needed).
+func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
+	windows []sim.CycleWindow, specs []*sim.FaultSpec, extras [][]*sim.FaultSpec) (*CampaignResult, error) {
+
+	clusters := planClusters(specs, windows)
+	snapCycles := make([]uint64, len(clusters))
+	for i, c := range clusters {
+		snapCycles[i] = c.snapCycle
+	}
+
+	col := newCollector(cfg, len(specs))
+	g, err := sim.New(cfg.GPU)
+	if err != nil {
+		return nil, err
+	}
+	g.SetContext(ctx)
+	g.EnableRecording()
+	// The prefix is fault-free, but bound it anyway so a scheduling bug
+	// cannot hang the campaign.
+	g.CycleLimit = 4 * prof.TotalCycles
+
+	// One reusable fork per worker slot, shared across clusters: after its
+	// first experiment a vessel restores snapshots into its existing
+	// memories and cache arenas instead of re-allocating them, which is the
+	// dominant per-experiment cost for small kernels.
+	vessels := make([]*sim.GPU, cfg.workerCount())
+
+	next := 0
+	g.SnapshotAt(snapCycles, func(s *sim.Snapshot) error {
+		cl := clusters[next]
+		next++
+		if err := runCluster(ctx, cfg, prof, s, cl.idxs, specs, extras, vessels, col); err != nil {
+			return err
+		}
+		// Every fork of this cluster has finished; the next capture can
+		// reuse the snapshot's storage instead of allocating afresh.
+		g.RecycleSnapshot(s)
+		if next == len(clusters) {
+			return sim.ErrReplayStop
+		}
+		return nil
+	})
+
+	if _, runErr := cfg.App.Run(g); runErr != nil && !errors.Is(runErr, sim.ErrReplayStop) {
+		if isCancel(runErr) {
+			// Cancelled mid-campaign: hand back what finished.
+			return col.result(prof), runErr
+		}
+		return nil, fmt.Errorf("core: fault-free prefix run of %s failed: %w", cfg.App.Name, runErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return col.result(prof), err
+	}
+	return col.result(prof), nil
+}
+
+// runCluster fans one cluster's experiments over a worker pool, each
+// forking from the shared (read-only) snapshot.
+func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *sim.Snapshot,
+	idxs []int, specs []*sim.FaultSpec, extras [][]*sim.FaultSpec, vessels []*sim.GPU, col *collector) error {
+
+	workers := cfg.workerCount()
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	var wg sync.WaitGroup
+	var pos int64 = -1
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				k := int(atomic.AddInt64(&pos, 1))
+				if k >= len(idxs) || ctx.Err() != nil {
+					return
+				}
+				i := idxs[k]
+				g := vessels[w]
+				if g == nil {
+					g = sim.NewFork(snap)
+					vessels[w] = g
+				} else {
+					g.Refork(snap)
+				}
+				exp, err := runExperiment(ctx, cfg, prof, g, specs[i], extras[i], i)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				col.add(i, exp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		if !isCancel(err) {
+			return err
+		}
+	default:
+	}
+	return ctx.Err()
+}
+
+// collector gathers finished experiments, preserving IDs, and feeds the
+// progress callback. It tolerates partial completion (cancellation).
+type collector struct {
+	cfg  *CampaignConfig
+	mu   sync.Mutex
+	exps []Experiment
+	done []bool
+}
+
+func newCollector(cfg *CampaignConfig, n int) *collector {
+	return &collector{cfg: cfg, exps: make([]Experiment, n), done: make([]bool, n)}
+}
+
+func (c *collector) add(i int, exp Experiment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exps[i] = exp
+	c.done[i] = true
+	if c.cfg.Progress != nil {
+		c.cfg.Progress(exp)
+	}
+}
+
+// result assembles the campaign result from whatever completed: the full
+// experiment list when everything ran, the finished subset otherwise.
+func (c *collector) result(prof *Profile) *CampaignResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := &CampaignResult{
+		App: prof.App, GPU: prof.GPU, Kernel: c.cfg.Kernel,
+		Structure: c.cfg.Structure.String(), Bits: c.cfg.Bits,
+		Runs: c.cfg.Runs, Seed: c.cfg.Seed,
+	}
+	complete := true
+	for i := range c.exps {
+		if c.done[i] {
+			res.Counts.Add(c.exps[i].Outcome)
+		} else {
+			complete = false
+		}
+	}
+	if complete {
+		res.Exps = c.exps
+		return res
+	}
+	for i := range c.exps {
+		if c.done[i] {
+			res.Exps = append(res.Exps, c.exps[i])
+		}
+	}
+	return res
+}
+
+// isCancel reports whether err is a context cancellation or deadline —
+// these must propagate as campaign aborts, never classify as Crashes.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gpufi/internal/avf"
@@ -71,8 +72,12 @@ type EvalConfig struct {
 
 // EvaluateApp runs the full campaign matrix for one application on one
 // GPU: every static kernel x every on-chip structure, then assembles
-// AVF_kernel (Eq. 2), wAVF (Eq. 3) and the chip FIT rate.
-func EvaluateApp(app *bench.App, gpu *config.GPU, cfg EvalConfig) (*AppEval, error) {
+// AVF_kernel (Eq. 2), wAVF (Eq. 3) and the chip FIT rate. The context
+// cancels the evaluation between (and inside) campaign points.
+func EvaluateApp(ctx context.Context, app *bench.App, gpu *config.GPU, cfg EvalConfig) (*AppEval, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Runs <= 0 {
 		return nil, fmt.Errorf("core: evaluation needs a positive run count")
 	}
@@ -83,7 +88,7 @@ func EvaluateApp(app *bench.App, gpu *config.GPU, cfg EvalConfig) (*AppEval, err
 	if structures == nil {
 		structures = OnChipStructures()
 	}
-	prof, err := ProfileApp(app, gpu)
+	prof, err := ProfileApp(ctx, app, gpu)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +113,7 @@ func EvaluateApp(app *bench.App, gpu *config.GPU, cfg EvalConfig) (*AppEval, err
 				Seed:    seedBase ^ int64(ki*131+si*17+1)*0x5DEECE66D,
 				Workers: cfg.Workers,
 			}
-			cres, err := RunCampaign(ccfg, prof)
+			cres, err := RunCampaign(ctx, ccfg, prof)
 			if err != nil {
 				return nil, fmt.Errorf("core: %s/%s/%s: %v", app.Name, kname, st, err)
 			}

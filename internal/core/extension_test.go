@@ -13,7 +13,7 @@ import (
 func TestEvaluateExtensionStructures(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
-	eval, err := EvaluateApp(app, gpu, EvalConfig{
+	eval, err := EvaluateApp(nil, app, gpu, EvalConfig{
 		Runs: 8, Bits: 1, Seed: 3,
 		Structures: []sim.Structure{sim.StructL1C, sim.StructL1I},
 	})
@@ -42,11 +42,11 @@ func TestEvaluateExtensionStructures(t *testing.T) {
 func TestL1IExtensionCampaign(t *testing.T) {
 	app := bench.SP()
 	gpu := config.RTX2060()
-	prof, err := ProfileApp(app, gpu)
+	prof, err := ProfileApp(nil, app, gpu)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunCampaign(&CampaignConfig{
+	res, err := RunCampaign(nil, &CampaignConfig{
 		App: app, GPU: gpu, Kernel: "sp_dot",
 		Structure: sim.StructL1I, Runs: 20, Bits: 1, Seed: 9,
 	}, prof)
@@ -70,7 +70,7 @@ func TestEvaluateUnderECC(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
 	gpu.ECC = true
-	eval, err := EvaluateApp(app, gpu, EvalConfig{Runs: 10, Bits: 1, Seed: 4})
+	eval, err := EvaluateApp(nil, app, gpu, EvalConfig{Runs: 10, Bits: 1, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

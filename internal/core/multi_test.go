@@ -13,7 +13,7 @@ import (
 func TestInvocationTargeting(t *testing.T) {
 	app := bench.LUD()
 	gpu := config.RTX2060()
-	prof, err := ProfileApp(app, gpu)
+	prof, err := ProfileApp(nil, app, gpu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestInvocationTargeting(t *testing.T) {
 		Structure: sim.StructRegFile, Runs: 12, Bits: 1, Seed: 4,
 		Invocation: 2,
 	}
-	res, err := RunCampaign(cfg, prof)
+	res, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestInvocationTargeting(t *testing.T) {
 	}
 
 	cfg.Invocation = len(ks.Windows) + 5
-	if _, err := RunCampaign(cfg, prof); err == nil {
+	if _, err := RunCampaign(nil, cfg, prof); err == nil {
 		t.Error("out-of-range invocation accepted")
 	}
 }
@@ -47,7 +47,7 @@ func TestInvocationTargeting(t *testing.T) {
 func TestSimultaneousStructures(t *testing.T) {
 	app := bench.SP() // uses shared memory and textures
 	gpu := config.RTX2060()
-	prof, err := ProfileApp(app, gpu)
+	prof, err := ProfileApp(nil, app, gpu)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestSimultaneousStructures(t *testing.T) {
 		Simultaneous: []sim.Structure{sim.StructShared, sim.StructL2},
 		Runs:         10, Bits: 1, Seed: 6,
 	}
-	res, err := RunCampaign(cfg, prof)
+	res, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestSimultaneousStructures(t *testing.T) {
 		App: app, GPU: gpu, Kernel: "sp_dot",
 		Structure: sim.StructRegFile, Runs: 10, Bits: 1, Seed: 6,
 	}
-	sres, err := RunCampaign(solo, prof)
+	sres, err := RunCampaign(nil, solo, prof)
 	if err != nil {
 		t.Fatal(err)
 	}

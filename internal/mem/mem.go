@@ -45,6 +45,41 @@ func New() *Memory {
 	return &Memory{next: BaseAddr}
 }
 
+// Clone returns a deep copy of the memory image and its allocator state.
+// The copy shares nothing with the original; it is the device-memory leg
+// of a GPU snapshot.
+func (m *Memory) Clone() *Memory {
+	n := &Memory{
+		data: make([]byte, len(m.data)),
+		next: m.next,
+	}
+	copy(n.data, m.data)
+	if len(m.allocs) > 0 {
+		n.allocs = make([]extent, len(m.allocs))
+		copy(n.allocs, m.allocs)
+	}
+	return n
+}
+
+// CopyFrom makes m a deep copy of src, reusing m's existing backing arrays
+// when they are large enough. Campaign forks restore thousands of
+// snapshots per campaign; reuse keeps that free of large allocations.
+func (m *Memory) CopyFrom(src *Memory) {
+	if cap(m.data) >= len(src.data) {
+		m.data = m.data[:len(src.data)]
+	} else {
+		m.data = make([]byte, len(src.data))
+	}
+	copy(m.data, src.data)
+	if cap(m.allocs) >= len(src.allocs) {
+		m.allocs = m.allocs[:len(src.allocs)]
+	} else {
+		m.allocs = make([]extent, len(src.allocs))
+	}
+	copy(m.allocs, src.allocs)
+	m.next = src.next
+}
+
 // Alloc reserves size bytes and returns the base device address. The
 // region is zero-initialized.
 func (m *Memory) Alloc(size uint32) (uint32, error) {

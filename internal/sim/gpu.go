@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -83,6 +84,21 @@ type GPU struct {
 	progBase   uint32 // device address of the current kernel's binary image
 	violation  error
 	kernelStat *KernelStats
+
+	// mid-launch bookkeeping, held on the GPU (not the Launch frame) so a
+	// snapshot captures it and a fork can resume the launch epilogue.
+	launchStart uint64
+	launchCores map[int]bool
+	launchInstr int64
+
+	// snapshot-and-fork machinery (see snapshot.go)
+	snapAt      []uint64              // pending capture cycles, ascending
+	snapFn      func(*Snapshot) error // capture sink; an error aborts the run
+	record      *recorder             // non-nil: record host-call results
+	seek        *seekState            // non-nil: elide host calls until restore
+	snapScratch *GPU                  // recycled snapshot template for the next capture
+	ctx         context.Context       // optional cancellation for long launches
+	ctxTick     uint32                // loop-iteration counter for ctx polling
 }
 
 // New builds a GPU from a validated configuration.
@@ -111,17 +127,69 @@ func (g *GPU) Config() *config.GPU { return g.cfg }
 // Cycle returns the current global cycle.
 func (g *GPU) Cycle() uint64 { return g.cycle }
 
+// SetContext attaches a cancellation context. Long launches poll it
+// periodically and abort with ctx.Err() once it is done, which is what
+// makes multi-hour campaigns respond promptly to SIGINT or a deadline.
+func (g *GPU) SetContext(ctx context.Context) { g.ctx = ctx }
+
 // Malloc allocates device memory (cudaMalloc).
-func (g *GPU) Malloc(size uint32) (uint32, error) { return g.mem.Alloc(size) }
+func (g *GPU) Malloc(size uint32) (uint32, error) {
+	if g.seek != nil {
+		c, err := g.seekNext(callMalloc)
+		if err != nil {
+			return 0, err
+		}
+		if c.size != size {
+			return 0, g.diverged("Malloc", c.size, size)
+		}
+		return c.addr, nil
+	}
+	addr, err := g.mem.Alloc(size)
+	if err == nil && g.record != nil {
+		g.record.add(hostCall{kind: callMalloc, addr: addr, size: size})
+	}
+	return addr, err
+}
 
 // Free releases device memory (cudaFree).
-func (g *GPU) Free(addr uint32) error { return g.mem.Free(addr) }
+func (g *GPU) Free(addr uint32) error {
+	if g.seek != nil {
+		c, err := g.seekNext(callFree)
+		if err != nil {
+			return err
+		}
+		if c.addr != addr {
+			return g.diverged("Free", c.addr, addr)
+		}
+		return nil
+	}
+	if err := g.mem.Free(addr); err != nil {
+		return err
+	}
+	if g.record != nil {
+		g.record.add(hostCall{kind: callFree, addr: addr})
+	}
+	return nil
+}
 
 // MemcpyHtoD copies host bytes to device memory, keeping resident L2 lines
 // coherent (as the copy engine does through the L2 on real parts).
 func (g *GPU) MemcpyHtoD(dst uint32, src []byte) error {
+	if g.seek != nil {
+		c, err := g.seekNext(callHtoD)
+		if err != nil {
+			return err
+		}
+		if c.addr != dst || c.size != uint32(len(src)) {
+			return g.diverged("MemcpyHtoD", c.addr, dst)
+		}
+		return nil // the snapshot already holds this copy's effect
+	}
 	if err := g.mem.HostWrite(dst, src); err != nil {
 		return err
+	}
+	if g.record != nil {
+		g.record.add(hostCall{kind: callHtoD, addr: dst, size: uint32(len(src))})
 	}
 	line := uint32(g.cfg.L2.LineBytes)
 	for off := uint32(0); off < uint32(len(src)); {
@@ -139,6 +207,17 @@ func (g *GPU) MemcpyHtoD(dst uint32, src []byte) error {
 // MemcpyDtoH copies device memory to host bytes, overlaying resident
 // (possibly dirty) L2 lines on the DRAM image.
 func (g *GPU) MemcpyDtoH(dst []byte, src uint32) error {
+	if g.seek != nil {
+		c, err := g.seekNext(callDtoH)
+		if err != nil {
+			return err
+		}
+		if c.addr != src || len(c.data) != len(dst) {
+			return g.diverged("MemcpyDtoH", c.addr, src)
+		}
+		copy(dst, c.data) // replay the recorded fault-free bytes
+		return nil
+	}
 	if err := g.mem.HostRead(src, dst); err != nil {
 		return err
 	}
@@ -154,6 +233,10 @@ func (g *GPU) MemcpyDtoH(dst []byte, src uint32) error {
 			copy(dst[off:off+chunk], data[lo:lo+chunk])
 		}
 		off += chunk
+	}
+	if g.record != nil {
+		g.record.add(hostCall{kind: callDtoH, addr: src, size: uint32(len(dst)),
+			data: append([]byte(nil), dst...)})
 	}
 	return nil
 }
@@ -214,6 +297,25 @@ func (g *GPU) CoreL1C(i int) *cache.Cache { return g.cores[i].l1c }
 // Launch runs one kernel to completion (synchronous, like the paper's
 // benchmark applications). Args are 32-bit parameter words read by LDC.
 func (g *GPU) Launch(p *isa.Program, grid, block Dim, args ...uint32) (*LaunchResult, error) {
+	if g.seek != nil {
+		return g.seekLaunch(p)
+	}
+	res, err := g.launchSetup(p, grid, block, args)
+	if err != nil {
+		return res, err
+	}
+	res, err = g.runLaunch()
+	if err == nil && g.record != nil {
+		g.record.add(hostCall{kind: callLaunch, name: p.Name, launch: *res})
+	}
+	return res, err
+}
+
+// launchSetup validates the launch, stages parameters, the kernel binary
+// image and local memory in device memory, places the initial CTAs, and
+// opens the kernel's statistics window. runLaunch picks up from here; a
+// fork restoring a mid-launch snapshot skips straight past it.
+func (g *GPU) launchSetup(p *isa.Program, grid, block Dim, args []uint32) (*LaunchResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -299,8 +401,8 @@ func (g *GPU) Launch(p *isa.Program, grid, block Dim, args ...uint32) (*LaunchRe
 	ks.LocalPerThr = p.LocalBytes
 	g.kernelStat = ks
 
-	start := g.cycle
-	usedCores := make(map[int]bool)
+	g.launchStart = g.cycle
+	g.launchCores = make(map[int]bool)
 
 	// Initial CTA placement, breadth-first across cores as the hardware
 	// GigaThread scheduler does (one CTA per SM per pass until full).
@@ -311,15 +413,43 @@ func (g *GPU) Launch(p *isa.Program, grid, block Dim, args ...uint32) (*LaunchRe
 				break
 			}
 			if c.tryPlaceCTA(g.nextCTA) {
-				usedCores[c.id] = true
+				g.launchCores[c.id] = true
 				g.nextCTA++
 				placed = true
 			}
 		}
 	}
 
-	instrBefore := ks.Instructions
+	g.launchInstr = ks.Instructions
+	return nil, nil
+}
+
+// runLaunch drives the current launch's cycle loop to completion and
+// closes out its statistics. It starts either right after launchSetup or
+// from a restored mid-launch snapshot: every piece of state it touches
+// lives on the GPU, never in a stack frame.
+func (g *GPU) runLaunch() (*LaunchResult, error) {
+	p := g.curProg
+	ks := g.kernelStat
 	for g.doneCTAs < g.totalCTAs {
+		// Pending snapshot captures fire between cycles: the state handed
+		// to the sink is "every cycle <= g.cycle executed, faults for
+		// g.cycle+1 not yet applied", which is exactly where a fork resumes.
+		for len(g.snapAt) > 0 && g.cycle >= g.snapAt[0] {
+			g.snapAt = g.snapAt[1:]
+			if err := g.snapFn(g.capture()); err != nil {
+				g.releaseLaunch()
+				return nil, err
+			}
+		}
+		if g.ctx != nil {
+			if g.ctxTick++; g.ctxTick&1023 == 0 {
+				if err := g.ctx.Err(); err != nil {
+					g.releaseLaunch()
+					return nil, err
+				}
+			}
+		}
 		g.cycle++
 		if g.CycleLimit > 0 && g.cycle > g.CycleLimit {
 			g.releaseLaunch()
@@ -345,7 +475,7 @@ func (g *GPU) Launch(p *isa.Program, grid, block Dim, args ...uint32) (*LaunchRe
 		if g.nextCTA < g.totalCTAs {
 			for _, c := range g.cores {
 				for g.nextCTA < g.totalCTAs && c.tryPlaceCTA(g.nextCTA) {
-					usedCores[c.id] = true
+					g.launchCores[c.id] = true
 					g.nextCTA++
 				}
 			}
@@ -358,7 +488,7 @@ func (g *GPU) Launch(p *isa.Program, grid, block Dim, args ...uint32) (*LaunchRe
 	// boundaries: dirty local data reaches L2, and stale read-only texture
 	// lines cannot leak into the next launch.
 	for _, c := range g.cores {
-		if usedCores[c.id] {
+		if g.launchCores[c.id] {
 			if c.l1d != nil {
 				c.l1d.Flush()
 			}
@@ -373,19 +503,19 @@ func (g *GPU) Launch(p *isa.Program, grid, block Dim, args ...uint32) (*LaunchRe
 	}
 
 	end := g.cycle
-	ks.Windows = append(ks.Windows, CycleWindow{Start: start, End: end})
-	ks.TotalCycles += end - start
-	for id := range usedCores {
+	ks.Windows = append(ks.Windows, CycleWindow{Start: g.launchStart, End: end})
+	ks.TotalCycles += end - g.launchStart
+	for id := range g.launchCores {
 		ks.UsedCores = appendUnique(ks.UsedCores, id)
 	}
 	sort.Ints(ks.UsedCores)
 
 	res := LaunchResult{
 		Kernel:       p.Name,
-		Cycles:       end - start,
-		StartCycle:   start,
+		Cycles:       end - g.launchStart,
+		StartCycle:   g.launchStart,
 		EndCycle:     end,
-		Instructions: ks.Instructions - instrBefore,
+		Instructions: ks.Instructions - g.launchInstr,
 	}
 	g.launches = append(g.launches, res)
 	g.releaseLaunch()
@@ -400,6 +530,7 @@ func (g *GPU) releaseLaunch() {
 	}
 	g.curProg = nil
 	g.curParams = nil
+	g.launchCores = nil
 }
 
 // fastForward advances the global clock to the next cycle at which any
@@ -419,6 +550,10 @@ func (g *GPU) fastForward() {
 	target := next - 1 // loop will ++ to `next`
 	if len(g.faults) > 0 && g.faults[0].Cycle > g.cycle && g.faults[0].Cycle-1 < target {
 		target = g.faults[0].Cycle - 1
+	}
+	if len(g.snapAt) > 0 && g.snapAt[0] < target {
+		// Stop on a pending capture cycle so the snapshot observes it.
+		target = g.snapAt[0]
 	}
 	if g.CycleLimit > 0 && g.CycleLimit < target {
 		target = g.CycleLimit
