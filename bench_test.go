@@ -9,8 +9,10 @@ package gpufi_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -477,6 +479,30 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 	b.ReportMetric(forkTime.Seconds()/float64(b.N), "fork-s/op")
 	b.ReportMetric(replayTime.Seconds()/float64(b.N), "replay-s/op")
 	b.ReportMetric(float64(replayTime)/float64(forkTime), "speedup-x")
+
+	// CI smoke artifact: when BENCH_CAMPAIGN_JSON names a file, dump the
+	// raw numbers as machine-readable JSON so runs can be compared across
+	// commits without scraping benchmark output.
+	if path := os.Getenv("BENCH_CAMPAIGN_JSON"); path != "" {
+		exps := int64(300) * int64(b.N)
+		out := map[string]any{
+			"benchmark":                  "BenchmarkCampaignForkVsReplay",
+			"iterations":                 b.N,
+			"runs_per_campaign":          300,
+			"fork_ns_per_op":             forkTime.Nanoseconds() / int64(b.N),
+			"replay_ns_per_op":           replayTime.Nanoseconds() / int64(b.N),
+			"fork_experiments_per_sec":   float64(exps) / forkTime.Seconds(),
+			"replay_experiments_per_sec": float64(exps) / replayTime.Seconds(),
+			"speedup_x":                  float64(replayTime) / float64(forkTime),
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // TestCampaignAPI exercises the public Campaign surface: functional

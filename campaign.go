@@ -73,6 +73,29 @@ func WithProgress(fn func(Experiment)) CampaignOption {
 	return func(c *Campaign) { c.cfg.Progress = fn }
 }
 
+// WithJournal registers a durability hook invoked once per finished
+// experiment, serialized, before the WithProgress callback. Unlike
+// Progress, the hook returns an error: a failed write (disk full, closed
+// journal) aborts the campaign instead of silently losing outcomes. Pair
+// it with a LogWriter for an incremental JSONL log that survives crashes:
+//
+//	lw := gpufi.NewLogWriter(f)
+//	lw.Begin(hdr)
+//	c := gpufi.NewCampaign(..., gpufi.WithJournal(lw.Experiment))
+func WithJournal(fn func(Experiment) error) CampaignOption {
+	return func(c *Campaign) { c.cfg.Journal = fn }
+}
+
+// WithCompleted marks experiment indices as already finished — the
+// campaign derives every fault specification as usual (so the seed→fault
+// mapping is undisturbed) but only simulates the remaining indices.
+// This is the resume primitive: feed it the IDs recovered from a partial
+// journal and the merged outcomes are bit-identical to an uninterrupted
+// run. Out-of-range indices are ignored.
+func WithCompleted(idxs ...int) CampaignOption {
+	return func(c *Campaign) { c.cfg.Completed = append(c.cfg.Completed, idxs...) }
+}
+
 // WithInvocation targets a single dynamic instance of the static kernel
 // (1-based; 0 = all invocations together, the paper's default).
 func WithInvocation(n int) CampaignOption { return func(c *Campaign) { c.cfg.Invocation = n } }

@@ -1,11 +1,21 @@
 // Command gpufi-report parses gpuFI-4 JSONL campaign logs — the paper's
 // parser module — and prints the aggregated fault-effect statistics per
 // campaign, plus a combined summary.
+//
+// "-" reads a log from stdin, so journals can be piped straight out of a
+// running gpufi-serve:
+//
+//	curl -s localhost:8080/campaigns/<id>/log | gpufi-report -
+//
+// A log with a torn final line (a campaign killed mid-write) is salvaged
+// with a warning; a corrupt record anywhere else is reported with its
+// line number.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -13,26 +23,40 @@ import (
 	"gpufi/internal/report"
 )
 
+// parseSource reads one log, naming the offending line on failure and
+// tolerating only a crash-torn final record.
+func parseSource(name string, r io.Reader) []*gpufi.CampaignResult {
+	res, truncated, err := gpufi.ParseLogLenient(r)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if truncated {
+		fmt.Fprintf(os.Stderr, "gpufi-report: warning: %s: final record is torn (interrupted write?); ignoring it\n", name)
+	}
+	return res
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gpufi-report: ")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: gpufi-report [-csv] log.jsonl...")
+		log.Fatal(`usage: gpufi-report [-csv] log.jsonl... ("-" reads stdin)`)
 	}
 
 	var all []*gpufi.CampaignResult
 	for _, path := range flag.Args() {
+		if path == "-" {
+			all = append(all, parseSource("stdin", os.Stdin)...)
+			continue
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := gpufi.ParseLog(f)
+		res := parseSource(path, f)
 		f.Close()
-		if err != nil {
-			log.Fatalf("%s: %v", path, err)
-		}
 		all = append(all, res...)
 	}
 	if len(all) == 0 {

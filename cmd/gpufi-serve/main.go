@@ -1,0 +1,80 @@
+// Command gpufi-serve runs fault-injection campaigns as a service: an
+// HTTP API over the durable campaign store, with a bounded FIFO job queue
+// feeding a pool of campaign runners.
+//
+// Campaigns are submitted as JSON specs, observed live over SSE, and
+// journaled to disk as they run. On startup the service scans its data
+// directory and resumes every campaign that has a journal but no
+// completion marker, so a killed server loses at most one fsync batch of
+// experiments.
+//
+//	gpufi-serve -addr :8080 -data gpufi-data
+//
+//	curl -X POST localhost:8080/campaigns -d '{"app":"VA","gpu":"RTX2060",
+//	    "kernel":"va_add","structure":"regfile","runs":3000,"seed":42}'
+//	curl localhost:8080/campaigns/<id>          # status + live counts
+//	curl -N localhost:8080/campaigns/<id>/events  # SSE progress
+//	curl localhost:8080/campaigns/<id>/log      # JSONL journal
+//	curl -X DELETE localhost:8080/campaigns/<id>
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"gpufi/internal/service"
+	"gpufi/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gpufi-serve: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dataDir = flag.String("data", "gpufi-data", "campaign store directory")
+		workers = flag.Int("workers", 2, "concurrent campaign runners")
+		queue   = flag.Int("queue", 64, "submission queue depth")
+		batch   = flag.Int("fsync-batch", store.DefaultBatchSize, "journal records per fsync")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.BatchSize = *batch
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	srv := service.New(st, service.Options{Workers: *workers, QueueDepth: *queue})
+	resumed, err := srv.Start(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range resumed {
+		log.Printf("resuming interrupted campaign %s", id)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		log.Print("shutting down (journals stay resumable)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving campaigns on %s (store: %s, %d workers)", *addr, *dataDir, *workers)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	srv.Close()
+}

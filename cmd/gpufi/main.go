@@ -6,6 +6,11 @@
 //
 // SIGINT cancels the campaign: in-flight experiments stop promptly, and
 // whatever finished is still reported and flushed to the log file.
+//
+// With -store DIR every campaign point is journaled durably as it runs;
+// an interrupted invocation can be continued with -resume, skipping the
+// experiments already on disk (merged outcomes are bit-identical to an
+// uninterrupted run).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"gpufi"
 	"gpufi/internal/report"
+	"gpufi/internal/store"
 )
 
 func main() {
@@ -45,8 +51,13 @@ func main() {
 		progress  = flag.Bool("progress", false, "print one dot per finished experiment")
 		tracePath = flag.String("trace", "", "write the fault-free instruction trace to this file (slow)")
 		listApps  = flag.Bool("list", false, "list benchmarks and kernels, then exit")
+		storeDir  = flag.String("store", "", "journal campaigns durably into this directory (crash-safe)")
+		resume    = flag.Bool("resume", false, "with -store: continue interrupted campaigns, skipping journaled experiments")
 	)
 	flag.Parse()
+	if *resume && *storeDir == "" {
+		log.Fatal("-resume requires -store")
+	}
 
 	if *listApps {
 		for _, a := range gpufi.Apps() {
@@ -111,12 +122,21 @@ func main() {
 		kernels = []string{*kernel}
 	}
 
-	var logFile *os.File
+	var lw *gpufi.LogWriter
 	if *logPath != "" {
-		if logFile, err = os.Create(*logPath); err != nil {
+		logFile, err := os.Create(*logPath)
+		if err != nil {
 			log.Fatal(err)
 		}
 		defer logFile.Close()
+		lw = gpufi.NewLogWriter(logFile)
+	}
+
+	var cstore *store.Store
+	if *storeDir != "" {
+		if cstore, err = store.Open(*storeDir); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	tb := &report.Table{
@@ -127,26 +147,37 @@ func main() {
 	var total gpufi.Counts
 	cancelled := false
 	for _, k := range kernels {
-		opts := []gpufi.CampaignOption{
-			gpufi.WithTarget(app, gpu, k, st),
-			gpufi.WithRuns(*runs),
-			gpufi.WithBits(*bits),
-			gpufi.WithWarpWide(*warpWide),
-			gpufi.WithBlocks(*blocks),
-			gpufi.WithSeed(*seed),
-			gpufi.WithWorkers(*workers),
-			gpufi.WithProfile(prof),
+		var res *gpufi.CampaignResult
+		if cstore != nil {
+			res, err = runStored(ctx, cstore, *resume, store.Spec{
+				App: *appName, Scale: *scale, GPU: *gpuName, Kernel: k,
+				Structure: *structure, Runs: *runs, Bits: *bits,
+				WarpWide: *warpWide, Blocks: *blocks, Seed: *seed,
+				Workers: *workers, LegacyReplay: *legacy,
+				Lenient: *lenient, ECC: *ecc, L2Queue: *l2queue,
+			}, prof, *progress)
+		} else {
+			opts := []gpufi.CampaignOption{
+				gpufi.WithTarget(app, gpu, k, st),
+				gpufi.WithRuns(*runs),
+				gpufi.WithBits(*bits),
+				gpufi.WithWarpWide(*warpWide),
+				gpufi.WithBlocks(*blocks),
+				gpufi.WithSeed(*seed),
+				gpufi.WithWorkers(*workers),
+				gpufi.WithProfile(prof),
+			}
+			if *legacy {
+				opts = append(opts, gpufi.WithLegacyReplay())
+			}
+			if *progress {
+				opts = append(opts, gpufi.WithProgress(func(gpufi.Experiment) {
+					fmt.Print(".")
+					os.Stdout.Sync()
+				}))
+			}
+			res, err = gpufi.NewCampaign(opts...).Run(ctx)
 		}
-		if *legacy {
-			opts = append(opts, gpufi.WithLegacyReplay())
-		}
-		if *progress {
-			opts = append(opts, gpufi.WithProgress(func(gpufi.Experiment) {
-				fmt.Print(".")
-				os.Stdout.Sync()
-			}))
-		}
-		res, err := gpufi.NewCampaign(opts...).Run(ctx)
 		if *progress {
 			fmt.Println()
 		}
@@ -158,6 +189,15 @@ func main() {
 			}
 			cancelled = true
 		}
+		// The -log file is written per campaign point, experiments sorted
+		// by id — byte-identical across engines and worker counts for the
+		// same seed. (For crash-safe incremental journaling use -store;
+		// its journal is in completion order and merge-sorted on read.)
+		if lw != nil {
+			if err := lw.Result(res); err != nil {
+				log.Fatal(err)
+			}
+		}
 		c := res.Counts
 		tb.AddRow(k,
 			fmt.Sprint(c.Masked), fmt.Sprint(c.SDC), fmt.Sprint(c.Crash),
@@ -165,14 +205,12 @@ func main() {
 			fmt.Sprintf("%.4f", c.FailureRatio()),
 			fmt.Sprintf("±%.4f", gpufi.Margin(c.Failures(), c.Total(), 0.99)))
 		total.Merge(c)
-		if logFile != nil {
-			if err := gpufi.WriteLog(logFile, res); err != nil {
-				log.Fatal(err)
-			}
-		}
 		if cancelled {
 			fmt.Printf("interrupted: %s finished %d of %d experiments; partial results follow\n",
 				k, c.Total(), *runs)
+			if cstore != nil {
+				fmt.Printf("journal saved in %s — rerun with -resume to continue\n", *storeDir)
+			}
 			break
 		}
 	}
@@ -192,4 +230,38 @@ func main() {
 	if cancelled {
 		os.Exit(130)
 	}
+}
+
+// runStored executes one campaign point through the durable store: the
+// journal is fsync'd in batches as experiments finish, and an id that is
+// already on disk is resumed (with -resume) or refused, never silently
+// restarted from scratch.
+func runStored(ctx context.Context, cstore *store.Store, resume bool,
+	spec store.Spec, prof *gpufi.AppProfile, progress bool) (*gpufi.CampaignResult, error) {
+
+	id := spec.ID()
+	if cstore.Exists(id) {
+		info, err := cstore.Inspect(id)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case info.Done:
+			fmt.Printf("campaign %s already complete in the store; reporting journaled outcomes\n", id)
+		case !resume:
+			return nil, fmt.Errorf("campaign %s has a partial journal (%d experiments); pass -resume to continue it",
+				id, info.Completed)
+		default:
+			fmt.Printf("resuming %s: %d of %d experiments already journaled\n",
+				id, info.Completed, spec.Runs)
+		}
+	}
+	var onExp func(gpufi.Experiment)
+	if progress {
+		onExp = func(gpufi.Experiment) {
+			fmt.Print(".")
+			os.Stdout.Sync()
+		}
+	}
+	return cstore.Run(ctx, id, spec, prof, onExp)
 }

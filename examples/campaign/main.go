@@ -44,19 +44,20 @@ func main() {
 	}
 	fmt.Printf("  %d total cycles, kernels: %v\n\n", prof.TotalCycles, prof.KernelOrder)
 
-	var logFile *os.File
+	var lw *gpufi.LogWriter
 	if *logPath != "" {
-		logFile, err = os.Create(*logPath)
+		logFile, err := os.Create(*logPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer logFile.Close()
+		lw = gpufi.NewLogWriter(logFile)
 	}
 
 	var total gpufi.Counts
 	for _, kernel := range prof.KernelOrder {
 		done := 0
-		c := gpufi.NewCampaign(
+		opts := []gpufi.CampaignOption{
 			gpufi.WithTarget(app, gpu, kernel, gpufi.StructRegFile),
 			gpufi.WithRuns(*runs),
 			gpufi.WithBits(*bits),
@@ -67,8 +68,21 @@ func main() {
 					fmt.Printf("  %s: %d/%d\n", kernel, done, *runs)
 				}
 			}),
-		)
-		res, err := c.Run(ctx)
+		}
+		if lw != nil {
+			// Stream the log through the store codec as experiments finish:
+			// one header record per kernel, then one record per outcome. An
+			// interrupt loses nothing already flushed.
+			if err := lw.Begin(gpufi.LogHeader{
+				App: app.Name, GPU: gpu.Name, Kernel: kernel,
+				Structure: gpufi.StructRegFile.String(),
+				Bits:      *bits, Runs: *runs, Seed: *seed,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, gpufi.WithJournal(lw.Experiment))
+		}
+		res, err := gpufi.NewCampaign(opts...).Run(ctx)
 		interrupted := err != nil && errors.Is(err, context.Canceled) && res != nil
 		if err != nil && !interrupted {
 			log.Fatal(err)
@@ -77,11 +91,6 @@ func main() {
 		fmt.Printf("kernel %-10s masked=%-4d sdc=%-4d crash=%-4d timeout=%-4d perf=%-4d  FR=%.3f\n",
 			kernel, cc.Masked, cc.SDC, cc.Crash, cc.Timeout, cc.Performance, cc.FailureRatio())
 		total.Merge(cc)
-		if logFile != nil {
-			if err := gpufi.WriteLog(logFile, res); err != nil {
-				log.Fatal(err)
-			}
-		}
 		if interrupted {
 			fmt.Printf("interrupted after %d experiments; partial results logged\n", cc.Total())
 			break

@@ -37,6 +37,7 @@ import (
 	"gpufi/internal/core"
 	"gpufi/internal/isa"
 	"gpufi/internal/sim"
+	"gpufi/internal/store"
 )
 
 // Re-exported types. The aliases form the public API surface; internal
@@ -206,10 +207,28 @@ func RegFileClassBreakdown(eval *AppEval) map[Outcome]float64 {
 func PerformanceShare(eval *AppEval) float64 { return core.PerformanceShare(eval) }
 
 // WriteLog serializes a campaign result as JSON lines.
-func WriteLog(w io.Writer, res *CampaignResult) error { return core.WriteLog(w, res) }
+func WriteLog(w io.Writer, res *CampaignResult) error { return store.WriteLog(w, res) }
 
 // ParseLog reads campaign logs back (the parser module).
-func ParseLog(r io.Reader) ([]*CampaignResult, error) { return core.ParseLog(r) }
+func ParseLog(r io.Reader) ([]*CampaignResult, error) { return store.ParseLog(r) }
+
+// ParseLogLenient parses like ParseLog but tolerates a torn final record —
+// the crash signature a durable journal recovers from — reporting whether
+// such a tail was dropped.
+func ParseLogLenient(r io.Reader) (res []*CampaignResult, truncated bool, err error) {
+	return store.ParseLogLenient(r)
+}
+
+// LogHeader is a campaign's log header record.
+type LogHeader = store.Header
+
+// LogWriter writes campaign records incrementally (header, then one
+// record per experiment) through the same codec the durable campaign
+// store journals with.
+type LogWriter = store.LogWriter
+
+// NewLogWriter returns a campaign log writer emitting JSONL records to w.
+func NewLogWriter(w io.Writer) *LogWriter { return store.NewLogWriter(w) }
 
 // SampleSize returns the statistically significant injection count for a
 // population, confidence, and error margin (Leveugle et al.).

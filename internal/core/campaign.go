@@ -93,6 +93,21 @@ type CampaignConfig struct {
 	// completion order, serialized). Long campaigns use it for progress
 	// reporting and incremental logging.
 	Progress func(Experiment)
+
+	// Journal, when non-nil, is called once per finished experiment,
+	// before Progress, serialized in completion order. Unlike Progress it
+	// may fail: a non-nil error aborts the campaign, so a durable store
+	// never silently loses records it believes it has written.
+	Journal func(Experiment) error
+
+	// Completed lists experiment indices already finished by an earlier
+	// run of the same campaign (same seed), e.g. recovered from a journal.
+	// The engine still derives every experiment's fault spec — keeping the
+	// seed-to-fault mapping identical to an uninterrupted campaign — but
+	// skips executing these indices. The CampaignResult then covers only
+	// the newly run experiments; callers merge it with the journaled ones.
+	// Out-of-range indices are ignored.
+	Completed []int
 }
 
 // workerCount resolves the configured worker count.
@@ -214,15 +229,44 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 		}
 		windows = ks.Windows[cfg.Invocation-1 : cfg.Invocation]
 	}
+	skip := make(map[int]bool, len(cfg.Completed))
+	for _, i := range cfg.Completed {
+		if i >= 0 && i < cfg.Runs {
+			skip[i] = true
+		}
+	}
+	pending := make([]int, 0, cfg.Runs-len(skip))
+	for i := 0; i < cfg.Runs; i++ {
+		if !skip[i] {
+			pending = append(pending, i)
+		}
+	}
 	sizeBits := StructSizeBits(cfg.GPU, cfg.Structure, ks.RegsPerThread, ks.SmemPerCTA, ks.LocalPerThr)
 	if sizeBits == 0 {
 		// Structure not present for this kernel/card: every fault is
 		// trivially masked (e.g. shared memory in a kernel that uses none).
+		// The experiments are still materialized so journals and logs
+		// round-trip the same counts as any other campaign.
 		res := &CampaignResult{
 			App: prof.App, GPU: prof.GPU, Kernel: cfg.Kernel,
 			Structure: cfg.Structure.String(), Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed,
 		}
-		res.Counts.Masked = cfg.Runs
+		for _, i := range pending {
+			exp := Experiment{
+				ID: i, Outcome: avf.Masked, Effect: avf.Masked.String(),
+				Cycles: prof.TotalCycles, Detail: "structure absent for kernel",
+			}
+			if cfg.Journal != nil {
+				if err := cfg.Journal(exp); err != nil {
+					return nil, fmt.Errorf("core: journal experiment %d: %w", i, err)
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(exp)
+			}
+			res.Exps = append(res.Exps, exp)
+			res.Counts.Masked++
+		}
 		return res, nil
 	}
 	newGen := func(st sim.Structure, seed int64) (*MaskGen, error) {
@@ -271,21 +315,33 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 		}
 	}
 
-	if cfg.LegacyReplay {
-		return runReplay(ctx, cfg, prof, specs, extras)
+	if len(pending) == 0 {
+		// Everything was already completed in an earlier run: nothing to
+		// simulate, and nothing to add to the journal.
+		return &CampaignResult{
+			App: prof.App, GPU: prof.GPU, Kernel: cfg.Kernel,
+			Structure: cfg.Structure.String(), Bits: cfg.Bits, Runs: cfg.Runs, Seed: cfg.Seed,
+			Exps: []Experiment{},
+		}, nil
 	}
-	return runForked(ctx, cfg, prof, windows, specs, extras)
+
+	if cfg.LegacyReplay {
+		return runReplay(ctx, cfg, prof, pending, specs, extras)
+	}
+	return runForked(ctx, cfg, prof, windows, pending, specs, extras)
 }
 
 // runReplay is the legacy engine: every experiment is a fresh simulation
 // from cycle 0, re-executing the fault-free prefix up to its injection
-// cycle. Kept as the validation baseline for the fork engine.
+// cycle. Kept as the validation baseline for the fork engine. pending
+// holds the experiment indices to actually run (all of them for a fresh
+// campaign, the not-yet-journaled subset on resume).
 func runReplay(ctx context.Context, cfg *CampaignConfig, prof *Profile,
-	specs []*sim.FaultSpec, extras [][]*sim.FaultSpec) (*CampaignResult, error) {
+	pending []int, specs []*sim.FaultSpec, extras [][]*sim.FaultSpec) (*CampaignResult, error) {
 
 	workers := cfg.workerCount()
-	if workers > len(specs) {
-		workers = len(specs)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	col := newCollector(cfg, len(specs))
 	var wg sync.WaitGroup
@@ -296,17 +352,20 @@ func runReplay(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(atomic.AddInt64(&pos, 1))
-				if i >= len(specs) || ctx.Err() != nil {
+				k := int(atomic.AddInt64(&pos, 1))
+				if k >= len(pending) || ctx.Err() != nil {
 					return
 				}
+				i := pending[k]
 				g, err := sim.New(cfg.GPU)
 				if err == nil {
 					var exp Experiment
 					exp, err = runExperiment(ctx, cfg, prof, g, specs[i], extras[i], i)
 					if err == nil {
-						col.add(i, exp)
-						continue
+						err = col.add(i, exp)
+						if err == nil {
+							continue
+						}
 					}
 				}
 				select {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -254,57 +253,92 @@ func TestCampaignUnknownKernel(t *testing.T) {
 	}
 }
 
-func TestLogRoundTrip(t *testing.T) {
+// TestSkipCompleted is the engine half of crash-safe resume: running with
+// cfg.Completed set to a subset must execute exactly the remaining
+// indices, with outcomes bit-identical to the same experiments in an
+// uninterrupted campaign.
+func TestSkipCompleted(t *testing.T) {
 	app := bench.VA()
 	gpu := config.RTX2060()
 	prof, _ := ProfileApp(nil, app, gpu)
 	cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "va_add",
-		Structure: sim.StructRegFile, Runs: 12, Bits: 1, Seed: 5}
-	res, err := RunCampaign(nil, cfg, prof)
+		Structure: sim.StructRegFile, Runs: 30, Bits: 1, Seed: 9}
+	full, err := RunCampaign(nil, cfg, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if err := WriteLog(&buf, res); err != nil {
-		t.Fatal(err)
+	if len(full.Exps) != 30 {
+		t.Fatalf("full campaign ran %d experiments", len(full.Exps))
 	}
-	parsed, err := ParseLog(&buf)
+
+	// Mark an arbitrary first chunk (plus an out-of-range index, which
+	// must be ignored) as already completed.
+	cfg2 := *cfg
+	cfg2.Completed = []int{0, 1, 2, 3, 4, 5, 6, 12, 13, 99, -1}
+	var journaled []Experiment
+	cfg2.Journal = func(e Experiment) error { journaled = append(journaled, e); return nil }
+	part, err := RunCampaign(nil, &cfg2, prof)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(parsed) != 1 {
-		t.Fatalf("parsed %d campaigns", len(parsed))
+	wantRuns := 30 - 9
+	if len(part.Exps) != wantRuns || len(journaled) != wantRuns {
+		t.Fatalf("resumed campaign ran %d experiments, journaled %d, want %d",
+			len(part.Exps), len(journaled), wantRuns)
 	}
-	got := parsed[0]
-	if got.Counts != res.Counts {
-		t.Errorf("counts mismatch: %+v vs %+v", got.Counts, res.Counts)
+	byID := map[int]Experiment{}
+	for _, e := range full.Exps {
+		byID[e.ID] = e
 	}
-	if got.App != "VA" || got.Structure != "regfile" || got.Runs != 12 {
-		t.Errorf("header mismatch: %+v", got)
+	for _, e := range part.Exps {
+		ref := byID[e.ID]
+		if e.Effect != ref.Effect || e.Cycle != ref.Cycle || e.Cycles != ref.Cycles {
+			t.Errorf("experiment %d diverged on resume: %+v vs %+v", e.ID, e, ref)
+		}
+		for _, skipped := range cfg2.Completed {
+			if e.ID == skipped {
+				t.Errorf("experiment %d ran despite being completed", e.ID)
+			}
+		}
 	}
-	if len(got.Exps) != len(res.Exps) {
-		t.Errorf("experiments lost: %d vs %d", len(got.Exps), len(res.Exps))
+
+	// Everything completed: nothing runs, nothing journaled.
+	cfg3 := *cfg
+	for i := 0; i < 30; i++ {
+		cfg3.Completed = append(cfg3.Completed, i)
+	}
+	cfg3.Journal = func(Experiment) error { t.Error("journaled with nothing pending"); return nil }
+	empty, err := RunCampaign(nil, &cfg3, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Exps) != 0 || empty.Counts.Total() != 0 {
+		t.Errorf("fully completed campaign still ran: %+v", empty.Counts)
 	}
 }
 
-func TestParseLogErrors(t *testing.T) {
-	cases := []string{
-		"not json",
-		`{"type":"exp","id":0,"effect":"Masked"}`,                       // exp before header
-		`{"type":"campaign"}` + "\n" + `{"type":"what"}`,                // unknown type
-		`{"type":"campaign"}` + "\n" + `{"type":"exp","effect":"Nope"}`, // bad outcome
-	}
-	for i, src := range cases {
-		if _, err := ParseLog(strings.NewReader(src)); err == nil {
-			t.Errorf("case %d accepted", i)
+// TestJournalHookError verifies a failing journal hook aborts the
+// campaign instead of silently dropping records.
+func TestJournalHookError(t *testing.T) {
+	app := bench.VA()
+	gpu := config.RTX2060()
+	prof, _ := ProfileApp(nil, app, gpu)
+	for _, legacy := range []bool{false, true} {
+		cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "va_add",
+			Structure: sim.StructRegFile, Runs: 8, Bits: 1, Seed: 2, LegacyReplay: legacy,
+			Journal: func(Experiment) error { return errDisk },
+		}
+		if _, err := RunCampaign(nil, cfg, prof); err == nil || !strings.Contains(err.Error(), "disk full") {
+			t.Errorf("legacy=%v: journal error not propagated: %v", legacy, err)
 		}
 	}
-	// Empty log is fine.
-	out, err := ParseLog(strings.NewReader(""))
-	if err != nil || len(out) != 0 {
-		t.Errorf("empty log: %v, %v", out, err)
-	}
 }
+
+var errDisk = &diskErr{}
+
+type diskErr struct{}
+
+func (*diskErr) Error() string { return "disk full" }
 
 func TestSpecMarshalRoundTrip(t *testing.T) {
 	r := rand.New(rand.NewSource(4))

@@ -22,6 +22,18 @@ import (
 // straight to just before its injection instant. Because the simulator is
 // deterministic, fork and legacy replay produce bit-identical outcomes.
 
+// Process-wide fork-engine counters: how many fork vessels were freshly
+// allocated versus restored in place over an existing one. Reuse dominating
+// creation is what keeps per-experiment cost low; gpufi-serve exposes the
+// ratio on /metrics.
+var forksCreated, forksReused atomic.Int64
+
+// EngineStats returns the process-wide fork-engine counters: vessels
+// freshly allocated and vessels reused via snapshot restore.
+func EngineStats() (created, reused int64) {
+	return forksCreated.Load(), forksReused.Load()
+}
+
 // cluster is a group of experiments whose injection cycles are close
 // enough to share one snapshot, taken one cycle before the earliest.
 type cluster struct {
@@ -35,14 +47,13 @@ type cluster struct {
 // the execution while the prefix takes at most that many snapshots.
 const clusterSpanDivisor = 64
 
-// planClusters sorts the experiments by injection cycle and greedily packs
-// them into clusters. Clusters never cross an invocation-window boundary:
-// a snapshot is most useful inside the launch it will resume.
-func planClusters(specs []*sim.FaultSpec, windows []sim.CycleWindow) []cluster {
-	order := make([]int, len(specs))
-	for i := range order {
-		order[i] = i
-	}
+// planClusters sorts the pending experiments by injection cycle and
+// greedily packs them into clusters. Clusters never cross an invocation-
+// window boundary: a snapshot is most useful inside the launch it will
+// resume. Only pending indices are planned — on a resumed campaign the
+// already-journaled experiments need no snapshot.
+func planClusters(pending []int, specs []*sim.FaultSpec, windows []sim.CycleWindow) []cluster {
+	order := append([]int(nil), pending...)
 	sort.Slice(order, func(a, b int) bool {
 		ca, cb := specs[order[a]].Cycle, specs[order[b]].Cycle
 		if ca != cb {
@@ -89,9 +100,9 @@ func planClusters(specs []*sim.FaultSpec, windows []sim.CycleWindow) []cluster {
 // of the snapshot. After the last cluster the prefix aborts (its suffix is
 // never needed).
 func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
-	windows []sim.CycleWindow, specs []*sim.FaultSpec, extras [][]*sim.FaultSpec) (*CampaignResult, error) {
+	windows []sim.CycleWindow, pending []int, specs []*sim.FaultSpec, extras [][]*sim.FaultSpec) (*CampaignResult, error) {
 
-	clusters := planClusters(specs, windows)
+	clusters := planClusters(pending, specs, windows)
 	snapCycles := make([]uint64, len(clusters))
 	for i, c := range clusters {
 		snapCycles[i] = c.snapCycle
@@ -169,10 +180,15 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 				if g == nil {
 					g = sim.NewFork(snap)
 					vessels[w] = g
+					forksCreated.Add(1)
 				} else {
 					g.Refork(snap)
+					forksReused.Add(1)
 				}
 				exp, err := runExperiment(ctx, cfg, prof, g, specs[i], extras[i], i)
+				if err == nil {
+					err = col.add(i, exp)
+				}
 				if err != nil {
 					select {
 					case errCh <- err:
@@ -180,7 +196,6 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 					}
 					return
 				}
-				col.add(i, exp)
 			}
 		}(w)
 	}
@@ -208,14 +223,20 @@ func newCollector(cfg *CampaignConfig, n int) *collector {
 	return &collector{cfg: cfg, exps: make([]Experiment, n), done: make([]bool, n)}
 }
 
-func (c *collector) add(i int, exp Experiment) {
+func (c *collector) add(i int, exp Experiment) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.exps[i] = exp
 	c.done[i] = true
+	if c.cfg.Journal != nil {
+		if err := c.cfg.Journal(exp); err != nil {
+			return fmt.Errorf("core: journal experiment %d: %w", i, err)
+		}
+	}
 	if c.cfg.Progress != nil {
 		c.cfg.Progress(exp)
 	}
+	return nil
 }
 
 // result assembles the campaign result from whatever completed: the full

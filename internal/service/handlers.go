@@ -1,0 +1,261 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gpufi/internal/avf"
+	"gpufi/internal/store"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /campaigns             submit a campaign (Spec JSON, optional "id")
+//	GET    /campaigns             list known campaigns
+//	GET    /campaigns/{id}        status + live counts
+//	GET    /campaigns/{id}/events SSE progress stream
+//	GET    /campaigns/{id}/log    the raw JSONL journal
+//	DELETE /campaigns/{id}        cancel (queued or running)
+//	GET    /metrics               service counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /campaigns/{id}/log", s.handleLog)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// status is the wire form of a job's state.
+type status struct {
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	App       string     `json:"app"`
+	GPU       string     `json:"gpu"`
+	Kernel    string     `json:"kernel"`
+	Structure string     `json:"structure"`
+	Runs      int        `json:"runs"`
+	Seed      int64      `json:"seed"`
+	Completed int        `json:"completed"`
+	Resumed   bool       `json:"resumed,omitempty"`
+	Counts    avf.Counts `json:"counts"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// statusLocked snapshots a job; the caller holds s.mu.
+func (s *Server) statusLocked(j *job) status {
+	return status{
+		ID: j.id, State: j.state,
+		App: j.spec.App, GPU: j.spec.GPU, Kernel: j.spec.Kernel, Structure: j.spec.Structure,
+		Runs: j.total, Seed: j.spec.Seed,
+		Completed: j.done, Resumed: j.resumed, Counts: j.counts, Error: j.errMsg,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeJSON(w, he.code, map[string]string{"error": he.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+// submitRequest is the POST body: a Spec plus an optional explicit id.
+type submitRequest struct {
+	ID string `json:"id"`
+	store.Spec
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, &httpError{code: 400, msg: fmt.Sprintf("bad campaign spec: %v", err)})
+		return
+	}
+	j, err := s.submit(req.ID, req.Spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	// Jobs known to this process, plus anything on disk from earlier
+	// lifetimes.
+	out := map[string]status{}
+	if ids, err := s.st.List(); err == nil {
+		for _, id := range ids {
+			if st, err := s.storedStatus(id); err == nil {
+				out[id] = st
+			}
+		}
+	}
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		out[id] = s.statusLocked(j)
+	}
+	s.mu.Unlock()
+	list := make([]status, 0, len(out))
+	for _, st := range out {
+		list = append(list, st)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// storedStatus builds a status for a campaign only known from the store.
+func (s *Server) storedStatus(id string) (status, error) {
+	info, err := s.st.Inspect(id)
+	if err != nil {
+		return status{}, err
+	}
+	st := status{
+		ID: id, App: info.Spec.App, GPU: info.Spec.GPU, Kernel: info.Spec.Kernel,
+		Structure: info.Spec.Structure, Runs: info.Spec.Runs, Seed: info.Spec.Seed,
+		Completed: info.Completed, Counts: info.Counts,
+	}
+	switch {
+	case info.Done:
+		st.State = StateDone
+	case info.Cancelled:
+		st.State = StateCancelled
+	default:
+		st.State = "interrupted" // resumable, but not queued in this process
+	}
+	return st, nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if ok {
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	s.mu.Unlock()
+	st, err := s.storedStatus(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeErr(w, &httpError{code: 404, msg: fmt.Sprintf("unknown campaign %s", id)})
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &httpError{code: 500, msg: "streaming unsupported"})
+		return
+	}
+	s.mu.Lock()
+	j, known := s.jobs[id]
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	writeEvent := func(name string, data any) {
+		raw, err := json.Marshal(data)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, raw)
+		flusher.Flush()
+	}
+
+	if !known {
+		// Only on disk (or unknown): emit one terminal snapshot.
+		st, err := s.storedStatus(id)
+		if err != nil {
+			writeEvent("error", map[string]string{"error": err.Error()})
+			return
+		}
+		writeEvent("state", st)
+		return
+	}
+
+	ch, snapshot, fin := s.subscribe(j)
+	defer s.unsubscribe(j, ch)
+	writeEvent("state", snapshot)
+	for {
+		select {
+		case ev := <-ch:
+			writeEvent(ev.name, ev.data)
+		case <-fin:
+			// Drain whatever progress was already queued, then emit the
+			// terminal state.
+			for {
+				select {
+				case ev := <-ch:
+					writeEvent(ev.name, ev.data)
+					continue
+				default:
+				}
+				break
+			}
+			s.mu.Lock()
+			st := s.statusLocked(j)
+			s.mu.Unlock()
+			writeEvent("done", st)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f, err := s.st.OpenLog(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeErr(w, &httpError{code: 404, msg: fmt.Sprintf("no journal for campaign %s", id)})
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	io.Copy(w, f)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, err := s.cancelJob(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": state})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gpufi/internal/core"
+)
+
+// metrics holds the service's expvar-style counters, exposed as a flat
+// JSON object on GET /metrics.
+type metrics struct {
+	start       time.Time
+	queued      atomic.Int64 // jobs currently queued
+	running     atomic.Int64 // jobs currently running
+	done        atomic.Int64 // jobs completed successfully
+	failed      atomic.Int64 // jobs that errored
+	cancelled   atomic.Int64 // jobs cancelled (by request or shutdown)
+	experiments atomic.Int64 // experiments finished since start
+}
+
+func (m *metrics) init() { m.start = time.Now() }
+
+// snapshot renders the counters. experiments_per_sec is the lifetime
+// average injection throughput; the fork counters expose how often the
+// engine restored a snapshot into an existing vessel instead of
+// allocating a fresh one (reuse dominating creation is the fork engine
+// working as designed).
+func (m *metrics) snapshot() map[string]any {
+	uptime := time.Since(m.start).Seconds()
+	exps := m.experiments.Load()
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(exps) / uptime
+	}
+	created, reused := core.EngineStats()
+	reuseRatio := 0.0
+	if created+reused > 0 {
+		reuseRatio = float64(reused) / float64(created+reused)
+	}
+	return map[string]any{
+		"uptime_seconds":      uptime,
+		"jobs_queued":         m.queued.Load(),
+		"jobs_running":        m.running.Load(),
+		"jobs_done":           m.done.Load(),
+		"jobs_failed":         m.failed.Load(),
+		"jobs_cancelled":      m.cancelled.Load(),
+		"experiments_total":   exps,
+		"experiments_per_sec": rate,
+		"forks_created":       created,
+		"forks_reused":        reused,
+		"fork_reuse_ratio":    reuseRatio,
+	}
+}

@@ -1,0 +1,423 @@
+// Package service is the campaign-injection service behind gpufi-serve:
+// an HTTP front end over the durable campaign store, with a bounded FIFO
+// job queue feeding a pool of campaign runners. Campaigns are submitted as
+// jobs, observed live over SSE, downloaded as JSONL journals, and
+// cancelled by request; on startup the service scans its store and resumes
+// every campaign that has a journal but no completion marker, so a killed
+// server loses at most one fsync batch of work.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gpufi/internal/avf"
+	"gpufi/internal/core"
+	"gpufi/internal/store"
+)
+
+// Options tunes the service.
+type Options struct {
+	// Workers is the number of concurrent campaign runners (each campaign
+	// additionally parallelizes its experiments). Default 1.
+	Workers int
+	// QueueDepth bounds the submission queue; a full queue rejects POSTs
+	// with 503. Default 64. Campaigns resumed at startup bypass the bound
+	// — refusing recovery because the queue is small would lose work.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// event is one SSE payload: a name and a JSON-encodable body.
+type event struct {
+	name string
+	data any
+}
+
+// job is one campaign submission moving through the queue.
+type job struct {
+	id      string
+	spec    store.Spec
+	state   string
+	errMsg  string
+	counts  avf.Counts
+	total   int
+	done    int  // experiments finished (including journaled prior ones)
+	resumed bool // re-queued from the store at startup or by resubmit
+
+	cancel    context.CancelFunc // non-nil while running
+	userAbort bool               // cancellation was requested, not a crash
+	subs      map[chan event]struct{}
+	finished  chan struct{} // closed on any terminal state
+}
+
+// Server is the campaign service: a store, a queue, and a worker pool.
+type Server struct {
+	st   *store.Store
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*job
+	queue   []*job // FIFO; resumed jobs may exceed QueueDepth
+	closed  bool
+	started bool
+
+	cancelBase context.CancelFunc
+	wg         sync.WaitGroup
+
+	metrics metrics
+}
+
+// New builds a service over st. Call Start to scan the store for
+// resumable campaigns and launch the worker pool; the Handler routes
+// requests either way (jobs submitted before Start simply wait queued).
+func New(st *store.Store, opts Options) *Server {
+	s := &Server{st: st, opts: opts.withDefaults(), jobs: make(map[string]*job)}
+	s.cond = sync.NewCond(&s.mu)
+	s.metrics.init()
+	return s
+}
+
+// Start scans the store for unfinished campaigns, queues them for resume,
+// and launches the worker pool under ctx. It returns the resumed ids.
+func (s *Server) Start(ctx context.Context) ([]string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	open, err := s.st.Unfinished()
+	if err != nil {
+		return nil, err
+	}
+	var resumed []string
+	for _, id := range open {
+		info, err := s.st.Inspect(id)
+		if err != nil {
+			// A campaign too corrupt to inspect must not wedge startup;
+			// surface it as a failed job instead.
+			s.mu.Lock()
+			j := &job{id: id, state: StateFailed, errMsg: err.Error(),
+				subs: make(map[chan event]struct{}), finished: make(chan struct{})}
+			close(j.finished)
+			s.jobs[id] = j
+			s.metrics.failed.Add(1)
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		j := s.newJobLocked(id, info.Spec)
+		j.resumed = true
+		j.counts = info.Counts
+		j.done = info.Completed
+		s.queue = append(s.queue, j) // recovery bypasses the queue bound
+		s.cond.Signal()
+		s.mu.Unlock()
+		resumed = append(resumed, id)
+	}
+
+	base, cancel := context.WithCancel(ctx)
+	s.cancelBase = cancel
+	for w := 0; w < s.opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(base)
+	}
+	// A cancelled base context must also wake idle workers.
+	go func() {
+		<-base.Done()
+		s.mu.Lock()
+		s.closed = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	return resumed, nil
+}
+
+// Close stops accepting work, cancels running campaigns, and waits for
+// the workers to drain. Unfinished campaigns keep their journals and are
+// resumed by the next Start on the same store.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	cancel := s.cancelBase
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.wg.Wait()
+}
+
+// newJobLocked registers a queued job; the caller holds s.mu and appends
+// it to the queue.
+func (s *Server) newJobLocked(id string, spec store.Spec) *job {
+	j := &job{
+		id: id, spec: spec, state: StateQueued, total: spec.Runs,
+		subs: make(map[chan event]struct{}), finished: make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.metrics.queued.Add(1)
+	return j
+}
+
+// submit validates and enqueues a campaign. It returns the job, or an
+// httpError describing why the submission was refused.
+func (s *Server) submit(id string, spec store.Spec) (*job, error) {
+	if _, err := spec.Config(); err != nil {
+		return nil, &httpError{code: 400, msg: err.Error()}
+	}
+	if id == "" {
+		id = spec.ID()
+	}
+	if !store.ValidID(id) {
+		return nil, &httpError{code: 400, msg: fmt.Sprintf("invalid campaign id %q", id)}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, &httpError{code: 503, msg: "service shutting down"}
+	}
+	if j, ok := s.jobs[id]; ok {
+		switch j.state {
+		case StateQueued, StateRunning:
+			return nil, &httpError{code: 409, msg: fmt.Sprintf("campaign %s is %s", id, j.state)}
+		case StateDone:
+			return nil, &httpError{code: 409, msg: fmt.Sprintf("campaign %s is already complete", id)}
+		}
+		// Failed or cancelled: fall through and requeue as a resume.
+	}
+	if info, err := s.st.Inspect(id); err == nil {
+		if info.Done {
+			return nil, &httpError{code: 409, msg: fmt.Sprintf("campaign %s is already complete", id)}
+		}
+		// Resubmitting an on-disk campaign resumes it, clearing any
+		// cancellation marker.
+		if err := s.st.ClearCancelled(id); err != nil {
+			return nil, &httpError{code: 500, msg: err.Error()}
+		}
+	} else if !errors.Is(err, store.ErrNotFound) {
+		return nil, &httpError{code: 500, msg: err.Error()}
+	}
+	if len(s.queue) >= s.opts.QueueDepth {
+		return nil, &httpError{code: 503, msg: "job queue full; retry later"}
+	}
+	j := s.newJobLocked(id, spec)
+	s.queue = append(s.queue, j)
+	s.cond.Signal()
+	return j, nil
+}
+
+// worker pops jobs FIFO and runs them durably through the store.
+func (s *Server) worker(base context.Context) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		ctx, cancel := context.WithCancel(base)
+		j.state = StateRunning
+		j.cancel = cancel
+		s.metrics.queued.Add(-1)
+		s.metrics.running.Add(1)
+		s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
+		s.mu.Unlock()
+
+		res, err := s.st.Run(ctx, j.id, j.spec, nil, func(exp core.Experiment) {
+			s.onExperiment(j, exp)
+		})
+		cancel()
+		s.finishJob(base, j, res, err)
+	}
+}
+
+// onExperiment updates a running job's live counts and fans the progress
+// event out to SSE subscribers.
+func (s *Server) onExperiment(j *job, exp core.Experiment) {
+	s.metrics.experiments.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.counts.Add(exp.Outcome)
+	j.done++
+	s.broadcastLocked(j, event{name: "progress", data: map[string]any{
+		"id":     j.id,
+		"exp":    exp.ID,
+		"effect": exp.Effect,
+		"done":   j.done,
+		"total":  j.total,
+	}})
+}
+
+// finishJob moves a job to its terminal state and notifies everyone
+// waiting on it.
+func (s *Server) finishJob(base context.Context, j *job, res *core.CampaignResult, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.running.Add(-1)
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		if res != nil {
+			j.counts = res.Counts
+			j.done = res.Counts.Total()
+		}
+		s.metrics.done.Add(1)
+	case isCancel(err):
+		if j.userAbort {
+			j.state = StateCancelled
+			j.errMsg = "cancelled by request"
+			s.metrics.cancelled.Add(1)
+			// Remember the cancellation across restarts, so the resume
+			// scan skips this campaign until it is resubmitted.
+			if markErr := s.st.MarkCancelled(j.id); markErr != nil && !errors.Is(markErr, store.ErrNotFound) {
+				j.errMsg = fmt.Sprintf("cancelled by request; marker: %v", markErr)
+			}
+		} else if base.Err() != nil {
+			// Server shutdown: the journal stays resumable; the job's
+			// final state only matters for this process's lifetime.
+			j.state = StateCancelled
+			j.errMsg = "server shutting down"
+			s.metrics.cancelled.Add(1)
+		} else {
+			j.state = StateFailed
+			j.errMsg = err.Error()
+			s.metrics.failed.Add(1)
+		}
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.metrics.failed.Add(1)
+	}
+	s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
+	close(j.finished)
+}
+
+// cancelJob handles DELETE: a queued job is unqueued, a running one has
+// its context cancelled; the resulting state change is observed through
+// the job's finished channel.
+func (s *Server) cancelJob(id string) (string, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		// Not in this process: a stored campaign can still be marked so
+		// a later restart does not resume it.
+		if !s.st.Exists(id) {
+			return "", &httpError{code: 404, msg: fmt.Sprintf("unknown campaign %s", id)}
+		}
+		if err := s.st.MarkCancelled(id); err != nil {
+			return "", &httpError{code: 500, msg: err.Error()}
+		}
+		return StateCancelled, nil
+	}
+	switch j.state {
+	case StateQueued:
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCancelled
+		j.errMsg = "cancelled while queued"
+		s.metrics.queued.Add(-1)
+		s.metrics.cancelled.Add(1)
+		s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
+		close(j.finished)
+		s.mu.Unlock()
+		return StateCancelled, nil
+	case StateRunning:
+		j.userAbort = true
+		cancel := j.cancel
+		fin := j.finished
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		<-fin // deterministic: respond only once the journal is synced
+		s.mu.Lock()
+		state := j.state
+		s.mu.Unlock()
+		return state, nil
+	default:
+		state := j.state
+		s.mu.Unlock()
+		return state, &httpError{code: 409, msg: fmt.Sprintf("campaign %s already %s", id, state)}
+	}
+}
+
+// subscribe attaches an SSE listener to a job, returning the channel, the
+// job's current status snapshot, and its finished channel.
+func (s *Server) subscribe(j *job) (ch chan event, snapshot any, fin chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch = make(chan event, 512)
+	j.subs[ch] = struct{}{}
+	return ch, s.statusLocked(j), j.finished
+}
+
+func (s *Server) unsubscribe(j *job, ch chan event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+// broadcastLocked fans an event to a job's subscribers, dropping events
+// for any subscriber whose buffer is full (slow SSE clients observe the
+// terminal state through the finished channel regardless).
+func (s *Server) broadcastLocked(j *job, ev event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// isCancel reports a context-cancellation error.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// httpError carries a status code through the handler plumbing.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }

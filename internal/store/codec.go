@@ -1,0 +1,209 @@
+// Package store is the durable campaign layer of the reproduction: the
+// JSONL record codec shared by every log writer in the tree, and an
+// append-only on-disk campaign journal with crash-safe resume. A campaign
+// directory holds a config record, a journal of per-experiment outcome
+// records fsync'd in batches, and a completion marker; re-opening a
+// partial journal tolerates a torn final record and tells the engine which
+// experiment indices to skip.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gpufi/internal/avf"
+	"gpufi/internal/core"
+)
+
+// The log format is JSON lines: one header record per campaign followed by
+// one record per experiment. The parser module reads these back and
+// aggregates the fault-effect statistics — the third of the paper's three
+// gpuFI-4 modules (bash + text logs there, structured logs here). The same
+// codec serves one-shot log files (gpufi -log, examples) and the durable
+// campaign journals of this package.
+
+// Header is a campaign's log header record.
+type Header struct {
+	App       string `json:"app"`
+	GPU       string `json:"gpu"`
+	Kernel    string `json:"kernel"`
+	Structure string `json:"structure"`
+	Bits      int    `json:"bits"`
+	Runs      int    `json:"runs"`
+	Seed      int64  `json:"seed"`
+}
+
+type logHeader struct {
+	Type string `json:"type"` // "campaign"
+	Header
+}
+
+type logExp struct {
+	Type string `json:"type"` // "exp"
+	core.Experiment
+}
+
+// HeaderOf extracts the log header of a campaign result.
+func HeaderOf(res *core.CampaignResult) Header {
+	return Header{
+		App: res.App, GPU: res.GPU, Kernel: res.Kernel,
+		Structure: res.Structure, Bits: res.Bits, Runs: res.Runs, Seed: res.Seed,
+	}
+}
+
+// LogWriter writes campaign records to a stream: one Begin per campaign,
+// then one Experiment per record, in any interleaving ParseLog accepts.
+// It is not safe for concurrent use; campaign engines already serialize
+// their journal callbacks.
+type LogWriter struct {
+	enc *json.Encoder
+}
+
+// NewLogWriter returns a writer emitting records to w.
+func NewLogWriter(w io.Writer) *LogWriter {
+	return &LogWriter{enc: json.NewEncoder(w)}
+}
+
+// Begin emits a campaign header record.
+func (lw *LogWriter) Begin(h Header) error {
+	if err := lw.enc.Encode(logHeader{Type: "campaign", Header: h}); err != nil {
+		return fmt.Errorf("store: write log header: %v", err)
+	}
+	return nil
+}
+
+// Experiment emits one experiment record under the last Begin.
+func (lw *LogWriter) Experiment(exp core.Experiment) error {
+	if err := lw.enc.Encode(logExp{Type: "exp", Experiment: exp}); err != nil {
+		return fmt.Errorf("store: write log record %d: %v", exp.ID, err)
+	}
+	return nil
+}
+
+// Result emits a whole finished campaign: header plus every experiment.
+func (lw *LogWriter) Result(res *core.CampaignResult) error {
+	if err := lw.Begin(HeaderOf(res)); err != nil {
+		return err
+	}
+	for i := range res.Exps {
+		if err := lw.Experiment(res.Exps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLog serializes a campaign result (header + experiments) to w.
+func WriteLog(w io.Writer, res *core.CampaignResult) error {
+	return NewLogWriter(w).Result(res)
+}
+
+// logDecoder accumulates campaign results one record line at a time. It is
+// shared by the stream parsers here and the journal recovery in store.go,
+// which needs to track byte offsets itself.
+type logDecoder struct {
+	out []*core.CampaignResult
+	cur *core.CampaignResult
+}
+
+// line decodes one non-empty record line. The reported error carries no
+// line number; callers wrap it with their own position information.
+func (d *logDecoder) line(raw []byte) error {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return err
+	}
+	switch probe.Type {
+	case "campaign":
+		var hdr logHeader
+		if err := json.Unmarshal(raw, &hdr); err != nil {
+			return err
+		}
+		d.cur = &core.CampaignResult{
+			App: hdr.App, GPU: hdr.GPU, Kernel: hdr.Kernel,
+			Structure: hdr.Structure, Bits: hdr.Bits, Runs: hdr.Runs, Seed: hdr.Seed,
+		}
+		d.out = append(d.out, d.cur)
+	case "exp":
+		if d.cur == nil {
+			return fmt.Errorf("experiment before campaign header")
+		}
+		var le logExp
+		if err := json.Unmarshal(raw, &le); err != nil {
+			return err
+		}
+		o, err := avf.ParseOutcome(le.Effect)
+		if err != nil {
+			return err
+		}
+		le.Outcome = o
+		d.cur.Exps = append(d.cur.Exps, le.Experiment)
+		d.cur.Counts.Add(o)
+	default:
+		return fmt.Errorf("unknown record type %q", probe.Type)
+	}
+	return nil
+}
+
+// isSyntaxError reports whether a record failed at the JSON layer — the
+// signature of a torn write — as opposed to well-formed JSON with invalid
+// content, which is real corruption wherever it sits.
+func isSyntaxError(raw []byte) bool {
+	var v any
+	return json.Unmarshal(raw, &v) != nil
+}
+
+// ParseLog reads campaign logs back, re-aggregating counts from the
+// experiment records. Multiple campaigns may be concatenated in one
+// stream. Any malformed record is an error naming its line number.
+func ParseLog(r io.Reader) ([]*core.CampaignResult, error) {
+	res, _, err := parseLog(r, false)
+	return res, err
+}
+
+// ParseLogLenient parses like ParseLog but tolerates one torn record at
+// the very end of the stream — the signature of a crash between fsync
+// batches. It returns the intact records and whether a torn tail was
+// dropped. A malformed record that is not the final line, or a final line
+// that is well-formed JSON with invalid content, is still an error: only
+// truncation is forgiven, not corruption. These are exactly the semantics
+// journal recovery (Store.Resume) applies.
+func ParseLogLenient(r io.Reader) (res []*core.CampaignResult, truncated bool, err error) {
+	return parseLog(r, true)
+}
+
+func parseLog(r io.Reader, lenient bool) ([]*core.CampaignResult, bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var dec logDecoder
+	line := 0
+	badLine := 0 // first failed line (lenient mode holds judgment until EOF)
+	var badErr error
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			// A malformed record followed by more data is corruption, not
+			// a torn tail.
+			return nil, false, fmt.Errorf("store: log line %d: %v", badLine, badErr)
+		}
+		if err := dec.line(raw); err != nil {
+			if lenient && isSyntaxError(raw) {
+				badLine, badErr = line, err
+				continue
+			}
+			return nil, false, fmt.Errorf("store: log line %d: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, fmt.Errorf("store: read log: %v", err)
+	}
+	return dec.out, badLine != 0, nil
+}

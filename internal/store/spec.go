@@ -1,0 +1,123 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+
+	"gpufi/internal/bench"
+	"gpufi/internal/config"
+	"gpufi/internal/core"
+	"gpufi/internal/sim"
+)
+
+// Spec is the serializable form of one campaign point: everything a
+// CampaignConfig holds, but by name instead of by pointer, so it can live
+// in a config record on disk or travel in a POST body. A Spec plus a seed
+// fully determines a campaign's outcomes, which is what makes journals
+// resumable: the re-run derives the same fault list and skips the indices
+// already on disk.
+type Spec struct {
+	App          string   `json:"app"`
+	Scale        int      `json:"scale,omitempty"` // problem-size scale, default 1
+	GPU          string   `json:"gpu"`
+	Kernel       string   `json:"kernel"`
+	Structure    string   `json:"structure"`
+	Runs         int      `json:"runs"`
+	Bits         int      `json:"bits,omitempty"` // fault multiplicity, default 1
+	WarpWide     bool     `json:"warp_wide,omitempty"`
+	Blocks       int      `json:"blocks,omitempty"`
+	Seed         int64    `json:"seed"`
+	Workers      int      `json:"workers,omitempty"`
+	Invocation   int      `json:"invocation,omitempty"`
+	Simultaneous []string `json:"simultaneous,omitempty"`
+	LegacyReplay bool     `json:"legacy_replay,omitempty"`
+	Lenient      bool     `json:"lenient_memory,omitempty"`
+	ECC          bool     `json:"ecc,omitempty"`
+	L2Queue      int      `json:"l2_queue,omitempty"`
+}
+
+// normalize applies the defaults a zero value implies.
+func (s Spec) normalize() Spec {
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.Bits == 0 {
+		s.Bits = 1
+	}
+	return s
+}
+
+// Config resolves the spec to a validated CampaignConfig: the application
+// is instantiated at its scale, the GPU preset is looked up and given the
+// spec's memory-model knobs, and structure names are parsed. The returned
+// config has no journal or progress hooks; callers attach their own.
+func (s Spec) Config() (*core.CampaignConfig, error) {
+	s = s.normalize()
+	app, err := bench.ByNameScale(s.App, s.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("store: spec: %v", err)
+	}
+	gpu, err := config.ByName(s.GPU)
+	if err != nil {
+		return nil, fmt.Errorf("store: spec: %v", err)
+	}
+	gpu.LenientMemory = s.Lenient
+	gpu.ECC = s.ECC
+	gpu.L2QueueCycles = s.L2Queue
+	st, err := sim.ParseStructure(s.Structure)
+	if err != nil {
+		return nil, fmt.Errorf("store: spec: %v", err)
+	}
+	cfg := &core.CampaignConfig{
+		App: app, GPU: gpu, Kernel: s.Kernel, Structure: st,
+		Runs: s.Runs, Bits: s.Bits, WarpWide: s.WarpWide, Blocks: s.Blocks,
+		Seed: s.Seed, Workers: s.Workers, Invocation: s.Invocation,
+		LegacyReplay: s.LegacyReplay,
+	}
+	for _, name := range s.Simultaneous {
+		extra, err := sim.ParseStructure(name)
+		if err != nil {
+			return nil, fmt.Errorf("store: spec: %v", err)
+		}
+		cfg.Simultaneous = append(cfg.Simultaneous, extra)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// ID derives the spec's default campaign identifier — deterministic, path-
+// safe, and readable: app-gpu-kernel-structure-b<bits>-s<seed>, with the
+// scale appended when it is not 1.
+func (s Spec) ID() string {
+	s = s.normalize()
+	id := fmt.Sprintf("%s-%s-%s-%s-b%d-s%d",
+		strings.ToLower(s.App), strings.ToLower(s.GPU), strings.ToLower(s.Kernel),
+		strings.ToLower(s.Structure), s.Bits, s.Seed)
+	if s.Scale != 1 {
+		id += fmt.Sprintf("-x%d", s.Scale)
+	}
+	return sanitizeID(id)
+}
+
+// sanitizeID maps any byte outside the journal's directory-name alphabet
+// to '_'.
+func sanitizeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, id)
+}
+
+// ValidID reports whether id is usable as a campaign directory name.
+func ValidID(id string) bool {
+	if id == "" || id == "." || id == ".." || len(id) > 200 {
+		return false
+	}
+	return sanitizeID(id) == id
+}

@@ -1,0 +1,656 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"gpufi/internal/avf"
+	"gpufi/internal/core"
+)
+
+// On-disk layout: one directory per campaign under the store root.
+//
+//	<root>/<id>/config.json    the Spec that defines the campaign
+//	<root>/<id>/journal.jsonl  header + one record per finished experiment
+//	<root>/<id>/done.json      completion marker with the final summary
+//	<root>/<id>/cancelled      marker: deliberately stopped, do not resume
+//
+// The journal is append-only and fsync'd every BatchSize records, so a
+// crash loses at most one batch of experiments — and since every
+// experiment is re-derivable from the seed, a resumed campaign simply
+// re-runs the lost tail and lands on bit-identical counts.
+const (
+	configFile    = "config.json"
+	journalFile   = "journal.jsonl"
+	doneFile      = "done.json"
+	cancelledFile = "cancelled"
+)
+
+// DefaultBatchSize is the journal fsync batch: how many experiment
+// records may sit in the write buffer before a flush+fsync.
+const DefaultBatchSize = 32
+
+// ErrNotFound reports a campaign id with no directory in the store.
+var ErrNotFound = errors.New("store: campaign not found")
+
+// ErrExists reports a Create against an id that already has a directory.
+var ErrExists = errors.New("store: campaign already exists")
+
+// Store is a durable campaign journal rooted at one directory.
+type Store struct {
+	dir string
+
+	// BatchSize is the journal fsync batch (records per fsync).
+	// DefaultBatchSize when zero.
+	BatchSize int
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %v", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) campaignDir(id string) string { return filepath.Join(s.dir, id) }
+
+func (s *Store) batch() int {
+	if s.BatchSize > 0 {
+		return s.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// Journal is an append-only experiment record file with batched fsync.
+// Append is safe for concurrent use, though campaign engines already
+// serialize their journal callbacks.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	lw      *LogWriter
+	batch   int
+	pending int
+	closed  bool
+}
+
+// Append journals one experiment record, flushing and fsyncing once a
+// batch has accumulated.
+func (j *Journal) Append(exp core.Experiment) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("store: append to closed journal")
+	}
+	if err := j.lw.Experiment(exp); err != nil {
+		return err
+	}
+	j.pending++
+	if j.pending >= j.batch {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes buffered records to disk and fsyncs the journal file.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush journal: %v", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync journal: %v", err)
+	}
+	j.pending = 0
+	return nil
+}
+
+// Close syncs outstanding records and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	err := j.syncLocked()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.closed = true
+	return err
+}
+
+// Campaign is an open handle on one stored campaign: its spec, whatever
+// the journal already holds, and (unless the campaign is Done) a journal
+// open for appending the remaining experiments.
+type Campaign struct {
+	ID        string
+	Spec      Spec
+	Done      bool              // completion marker present
+	Cancelled bool              // cancellation marker present
+	Truncated bool              // journal had a torn final record (now cut)
+	Prior     []core.Experiment // intact journaled experiments
+	Counts    avf.Counts        // aggregated over Prior
+
+	st      *Store
+	journal *Journal // nil when Done
+}
+
+// CompletedIDs returns the experiment indices already in the journal —
+// the set the engine skips on resume.
+func (c *Campaign) CompletedIDs() []int {
+	ids := make([]int, len(c.Prior))
+	for i := range c.Prior {
+		ids[i] = c.Prior[i].ID
+	}
+	return ids
+}
+
+// Append journals one newly finished experiment.
+func (c *Campaign) Append(exp core.Experiment) error {
+	if c.journal == nil {
+		return fmt.Errorf("store: campaign %s is complete; nothing to append", c.ID)
+	}
+	return c.journal.Append(exp)
+}
+
+// Close syncs and closes the journal (keeping the campaign resumable if
+// it has not been Finished).
+func (c *Campaign) Close() error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Close()
+}
+
+// doneRecord is the completion marker's content: the final summary a
+// restarting service can report without re-parsing the journal.
+type doneRecord struct {
+	Header
+	Counts     avf.Counts `json:"counts"`
+	FinishedAt time.Time  `json:"finished_at"`
+}
+
+// Finish marks the campaign complete: the journal is synced and closed
+// and the completion marker is written with the merged summary. After
+// Finish the store will never resume this campaign again.
+func (c *Campaign) Finish(res *core.CampaignResult) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	rec := doneRecord{Header: HeaderOf(res), Counts: res.Counts, FinishedAt: time.Now().UTC()}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode completion marker: %v", err)
+	}
+	dir := c.st.campaignDir(c.ID)
+	if err := writeFileSync(filepath.Join(dir, doneFile), append(raw, '\n')); err != nil {
+		return err
+	}
+	c.Done = true
+	return syncDir(dir)
+}
+
+// Create starts a fresh campaign: a new directory, the config record, and
+// a journal holding just the header. An empty id derives spec.ID().
+// Returns ErrExists if the id already has a directory.
+func (s *Store) Create(id string, spec Spec) (*Campaign, error) {
+	spec = spec.normalize()
+	if id == "" {
+		id = spec.ID()
+	}
+	if !ValidID(id) {
+		return nil, fmt.Errorf("store: invalid campaign id %q", id)
+	}
+	dir := s.campaignDir(id)
+	if _, err := os.Stat(dir); err == nil {
+		return nil, fmt.Errorf("%w: %s", ErrExists, id)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %v", id, err)
+	}
+	raw, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encode config: %v", err)
+	}
+	if err := writeFileSync(filepath.Join(dir, configFile), append(raw, '\n')); err != nil {
+		return nil, err
+	}
+	j, err := s.openJournal(id, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.lw.Begin(headerOfSpec(spec)); err != nil {
+		j.Close()
+		return nil, err
+	}
+	if err := j.Sync(); err != nil {
+		j.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Campaign{ID: id, Spec: spec, st: s, journal: j}, nil
+}
+
+func headerOfSpec(spec Spec) Header {
+	return Header{
+		App: spec.App, GPU: spec.GPU, Kernel: spec.Kernel, Structure: spec.Structure,
+		Bits: spec.Bits, Runs: spec.Runs, Seed: spec.Seed,
+	}
+}
+
+func (s *Store) openJournal(id string, create bool) (*Journal, error) {
+	flags := os.O_WRONLY | os.O_APPEND
+	if create {
+		flags |= os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(filepath.Join(s.campaignDir(id), journalFile), flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal %s: %w", id, err)
+	}
+	bw := bufio.NewWriter(f)
+	return &Journal{f: f, bw: bw, lw: NewLogWriter(bw), batch: s.batch()}, nil
+}
+
+// state is what a campaign directory holds, as read from disk.
+type state struct {
+	spec       Spec
+	done       bool
+	cancelled  bool
+	truncated  bool
+	hasHeader  bool
+	prior      []core.Experiment
+	counts     avf.Counts
+	goodOffset int64 // journal byte offset after the last intact record
+}
+
+// readState reads a campaign directory without modifying it. The journal
+// is parsed with recovery semantics: a torn final record is noted in
+// truncated/goodOffset; anything else malformed is an error.
+func (s *Store) readState(id string) (*state, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("store: invalid campaign id %q", id)
+	}
+	dir := s.campaignDir(id)
+	rawCfg, err := os.ReadFile(filepath.Join(dir, configFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read config of %s: %v", id, err)
+	}
+	var st state
+	if err := json.Unmarshal(rawCfg, &st.spec); err != nil {
+		return nil, fmt.Errorf("store: config of %s: %v", id, err)
+	}
+	st.spec = st.spec.normalize()
+	if _, err := os.Stat(filepath.Join(dir, doneFile)); err == nil {
+		st.done = true
+	}
+	if _, err := os.Stat(filepath.Join(dir, cancelledFile)); err == nil {
+		st.cancelled = true
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return &st, nil // no journal yet: zero progress
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read journal of %s: %v", id, err)
+	}
+	var dec logDecoder
+	offset := int64(0)
+	line := 0
+	for len(data) > 0 {
+		line++
+		nl := bytes.IndexByte(data, '\n')
+		var raw []byte
+		var next int64
+		if nl < 0 {
+			raw, next = data, offset+int64(len(data))
+		} else {
+			raw, next = data[:nl], offset+int64(nl)+1
+		}
+		rest := data[len(raw):]
+		if nl >= 0 {
+			rest = data[nl+1:]
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			offset, data = next, rest
+			continue
+		}
+		if err := dec.line(raw); err != nil {
+			// A torn final record — invalid JSON with nothing but
+			// whitespace after it — is expected crash damage; recovery
+			// cuts it. Anything else is corruption.
+			if isSyntaxError(raw) && len(bytes.TrimSpace(rest)) == 0 {
+				st.truncated = true
+				break
+			}
+			return nil, fmt.Errorf("store: journal of %s line %d: %v", id, line, err)
+		}
+		offset, data = next, rest
+	}
+	st.goodOffset = offset
+	switch len(dec.out) {
+	case 0:
+	case 1:
+		st.hasHeader = true
+		hdr := dec.out[0]
+		if hdr.Seed != st.spec.Seed || hdr.Runs != st.spec.Runs {
+			return nil, fmt.Errorf("store: journal of %s disagrees with its config (seed %d/%d, runs %d/%d)",
+				id, hdr.Seed, st.spec.Seed, hdr.Runs, st.spec.Runs)
+		}
+		st.prior = hdr.Exps
+		st.counts = hdr.Counts
+	default:
+		return nil, fmt.Errorf("store: journal of %s holds %d campaigns; a journal holds exactly one", id, len(dec.out))
+	}
+	return &st, nil
+}
+
+// Resume re-opens a stored campaign for further appends: the journal's
+// torn tail (if any) is cut at the last intact record, the completed
+// experiments are loaded, and the journal is opened for appending. A Done
+// campaign resumes read-only (no journal handle); appending to it fails.
+func (s *Store) Resume(id string) (*Campaign, error) {
+	st, err := s.readState(id)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		ID: id, Spec: st.spec, Done: st.done, Cancelled: st.cancelled,
+		Truncated: st.truncated, Prior: st.prior, Counts: st.counts, st: s,
+	}
+	if st.done {
+		return c, nil
+	}
+	path := filepath.Join(s.campaignDir(id), journalFile)
+	if st.truncated {
+		if err := os.Truncate(path, st.goodOffset); err != nil {
+			return nil, fmt.Errorf("store: cut torn journal tail of %s: %v", id, err)
+		}
+	}
+	j, err := s.openJournal(id, false)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			j, err = s.openJournal(id, true)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !st.hasHeader {
+		if err := j.lw.Begin(headerOfSpec(st.spec)); err != nil {
+			j.Close()
+			return nil, err
+		}
+		if err := j.Sync(); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	c.journal = j
+	return c, nil
+}
+
+// Info is a read-only snapshot of a stored campaign.
+type Info struct {
+	ID        string
+	Spec      Spec
+	Done      bool
+	Cancelled bool
+	Truncated bool
+	Completed int // intact journaled experiments
+	Counts    avf.Counts
+}
+
+// Inspect reads a campaign's state without opening it for writing and
+// without modifying the journal.
+func (s *Store) Inspect(id string) (*Info, error) {
+	st, err := s.readState(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Info{
+		ID: id, Spec: st.spec, Done: st.done, Cancelled: st.cancelled,
+		Truncated: st.truncated, Completed: len(st.prior), Counts: st.counts,
+	}, nil
+}
+
+// Exists reports whether a campaign directory exists for id.
+func (s *Store) Exists(id string) bool {
+	if !ValidID(id) {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.campaignDir(id), configFile))
+	return err == nil
+}
+
+// List returns every campaign id in the store, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %v", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && s.Exists(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Unfinished returns the campaigns that have a journal but neither a
+// completion nor a cancellation marker — the set a restarted service
+// resumes.
+func (s *Store) Unfinished() ([]string, error) {
+	ids, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, id := range ids {
+		dir := s.campaignDir(id)
+		if _, err := os.Stat(filepath.Join(dir, doneFile)); err == nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, cancelledFile)); err == nil {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// MarkCancelled writes the cancellation marker, excluding the campaign
+// from future resume scans until ClearCancelled.
+func (s *Store) MarkCancelled(id string) error {
+	if !s.Exists(id) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	dir := s.campaignDir(id)
+	if err := writeFileSync(filepath.Join(dir, cancelledFile), []byte("cancelled\n")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ClearCancelled removes the cancellation marker (an explicit resubmit).
+func (s *Store) ClearCancelled(id string) error {
+	err := os.Remove(filepath.Join(s.campaignDir(id), cancelledFile))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: clear cancellation of %s: %v", id, err)
+	}
+	return nil
+}
+
+// OpenLog opens the campaign's raw JSONL journal for reading.
+func (s *Store) OpenLog(id string) (io.ReadCloser, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("store: invalid campaign id %q", id)
+	}
+	f, err := os.Open(filepath.Join(s.campaignDir(id), journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return f, err
+}
+
+// Run executes a campaign durably: create the journal (or resume it if the
+// id already exists, skipping every journaled experiment), run the engine
+// with the journal hook attached, and on completion write the done marker.
+// A context cancellation syncs whatever finished and returns the merged
+// partial result with ctx's error — a later Run with the same id picks up
+// where it stopped. prof may be nil (the golden run is performed first) or
+// a shared precomputed profile. onExp, when non-nil, observes every newly
+// finished experiment after it is journaled.
+func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profile,
+	onExp func(core.Experiment)) (*core.CampaignResult, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec = spec.normalize()
+	if id == "" {
+		id = spec.ID()
+	}
+	var c *Campaign
+	var err error
+	if s.Exists(id) {
+		c, err = s.Resume(id)
+		if err == nil && !sameSpec(c.Spec, spec) {
+			err = fmt.Errorf("store: campaign %s exists with a different spec; choose another id", id)
+		}
+	} else {
+		c, err = s.Create(id, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.Done {
+		return c.mergedResult(nil), nil
+	}
+	defer c.Close()
+
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Completed = c.CompletedIDs()
+	cfg.Journal = c.Append
+	cfg.Progress = onExp
+	if prof == nil {
+		prof, err = core.ProfileApp(ctx, cfg.App, cfg.GPU)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, runErr := core.RunCampaign(ctx, cfg, prof)
+	if runErr != nil && res == nil {
+		return nil, runErr
+	}
+	merged := c.mergedResult(res)
+	if runErr != nil {
+		// Cancellation (or any abort): sync what finished and keep the
+		// campaign resumable.
+		if err := c.Close(); err != nil {
+			return merged, err
+		}
+		return merged, runErr
+	}
+	if err := s.ClearCancelled(id); err != nil {
+		return merged, err
+	}
+	if err := c.Finish(merged); err != nil {
+		return merged, err
+	}
+	return merged, nil
+}
+
+// sameSpec reports whether two specs describe the same campaign point, so
+// Run can detect an id collision with a different campaign. The JSON
+// encoding is the comparison domain — it is also what the config record
+// stores, so empty and nil slices coincide.
+func sameSpec(a, b Spec) bool {
+	ra, errA := json.Marshal(a.normalize())
+	rb, errB := json.Marshal(b.normalize())
+	return errA == nil && errB == nil && bytes.Equal(ra, rb)
+}
+
+// mergedResult merges the journaled prior experiments with a fresh
+// engine result (which covers only the newly run indices) into one
+// CampaignResult ordered by experiment id.
+func (c *Campaign) mergedResult(res *core.CampaignResult) *core.CampaignResult {
+	merged := &core.CampaignResult{
+		App: c.Spec.App, GPU: c.Spec.GPU, Kernel: c.Spec.Kernel,
+		Structure: c.Spec.Structure, Bits: c.Spec.Bits, Runs: c.Spec.Runs, Seed: c.Spec.Seed,
+	}
+	if res != nil {
+		merged.App, merged.GPU = res.App, res.GPU // profile's canonical names
+		merged.Exps = append(merged.Exps, res.Exps...)
+	}
+	merged.Exps = append(merged.Exps, c.Prior...)
+	sort.Slice(merged.Exps, func(a, b int) bool { return merged.Exps[a].ID < merged.Exps[b].ID })
+	for i := range merged.Exps {
+		merged.Counts.Add(merged.Exps[i].Outcome)
+	}
+	return merged
+}
+
+// writeFileSync writes data to path and fsyncs the file before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: write %s: %v", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write %s: %v", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: fsync %s: %v", path, err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so freshly created entries survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: sync dir %s: %v", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %v", dir, err)
+	}
+	return nil
+}
