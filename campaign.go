@@ -2,6 +2,7 @@ package gpufi
 
 import (
 	"context"
+	"time"
 
 	"gpufi/internal/core"
 )
@@ -111,6 +112,16 @@ func WithBlocks(n int) CampaignOption { return func(c *Campaign) { c.cfg.Blocks 
 // cycle as the primary target (the paper's combination campaigns).
 func WithSimultaneous(sts ...Structure) CampaignOption {
 	return func(c *Campaign) { c.cfg.Simultaneous = append(c.cfg.Simultaneous, sts...) }
+}
+
+// WithExpTimeout bounds each experiment's wall-clock runtime (0 = none).
+// The cycle-limit catches faulty runs whose cycle counter keeps ticking;
+// this deadline catches the complementary failure where the simulator
+// itself stops advancing. An expired experiment is classified as a
+// quarantined Timeout and the campaign continues — it never aborts the
+// batch.
+func WithExpTimeout(d time.Duration) CampaignOption {
+	return func(c *Campaign) { c.cfg.ExpTimeout = d }
 }
 
 // WithLegacyReplay forces the original engine that re-simulates the whole

@@ -9,7 +9,9 @@
 //
 // A log with a torn final line (a campaign killed mid-write) is salvaged
 // with a warning; a corrupt record anywhere else is reported with its
-// line number.
+// line number. The salvaged/dropped record counts are printed to stderr;
+// with -strict a drop exits non-zero after rendering, so pipelines can
+// refuse to treat an incomplete journal as authoritative.
 package main
 
 import (
@@ -24,8 +26,9 @@ import (
 )
 
 // parseSource reads one log, naming the offending line on failure and
-// tolerating only a crash-torn final record.
-func parseSource(name string, r io.Reader) []*gpufi.CampaignResult {
+// tolerating only a crash-torn final record. dropped reports whether a
+// torn tail record was cut from this source.
+func parseSource(name string, r io.Reader) ([]*gpufi.CampaignResult, bool) {
 	res, truncated, err := gpufi.ParseLogLenient(r)
 	if err != nil {
 		log.Fatalf("%s: %v", name, err)
@@ -33,30 +36,39 @@ func parseSource(name string, r io.Reader) []*gpufi.CampaignResult {
 	if truncated {
 		fmt.Fprintf(os.Stderr, "gpufi-report: warning: %s: final record is torn (interrupted write?); ignoring it\n", name)
 	}
-	return res
+	return res, truncated
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gpufi-report: ")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	strict := flag.Bool("strict", false, "exit non-zero when torn-tail salvage dropped records")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal(`usage: gpufi-report [-csv] log.jsonl... ("-" reads stdin)`)
+		log.Fatal(`usage: gpufi-report [-csv] [-strict] log.jsonl... ("-" reads stdin)`)
 	}
 
 	var all []*gpufi.CampaignResult
+	dropped := 0 // torn tail records cut during salvage (at most one per source)
 	for _, path := range flag.Args() {
 		if path == "-" {
-			all = append(all, parseSource("stdin", os.Stdin)...)
+			res, cut := parseSource("stdin", os.Stdin)
+			if cut {
+				dropped++
+			}
+			all = append(all, res...)
 			continue
 		}
 		f, err := os.Open(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res := parseSource(path, f)
+		res, cut := parseSource(path, f)
 		f.Close()
+		if cut {
+			dropped++
+		}
 		all = append(all, res...)
 	}
 	if len(all) == 0 {
@@ -93,5 +105,12 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gpufi-report: %d record(s) salvaged, %d torn record(s) dropped\n",
+		total.Total(), dropped)
+	if *strict && dropped > 0 {
+		// Strict mode: pipelines treating the report as authoritative must
+		// notice that the journal was incomplete.
+		log.Fatalf("strict: %d torn record(s) dropped during salvage", dropped)
 	}
 }

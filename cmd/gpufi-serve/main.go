@@ -1,12 +1,19 @@
 // Command gpufi-serve runs fault-injection campaigns as a service: an
 // HTTP API over the durable campaign store, with a bounded FIFO job queue
-// feeding a pool of campaign runners.
+// feeding a pool of supervised campaign runners.
 //
 // Campaigns are submitted as JSON specs, observed live over SSE, and
 // journaled to disk as they run. On startup the service scans its data
 // directory and resumes every campaign that has a journal but no
 // completion marker, so a killed server loses at most one fsync batch of
-// experiments.
+// experiments. A job whose attempt panics is retried with exponential
+// backoff before being failed; a worker that dies is restarted by its
+// supervisor.
+//
+// SIGINT or SIGTERM drains gracefully: intake stops (readyz flips to
+// 503), queued and running campaigns finish, then the server exits. A
+// second signal — or the -drain-timeout deadline — cancels the in-flight
+// campaigns instead; their journals stay resumable.
 //
 //	gpufi-serve -addr :8080 -data gpufi-data
 //
@@ -17,6 +24,7 @@
 //	curl localhost:8080/campaigns/<id>/log      # JSONL journal
 //	curl -X DELETE localhost:8080/campaigns/<id>
 //	curl localhost:8080/metrics
+//	curl localhost:8080/healthz localhost:8080/readyz
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"gpufi/internal/service"
@@ -42,6 +51,8 @@ func main() {
 		workers = flag.Int("workers", 2, "concurrent campaign runners")
 		queue   = flag.Int("queue", 64, "submission queue depth")
 		batch   = flag.Int("fsync-batch", store.DefaultBatchSize, "journal records per fsync")
+		retries = flag.Int("max-retries", 3, "re-runs of a job whose attempt panicked (negative = none)")
+		drainTO = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight campaigns on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -51,11 +62,13 @@ func main() {
 	}
 	st.BatchSize = *batch
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	srv := service.New(st, service.Options{Workers: *workers, QueueDepth: *queue})
-	resumed, err := srv.Start(ctx)
+	srv := service.New(st, service.Options{
+		Workers: *workers, QueueDepth: *queue, MaxRetries: *retries,
+	})
+	// The pool runs under the background context: shutdown goes through the
+	// drain below, not through cancelling every campaign the instant a
+	// signal lands.
+	resumed, err := srv.Start(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,11 +77,26 @@ func main() {
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
-		<-ctx.Done()
-		log.Print("shutting down (journals stay resumable)")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sig := <-sigCh
+		log.Printf("%v: draining — intake stopped, finishing queued and running campaigns", sig)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
+		go func() {
+			sig := <-sigCh
+			log.Printf("%v again: cancelling in-flight campaigns (journals stay resumable)", sig)
+			cancel()
+		}()
+		if err := srv.Drain(drainCtx); err != nil {
+			log.Printf("drain cut short (%v); in-flight campaigns cancelled, journals stay resumable", err)
+		} else {
+			log.Print("drained cleanly")
+		}
+		shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+		defer stop()
 		hs.Shutdown(shutdownCtx)
 	}()
 

@@ -53,6 +53,7 @@ func main() {
 		listApps  = flag.Bool("list", false, "list benchmarks and kernels, then exit")
 		storeDir  = flag.String("store", "", "journal campaigns durably into this directory (crash-safe)")
 		resume    = flag.Bool("resume", false, "with -store: continue interrupted campaigns, skipping journaled experiments")
+		expTO     = flag.Duration("exp-timeout", 0, "wall-clock deadline per experiment (0 = none); expiry classifies as quarantined Timeout")
 	)
 	flag.Parse()
 	if *resume && *storeDir == "" {
@@ -155,6 +156,7 @@ func main() {
 				WarpWide: *warpWide, Blocks: *blocks, Seed: *seed,
 				Workers: *workers, LegacyReplay: *legacy,
 				Lenient: *lenient, ECC: *ecc, L2Queue: *l2queue,
+				ExpTimeoutMS: expTO.Milliseconds(),
 			}, prof, *progress)
 		} else {
 			opts := []gpufi.CampaignOption{
@@ -165,6 +167,7 @@ func main() {
 				gpufi.WithBlocks(*blocks),
 				gpufi.WithSeed(*seed),
 				gpufi.WithWorkers(*workers),
+				gpufi.WithExpTimeout(*expTO),
 				gpufi.WithProfile(prof),
 			}
 			if *legacy {

@@ -40,6 +40,20 @@ const (
 	ModeTexture
 )
 
+// Error is a typed cache-integrity violation. The simulator's policy
+// (matching internal/isa/eval.go) is that no fault-reachable condition
+// may panic the process: an injected flip can corrupt control flow into
+// issuing a store against a read-only mode, or drift a snapshot restore
+// onto mismatched geometry, and both must surface as errors the caller
+// classifies as a Crash outcome or heals around — never as a torn-down
+// campaign.
+type Error struct {
+	Op     string // the failing operation ("store", "restore")
+	Reason string
+}
+
+func (e *Error) Error() string { return "cache: " + e.Op + ": " + e.Reason }
+
 // Backing is the next level below a cache: another cache or DRAM. All
 // methods return the additional latency incurred.
 type Backing interface {
@@ -148,10 +162,14 @@ func (c *Cache) Clone(backing Backing) *Cache {
 // forks restore hundreds of snapshots; reuse turns each restore into plain
 // memmoves instead of multi-megabyte zeroed allocations. As in Clone, only
 // valid lines' data is copied — whatever c's arena held for lines invalid
-// in src is unobservable.
-func (c *Cache) CopyFrom(src *Cache, backing Backing) {
+// in src is unobservable. A geometry mismatch returns a typed *Error so
+// the caller can fall back to a fresh Clone instead of panicking.
+func (c *Cache) CopyFrom(src *Cache, backing Backing) error {
 	if c.geom != src.geom && *c.geom != *src.geom {
-		panic("cache: CopyFrom with mismatched geometry")
+		return &Error{Op: "restore", Reason: fmt.Sprintf(
+			"CopyFrom with mismatched geometry (%d/%d/%d into %d/%d/%d)",
+			src.geom.Sets, src.geom.Ways, src.geom.LineBytes,
+			c.geom.Sets, c.geom.Ways, c.geom.LineBytes)}
 	}
 	c.backing = backing
 	c.useCtr = src.useCtr
@@ -167,6 +185,7 @@ func (c *Cache) CopyFrom(src *Cache, backing Backing) {
 			c.lines[i].hookBits = append([]uint16(nil), hb...)
 		}
 	}
+	return nil
 }
 
 // Stats returns a copy of the event counters.
@@ -298,8 +317,11 @@ func (c *Cache) AccessRead(addr uint32) (bool, int) {
 // the line containing addr. For ModeGlobal the paper's evict-on-write
 // applies: a hit invalidates the line (disarming hooks); data travels to
 // the backing level via StoreWord. For ModeLocal the line is
-// write-allocated and marked dirty. Returns (hit, extra cycles).
-func (c *Cache) AccessWrite(addr uint32, mode Mode) (bool, int) {
+// write-allocated and marked dirty. Returns (hit, extra cycles, error);
+// a store against a read-only mode — reachable only through
+// fault-corrupted control flow — returns a typed *Error that the
+// simulator records as a memory violation (Crash outcome).
+func (c *Cache) AccessWrite(addr uint32, mode Mode) (bool, int, error) {
 	c.stats.Accesses++
 	set, tag := c.setOf(addr), c.tagOf(addr)
 	idx := c.lookup(set, tag)
@@ -312,24 +334,25 @@ func (c *Cache) AccessWrite(addr uint32, mode Mode) (bool, int) {
 			c.disarm(idx)
 			c.lines[idx].valid = false
 			c.lines[idx].dirty = false
-			return true, 0
+			return true, 0, nil
 		}
 		c.stats.Misses++ // write miss: no allocate, nothing happens here
-		return false, 0
+		return false, 0, nil
 	case ModeLocal:
 		if idx >= 0 {
 			c.stats.Hits++
 			c.touch(idx)
 			c.disarm(idx) // write hit overwrites the faulted data
 			c.lines[idx].dirty = true
-			return true, 0
+			return true, 0, nil
 		}
 		c.stats.Misses++
 		idx, cost := c.fill(addr)
 		c.lines[idx].dirty = true
-		return false, cost
+		return false, cost, nil
 	default:
-		panic(fmt.Sprintf("cache: store in read-only mode %d", mode))
+		return false, 0, &Error{Op: "store",
+			Reason: fmt.Sprintf("store in read-only mode %d at %#x", mode, addr)}
 	}
 }
 
@@ -389,7 +412,7 @@ func (c *Cache) FetchLine(addr uint32, dst []byte) int {
 // StoreLine implements Backing: a dirty write-back from the level above is
 // absorbed with write-allocate semantics.
 func (c *Cache) StoreLine(addr uint32, src []byte) int {
-	_, below := c.AccessWrite(addr, ModeLocal)
+	_, below, _ := c.AccessWrite(addr, ModeLocal) // ModeLocal cannot error
 	cost := c.geom.HitCycles + below
 	set, tag := c.setOf(addr), c.tagOf(addr)
 	if idx := c.lookup(set, tag); idx >= 0 {
@@ -403,7 +426,7 @@ func (c *Cache) StoreLine(addr uint32, src []byte) int {
 // (global stores) is absorbed with write-allocate semantics, as the L2
 // services all memory requests in the paper's configuration.
 func (c *Cache) StoreWord(addr uint32, v uint32) int {
-	_, below := c.AccessWrite(addr, ModeLocal)
+	_, below, _ := c.AccessWrite(addr, ModeLocal) // ModeLocal cannot error
 	return c.geom.HitCycles + below + c.StoreWordLocal(addr, v)
 }
 

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -86,7 +87,7 @@ func TestGlobalWriteEvict(t *testing.T) {
 	c, b := newTestCache()
 	binary.LittleEndian.PutUint32(b.data[0x200:], 7)
 	c.AccessRead(0x200) // line resident
-	hit, _ := c.AccessWrite(0x200, ModeGlobal)
+	hit, _, _ := c.AccessWrite(0x200, ModeGlobal)
 	if !hit {
 		t.Error("write to resident line should hit")
 	}
@@ -96,7 +97,7 @@ func TestGlobalWriteEvict(t *testing.T) {
 		t.Error("line survived evict-on-write")
 	}
 	// Write miss does not allocate.
-	_, _ = c.AccessWrite(0x1000, ModeGlobal)
+	_, _, _ = c.AccessWrite(0x1000, ModeGlobal)
 	hit, _ = c.AccessRead(0x1000)
 	if hit {
 		t.Error("write miss allocated a line under write-no-allocate")
@@ -387,12 +388,39 @@ func TestQuickGlobalWriteThrough(t *testing.T) {
 	}
 }
 
-func TestStoreInTextureModePanics(t *testing.T) {
+func TestStoreInTextureModeReturnsError(t *testing.T) {
 	c, _ := newTestCache()
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic on texture-mode store")
-		}
-	}()
-	c.AccessWrite(0x100, ModeTexture)
+	// A store against a read-only mode is only reachable through
+	// fault-corrupted control flow; it must surface as a typed error the
+	// simulator classifies as a Crash, never as a process panic.
+	_, _, err := c.AccessWrite(0x100, ModeTexture)
+	var cerr *Error
+	if !errors.As(err, &cerr) {
+		t.Fatalf("texture-mode store returned %v, want *cache.Error", err)
+	}
+	if cerr.Op != "store" {
+		t.Errorf("error op = %q, want store", cerr.Op)
+	}
+	// The cache itself must remain usable afterwards.
+	if _, _, err := c.AccessWrite(0x100, ModeLocal); err != nil {
+		t.Errorf("cache unusable after rejected store: %v", err)
+	}
+}
+
+func TestCopyFromGeometryMismatchReturnsError(t *testing.T) {
+	b := newFlat(1<<14, 1)
+	c := New(smallGeom(), b)
+	other := New(&config.Cache{Sets: 8, Ways: 2, LineBytes: 32, HitCycles: 1}, b)
+	err := c.CopyFrom(other, b)
+	var cerr *Error
+	if !errors.As(err, &cerr) {
+		t.Fatalf("mismatched CopyFrom returned %v, want *cache.Error", err)
+	}
+	if cerr.Op != "restore" {
+		t.Errorf("error op = %q, want restore", cerr.Op)
+	}
+	// Same geometry must still copy cleanly.
+	if err := c.CopyFrom(New(smallGeom(), b), b); err != nil {
+		t.Errorf("same-geometry CopyFrom failed: %v", err)
+	}
 }

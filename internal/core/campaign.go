@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gpufi/internal/avf"
 	"gpufi/internal/bench"
+	"gpufi/internal/cache"
 	"gpufi/internal/config"
 	"gpufi/internal/sim"
 )
@@ -108,6 +110,30 @@ type CampaignConfig struct {
 	// the newly run experiments; callers merge it with the journaled ones.
 	// Out-of-range indices are ignored.
 	Completed []int
+
+	// ExpTimeout bounds each experiment's wall-clock runtime (0 = no
+	// bound). The cycle-limit (2x the fault-free cycles) catches faulty
+	// runs that keep ticking; this deadline catches the complementary
+	// failure where the simulator itself stops advancing — an infinite
+	// loop injected into simulator state rather than simulated state.
+	// Expiry classifies the experiment as a quarantined avf.Timeout
+	// instead of aborting the campaign.
+	ExpTimeout time.Duration
+
+	// Quarantine, when non-nil, is called for each experiment the sandbox
+	// poisoned (panicked or wall-clock-deadlined), serialized, before the
+	// Journal hook. A durable store uses it to write a synced quarantine
+	// record ahead of the batched outcome record, so a crash-looping spec
+	// is skipped on resume even if the process dies before the outcome
+	// reaches disk. A non-nil error aborts the campaign.
+	Quarantine func(exp Experiment) error
+
+	// ExperimentHook, when non-nil, runs at the start of every experiment
+	// inside the sandbox boundary, before the simulator does any work.
+	// It exists for tests that model simulator bugs (a hook that panics
+	// or blocks exercises the sandbox); production configs leave it nil.
+	// It takes precedence over the process-wide SetExperimentHook.
+	ExperimentHook func(id int, spec *sim.FaultSpec)
 }
 
 // workerCount resolves the configured worker count.
@@ -141,6 +167,9 @@ func (c *CampaignConfig) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: campaign Workers must not be negative, got %d", c.Workers)
+	}
+	if c.ExpTimeout < 0 {
+		return fmt.Errorf("core: campaign ExpTimeout must not be negative, got %v", c.ExpTimeout)
 	}
 	known := false
 	for _, k := range c.App.Kernels {
@@ -186,6 +215,13 @@ type Experiment struct {
 	Cycles   uint64      `json:"cycles"` // total cycles of the faulty run
 	Injected bool        `json:"injected"`
 	Detail   string      `json:"detail,omitempty"`
+
+	// Quarantined marks an experiment whose outcome came from the sandbox
+	// boundary rather than a completed simulation: the run panicked the
+	// simulator (Crash) or exceeded the wall-clock deadline (Timeout).
+	// Quarantined specs are journaled ahead of their outcome and skipped
+	// on resume, so a poison spec cannot wedge a campaign.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // CampaignResult aggregates a finished campaign point.
@@ -360,7 +396,9 @@ func runReplay(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 				g, err := sim.New(cfg.GPU)
 				if err == nil {
 					var exp Experiment
-					exp, err = runExperiment(ctx, cfg, prof, g, specs[i], extras[i], i)
+					// The legacy path allocates a fresh GPU per experiment,
+					// so a poisoned vessel is discarded by construction.
+					exp, _, err = runExperimentSandboxed(ctx, cfg, prof, g, specs[i], extras[i], i)
 					if err == nil {
 						err = col.add(i, exp)
 						if err == nil {
@@ -433,6 +471,10 @@ func classify(runErr error, out []byte, prof *Profile, cycles uint64) avf.Outcom
 	case *sim.ErrTimeout:
 		return avf.Timeout
 	case *sim.MemViolation:
+		return avf.Crash
+	case *cache.Error:
+		// A fault-corrupted store routed into a read-only cache mode: the
+		// simulated machine did something impossible, i.e. a Crash.
 		return avf.Crash
 	default:
 		// Any other abnormal termination of the application counts as a

@@ -129,12 +129,21 @@ func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 	g.SnapshotAt(snapCycles, func(s *sim.Snapshot) error {
 		cl := clusters[next]
 		next++
-		if err := runCluster(ctx, cfg, prof, s, cl.idxs, specs, extras, vessels, col); err != nil {
+		poisoned, err := runCluster(ctx, cfg, prof, s, cl.idxs, specs, extras, vessels, col)
+		if err != nil {
 			return err
 		}
 		// Every fork of this cluster has finished; the next capture can
-		// reuse the snapshot's storage instead of allocating afresh.
-		g.RecycleSnapshot(s)
+		// reuse the snapshot's storage instead of allocating afresh — but
+		// only if no experiment poisoned it and the storage still passes
+		// verification. A panicked fork may have been killed mid-restore,
+		// and recycling suspect storage would silently corrupt every later
+		// cluster of the campaign.
+		if !poisoned {
+			if verr := s.VerifyStorage(); verr == nil {
+				g.RecycleSnapshot(s)
+			}
+		}
 		if next == len(clusters) {
 			return sim.ErrReplayStop
 		}
@@ -155,9 +164,12 @@ func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 }
 
 // runCluster fans one cluster's experiments over a worker pool, each
-// forking from the shared (read-only) snapshot.
+// forking from the shared (read-only) snapshot. poisoned reports that at
+// least one experiment panicked or hit its wall-clock deadline: its vessel
+// is discarded here (the next experiment on that slot allocates a fresh
+// fork), and the caller must not recycle the cluster's snapshot storage.
 func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *sim.Snapshot,
-	idxs []int, specs []*sim.FaultSpec, extras [][]*sim.FaultSpec, vessels []*sim.GPU, col *collector) error {
+	idxs []int, specs []*sim.FaultSpec, extras [][]*sim.FaultSpec, vessels []*sim.GPU, col *collector) (bool, error) {
 
 	workers := cfg.workerCount()
 	if workers > len(idxs) {
@@ -165,6 +177,7 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 	}
 	var wg sync.WaitGroup
 	var pos int64 = -1
+	var poisonCount atomic.Int64
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -185,7 +198,15 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 					g.Refork(snap)
 					forksReused.Add(1)
 				}
-				exp, err := runExperiment(ctx, cfg, prof, g, specs[i], extras[i], i)
+				exp, poisoned, err := runExperimentSandboxed(ctx, cfg, prof, g, specs[i], extras[i], i)
+				if poisoned {
+					// The vessel ran a panicked or deadlined experiment:
+					// its state is suspect, so drop it rather than
+					// Refork-reuse it for the next experiment.
+					vessels[w] = nil
+					poisonCount.Add(1)
+					vesselsDiscarded.Add(1)
+				}
 				if err == nil {
 					err = col.add(i, exp)
 				}
@@ -200,14 +221,15 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 		}(w)
 	}
 	wg.Wait()
+	poisoned := poisonCount.Load() > 0
 	select {
 	case err := <-errCh:
 		if !isCancel(err) {
-			return err
+			return poisoned, err
 		}
 	default:
 	}
-	return ctx.Err()
+	return poisoned, ctx.Err()
 }
 
 // collector gathers finished experiments, preserving IDs, and feeds the
@@ -228,6 +250,14 @@ func (c *collector) add(i int, exp Experiment) error {
 	defer c.mu.Unlock()
 	c.exps[i] = exp
 	c.done[i] = true
+	if exp.Quarantined && c.cfg.Quarantine != nil {
+		// Write-ahead: the quarantine record must be durable before the
+		// (batched) outcome record, so a process crash right after a
+		// poison run still leaves the spec marked skip-on-resume.
+		if err := c.cfg.Quarantine(exp); err != nil {
+			return fmt.Errorf("core: quarantine experiment %d: %w", i, err)
+		}
+	}
 	if c.cfg.Journal != nil {
 		if err := c.cfg.Journal(exp); err != nil {
 			return fmt.Errorf("core: journal experiment %d: %w", i, err)

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gpufi/internal/avf"
+	"gpufi/internal/bench"
+	"gpufi/internal/config"
+	"gpufi/internal/sim"
+)
+
+// TestPoisonedCampaignIsolation is the sandbox's core contract: one fault
+// specification that drives the simulator into a panic must cost exactly
+// that one experiment. Every other outcome of the batch stays
+// bit-identical to a clean run of the same seed, the poison run is
+// classified as a quarantined Crash carrying a diagnosable detail string,
+// and the Quarantine hook sees it — on both engines.
+func TestPoisonedCampaignIsolation(t *testing.T) {
+	gpu := config.RTX2060()
+	app, err := bench.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileApp(nil, app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const poisonID = 17
+	for _, legacy := range []bool{false, true} {
+		mk := func() *CampaignConfig {
+			return &CampaignConfig{App: app, GPU: gpu, Kernel: "va_add", Structure: sim.StructRegFile,
+				Runs: 50, Bits: 1, Seed: 11, Workers: 4, LegacyReplay: legacy}
+		}
+		clean, err := RunCampaign(nil, mk(), prof)
+		if err != nil {
+			t.Fatalf("legacy=%v clean: %v", legacy, err)
+		}
+
+		var quarantined []Experiment
+		cfg := mk()
+		cfg.ExperimentHook = func(id int, spec *sim.FaultSpec) {
+			if id == poisonID {
+				panic("injected simulator bug")
+			}
+		}
+		cfg.Quarantine = func(exp Experiment) error {
+			quarantined = append(quarantined, exp) // serialized under the collector lock
+			return nil
+		}
+		poisoned, err := RunCampaign(nil, cfg, prof)
+		if err != nil {
+			t.Fatalf("legacy=%v poisoned: %v", legacy, err)
+		}
+
+		if len(poisoned.Exps) != len(clean.Exps) {
+			t.Fatalf("legacy=%v: %d experiments with poison vs %d clean", legacy, len(poisoned.Exps), len(clean.Exps))
+		}
+		for i := range clean.Exps {
+			c, p := clean.Exps[i], poisoned.Exps[i]
+			if i == poisonID {
+				if p.Outcome != avf.Crash || !p.Quarantined {
+					t.Errorf("legacy=%v: poison exp = {%s quarantined=%v}, want quarantined Crash", legacy, p.Effect, p.Quarantined)
+				}
+				if !strings.Contains(p.Detail, "quarantined: simulator panic: injected simulator bug") ||
+					!strings.Contains(p.Detail, "stack ") {
+					t.Errorf("legacy=%v: poison detail %q lacks panic diagnosis", legacy, p.Detail)
+				}
+				continue
+			}
+			if c.Effect != p.Effect || c.Cycles != p.Cycles || c.Detail != p.Detail || c.Injected != p.Injected {
+				t.Errorf("legacy=%v exp %d: clean {%s %d %q %v} vs poisoned {%s %d %q %v}",
+					legacy, i, c.Effect, c.Cycles, c.Detail, c.Injected, p.Effect, p.Cycles, p.Detail, p.Injected)
+			}
+		}
+		if len(quarantined) != 1 || quarantined[0].ID != poisonID {
+			t.Errorf("legacy=%v: Quarantine hook saw %v, want exactly experiment %d", legacy, quarantined, poisonID)
+		}
+		wantCrash := clean.Counts.Crash + 1
+		if clean.Exps[poisonID].Outcome == avf.Crash {
+			wantCrash = clean.Counts.Crash
+		}
+		if poisoned.Counts.Crash != wantCrash {
+			t.Errorf("legacy=%v: poisoned Crash count %d, want %d", legacy, poisoned.Counts.Crash, wantCrash)
+		}
+	}
+}
+
+// TestWallClockDeadline pins the per-experiment watchdog: a simulator-side
+// hang (modelled by a hook that sleeps past cfg.ExpTimeout) is classified
+// as a quarantined Timeout for that one experiment, and the rest of the
+// batch completes normally. The legacy engine is used because its runs
+// start at cycle 0 and therefore always cross a context-poll tick.
+func TestWallClockDeadline(t *testing.T) {
+	gpu := config.RTX2060()
+	app, err := bench.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileApp(nil, app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deadline is generous (a healthy VA experiment takes milliseconds,
+	// even under -race) so only the deliberately hung one can expire.
+	const hungID = 3
+	cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "va_add", Structure: sim.StructRegFile,
+		Runs: 6, Bits: 1, Seed: 5, Workers: 2, LegacyReplay: true,
+		ExpTimeout: time.Second,
+		ExperimentHook: func(id int, spec *sim.FaultSpec) {
+			if id == hungID {
+				time.Sleep(1500 * time.Millisecond)
+			}
+		},
+	}
+	res, err := RunCampaign(nil, cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exps) != 6 {
+		t.Fatalf("campaign with one hung experiment finished %d of 6", len(res.Exps))
+	}
+	hung := res.Exps[hungID]
+	if hung.Outcome != avf.Timeout || !hung.Quarantined {
+		t.Fatalf("hung exp = {%s quarantined=%v}, want quarantined Timeout", hung.Effect, hung.Quarantined)
+	}
+	if !strings.Contains(hung.Detail, "wall-clock deadline 1s exceeded") {
+		t.Errorf("hung detail %q lacks deadline diagnosis", hung.Detail)
+	}
+	for i, exp := range res.Exps {
+		if i != hungID && exp.Quarantined {
+			t.Errorf("exp %d quarantined, only %d should be", i, hungID)
+		}
+	}
+}
+
+// TestPoisonStress hammers the fork engine with several poison specs at a
+// high worker count: every poisoned vessel must be discarded (never
+// Refork-reused), the snapshot storage of poisoned clusters must not be
+// recycled, and the campaign must still deliver all outcomes. The CI race
+// job runs this test under -race.
+func TestPoisonStress(t *testing.T) {
+	gpu := config.RTX2060()
+	app, err := bench.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileApp(nil, app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := map[int]bool{2: true, 9: true, 23: true, 24: true, 41: true}
+	_, _, discardedBefore := SandboxStats()
+	cfg := &CampaignConfig{App: app, GPU: gpu, Kernel: "va_add", Structure: sim.StructRegFile,
+		Runs: 48, Bits: 1, Seed: 29, Workers: 16,
+		ExperimentHook: func(id int, spec *sim.FaultSpec) {
+			if poison[id] {
+				panic("stress poison")
+			}
+		},
+	}
+	res, err := RunCampaign(nil, cfg, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Exps) != 48 {
+		t.Fatalf("stress campaign finished %d of 48", len(res.Exps))
+	}
+	for i, exp := range res.Exps {
+		if poison[i] != exp.Quarantined {
+			t.Errorf("exp %d: quarantined=%v, want %v", i, exp.Quarantined, poison[i])
+		}
+		if poison[i] && exp.Outcome != avf.Crash {
+			t.Errorf("poison exp %d classified %s, want Crash", i, exp.Effect)
+		}
+	}
+	if _, _, after := SandboxStats(); after-discardedBefore < int64(len(poison)) {
+		t.Errorf("vessels discarded rose by %d, want >= %d", after-discardedBefore, len(poison))
+	}
+}
+
+// TestExpTimeoutValidate rejects a negative per-experiment deadline.
+func TestExpTimeoutValidate(t *testing.T) {
+	app, err := bench.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &CampaignConfig{App: app, GPU: config.RTX2060(), Kernel: "va_add",
+		Structure: sim.StructRegFile, Runs: 10, Bits: 1, ExpTimeout: -time.Second}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted a negative ExpTimeout")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"gpufi/internal/avf"
 	"gpufi/internal/store"
@@ -20,6 +21,8 @@ import (
 //	GET    /campaigns/{id}/log    the raw JSONL journal
 //	DELETE /campaigns/{id}        cancel (queued or running)
 //	GET    /metrics               service counters
+//	GET    /healthz               liveness (200 while the process serves)
+//	GET    /readyz                readiness (503 while starting/draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
@@ -29,6 +32,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}/log", s.handleLog)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -44,6 +49,7 @@ type status struct {
 	Seed      int64      `json:"seed"`
 	Completed int        `json:"completed"`
 	Resumed   bool       `json:"resumed,omitempty"`
+	Attempts  int        `json:"attempts,omitempty"`
 	Counts    avf.Counts `json:"counts"`
 	Error     string     `json:"error,omitempty"`
 }
@@ -54,7 +60,8 @@ func (s *Server) statusLocked(j *job) status {
 		ID: j.id, State: j.state,
 		App: j.spec.App, GPU: j.spec.GPU, Kernel: j.spec.Kernel, Structure: j.spec.Structure,
 		Runs: j.total, Seed: j.spec.Seed,
-		Completed: j.done, Resumed: j.resumed, Counts: j.counts, Error: j.errMsg,
+		Completed: j.done, Resumed: j.resumed, Attempts: j.attempts,
+		Counts: j.counts, Error: j.errMsg,
 	}
 }
 
@@ -258,4 +265,33 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
+// handleHealthz is the liveness probe: the process is up and its HTTP
+// loop answers. It stays 200 through drain — a draining server is alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+// handleReadyz is the readiness probe: 200 only while the worker pool is
+// started and accepting submissions. Draining or closed answers 503, so
+// load balancers stop routing new campaigns here during shutdown while
+// in-flight SSE streams and status reads keep working.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	started, draining, closed := s.started, s.draining, s.closed
+	s.mu.Unlock()
+	switch {
+	case closed:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "closed"})
+	case draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !started:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }

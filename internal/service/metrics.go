@@ -17,6 +17,11 @@ type metrics struct {
 	failed      atomic.Int64 // jobs that errored
 	cancelled   atomic.Int64 // jobs cancelled (by request or shutdown)
 	experiments atomic.Int64 // experiments finished since start
+
+	retries        atomic.Int64 // job attempts re-queued after a panic
+	workerPanics   atomic.Int64 // panics recovered in the worker pool
+	workerRestarts atomic.Int64 // worker loops restarted by the supervisor
+	quarantined    atomic.Int64 // experiments quarantined (panic or deadline)
 }
 
 func (m *metrics) init() { m.start = time.Now() }
@@ -38,17 +43,28 @@ func (m *metrics) snapshot() map[string]any {
 	if created+reused > 0 {
 		reuseRatio = float64(reused) / float64(created+reused)
 	}
+	// The sandbox counters come straight from the engine: experiments whose
+	// simulation panicked, experiments cut by the wall-clock deadline, and
+	// fork vessels discarded because a poisoned run may have corrupted them.
+	expPanics, expDeadlines, discarded := core.SandboxStats()
 	return map[string]any{
-		"uptime_seconds":      uptime,
-		"jobs_queued":         m.queued.Load(),
-		"jobs_running":        m.running.Load(),
-		"jobs_done":           m.done.Load(),
-		"jobs_failed":         m.failed.Load(),
-		"jobs_cancelled":      m.cancelled.Load(),
-		"experiments_total":   exps,
-		"experiments_per_sec": rate,
-		"forks_created":       created,
-		"forks_reused":        reused,
-		"fork_reuse_ratio":    reuseRatio,
+		"uptime_seconds":          uptime,
+		"jobs_queued":             m.queued.Load(),
+		"jobs_running":            m.running.Load(),
+		"jobs_done":               m.done.Load(),
+		"jobs_failed":             m.failed.Load(),
+		"jobs_cancelled":          m.cancelled.Load(),
+		"job_retries":             m.retries.Load(),
+		"worker_panics":           m.workerPanics.Load(),
+		"worker_restarts":         m.workerRestarts.Load(),
+		"experiments_total":       exps,
+		"experiments_per_sec":     rate,
+		"experiments_quarantined": m.quarantined.Load(),
+		"exp_panics":              expPanics,
+		"exp_deadlines":           expDeadlines,
+		"vessels_discarded":       discarded,
+		"forks_created":           created,
+		"forks_reused":            reused,
+		"fork_reuse_ratio":        reuseRatio,
 	}
 }

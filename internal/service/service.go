@@ -11,7 +11,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"gpufi/internal/avf"
 	"gpufi/internal/core"
@@ -27,6 +29,15 @@ type Options struct {
 	// with 503. Default 64. Campaigns resumed at startup bypass the bound
 	// — refusing recovery because the queue is small would lose work.
 	QueueDepth int
+	// MaxRetries is how many times a job whose attempt panicked is
+	// re-queued (with exponential backoff) before it is failed. Default 3;
+	// negative disables retries. Only panics are retried — an ordinary
+	// campaign error (bad spec, full disk) fails the job immediately, since
+	// rerunning it would fail the same way.
+	MaxRetries int
+	// RetryBaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Default 500ms.
+	RetryBaseDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -35,6 +46,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 3
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 500 * time.Millisecond
 	}
 	return o
 }
@@ -56,14 +76,15 @@ type event struct {
 
 // job is one campaign submission moving through the queue.
 type job struct {
-	id      string
-	spec    store.Spec
-	state   string
-	errMsg  string
-	counts  avf.Counts
-	total   int
-	done    int  // experiments finished (including journaled prior ones)
-	resumed bool // re-queued from the store at startup or by resubmit
+	id       string
+	spec     store.Spec
+	state    string
+	errMsg   string
+	counts   avf.Counts
+	total    int
+	done     int  // experiments finished (including journaled prior ones)
+	resumed  bool // re-queued from the store at startup or by resubmit
+	attempts int  // run attempts so far (retries after a panic re-run the job)
 
 	cancel    context.CancelFunc // non-nil while running
 	userAbort bool               // cancellation was requested, not a crash
@@ -71,17 +92,35 @@ type job struct {
 	finished  chan struct{} // closed on any terminal state
 }
 
+// panicError wraps a panic recovered at the job boundary, so the retry
+// logic can tell a crashed attempt from an ordinary campaign error.
+type panicError struct {
+	val   any
+	stack string
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("campaign panicked: %v", e.val) }
+
+// testJobHook, when non-nil, runs at the start of every job attempt. It
+// is a test-only knob for injecting panics into the worker pool; set it
+// before Start and clear it after Close.
+var testJobHook func(id string, attempt int)
+
 // Server is the campaign service: a store, a queue, and a worker pool.
 type Server struct {
 	st   *store.Store
 	opts Options
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	jobs    map[string]*job
-	queue   []*job // FIFO; resumed jobs may exceed QueueDepth
-	closed  bool
-	started bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	queue    []*job // FIFO; resumed jobs may exceed QueueDepth
+	closed   bool
+	started  bool
+	draining bool // intake stopped; queued and running jobs finish
+	// retryPending counts jobs waiting out a retry backoff: they are in no
+	// queue, but the service is not quiescent until they land somewhere.
+	retryPending int
 
 	cancelBase context.CancelFunc
 	wg         sync.WaitGroup
@@ -147,7 +186,7 @@ func (s *Server) Start(ctx context.Context) ([]string, error) {
 	s.cancelBase = cancel
 	for w := 0; w < s.opts.Workers; w++ {
 		s.wg.Add(1)
-		go s.worker(base)
+		go s.superviseWorker(base)
 	}
 	// A cancelled base context must also wake idle workers.
 	go func() {
@@ -205,6 +244,9 @@ func (s *Server) submit(id string, spec store.Spec) (*job, error) {
 	if s.closed {
 		return nil, &httpError{code: 503, msg: "service shutting down"}
 	}
+	if s.draining {
+		return nil, &httpError{code: 503, msg: "service draining; not accepting campaigns"}
+	}
 	if j, ok := s.jobs[id]; ok {
 		switch j.state {
 		case StateQueued, StateRunning:
@@ -235,9 +277,42 @@ func (s *Server) submit(id string, spec store.Spec) (*job, error) {
 	return j, nil
 }
 
-// worker pops jobs FIFO and runs them durably through the store.
-func (s *Server) worker(base context.Context) {
+// superviseWorker keeps one worker slot alive for the lifetime of the
+// pool: if the worker loop is unwound by a panic that escaped the job
+// sandbox (a bug in the service's own bookkeeping), the slot is restarted
+// instead of the pool silently shrinking until no campaigns run at all.
+func (s *Server) superviseWorker(base context.Context) {
 	defer s.wg.Done()
+	for {
+		if s.workerLoop(base) {
+			return
+		}
+		s.metrics.workerRestarts.Add(1)
+		s.mu.Lock()
+		dead := s.closed
+		s.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+// workerLoop pops jobs FIFO and runs them durably through the store. It
+// reports true when it exits through the orderly shutdown path and false
+// when a panic unwound it (the supervisor then restarts it).
+func (s *Server) workerLoop(base context.Context) (clean bool) {
+	var cur *job
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.workerPanics.Add(1)
+			// A job abandoned mid-flight must still reach a terminal state,
+			// or its subscribers and cancellers wait forever.
+			if cur != nil {
+				s.finishJob(base, cur, nil, fmt.Errorf("worker panicked: %v", r))
+			}
+			clean = false
+		}
+	}()
 	for {
 		s.mu.Lock()
 		for len(s.queue) == 0 && !s.closed {
@@ -245,34 +320,160 @@ func (s *Server) worker(base context.Context) {
 		}
 		if s.closed {
 			s.mu.Unlock()
-			return
+			return true
 		}
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		ctx, cancel := context.WithCancel(base)
 		j.state = StateRunning
 		j.cancel = cancel
+		j.attempts++
+		attempt := j.attempts
 		s.metrics.queued.Add(-1)
 		s.metrics.running.Add(1)
 		s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
 		s.mu.Unlock()
 
-		res, err := s.st.Run(ctx, j.id, j.spec, nil, func(exp core.Experiment) {
-			s.onExperiment(j, exp)
-		})
+		cur = j
+		res, err := s.runJob(ctx, j, attempt)
 		cancel()
+		var pe *panicError
+		if errors.As(err, &pe) {
+			retried, failErr := s.retryOrFail(base, j, pe)
+			if retried {
+				cur = nil
+				continue
+			}
+			err = failErr
+		}
 		s.finishJob(base, j, res, err)
+		cur = nil
 	}
+}
+
+// runJob executes one attempt of a campaign, converting a panic out of
+// the store or engine into a *panicError instead of unwinding the worker.
+// The journal's deferred closes run during the unwind, so a half-written
+// campaign stays resumable by the retry.
+func (s *Server) runJob(ctx context.Context, j *job, attempt int) (res *core.CampaignResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.workerPanics.Add(1)
+			err = &panicError{val: r, stack: string(debug.Stack())}
+		}
+	}()
+	if hook := testJobHook; hook != nil {
+		hook(j.id, attempt)
+	}
+	return s.st.Run(ctx, j.id, j.spec, nil, func(exp core.Experiment) {
+		s.onExperiment(j, exp)
+	})
+}
+
+// retryOrFail decides what happens to a job whose attempt panicked: it
+// either schedules the job back onto the queue after an exponential
+// backoff (retried true) or declares the retry budget spent and returns
+// the error the caller should finish the job with.
+func (s *Server) retryOrFail(base context.Context, j *job, pe *panicError) (retried bool, failErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := s.opts.MaxRetries
+	if j.userAbort || s.closed || base.Err() != nil || j.attempts > max {
+		return false, fmt.Errorf("%v (attempt %d of %d)", pe, j.attempts, max+1)
+	}
+	delay := s.opts.RetryBaseDelay << (j.attempts - 1)
+	j.state = StateQueued
+	j.cancel = nil
+	s.metrics.running.Add(-1)
+	s.metrics.queued.Add(1)
+	s.metrics.retries.Add(1)
+	s.retryPending++
+	s.broadcastLocked(j, event{name: "retry", data: map[string]any{
+		"id":       j.id,
+		"attempt":  j.attempts,
+		"max":      max + 1,
+		"delay_ms": delay.Milliseconds(),
+		"panic":    pe.Error(),
+	}})
+	time.AfterFunc(delay, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.retryPending--
+		// The job may have been cancelled while it waited out the backoff;
+		// only a still-queued job goes back on the queue.
+		if j.state == StateQueued {
+			s.queue = append(s.queue, j)
+		}
+		s.cond.Broadcast() // wake a worker, and any Drain waiter
+	})
+	return true, nil
+}
+
+// BeginDrain stops the intake: new submissions are refused with 503 and
+// readiness flips to unready, while queued and running campaigns keep
+// going. Pair it with Drain for a graceful shutdown.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Drain performs a graceful shutdown: it implies BeginDrain, blocks until
+// every queued, running, and retry-pending job has reached a terminal
+// state (or ctx expires), then closes the server. Campaigns still in
+// flight when ctx expires are cancelled by Close and stay resumable from
+// their journals, so an impatient drain loses at most one fsync batch.
+// It returns ctx's error when the deadline cut the drain short.
+func (s *Server) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.BeginDrain()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	s.mu.Lock()
+	for ctx.Err() == nil && !s.closed &&
+		(len(s.queue) > 0 || s.retryPending > 0 || s.metrics.running.Load() > 0) {
+		s.cond.Wait()
+	}
+	err := ctx.Err()
+	s.mu.Unlock()
+	s.Close()
+	return err
 }
 
 // onExperiment updates a running job's live counts and fans the progress
 // event out to SSE subscribers.
 func (s *Server) onExperiment(j *job, exp core.Experiment) {
 	s.metrics.experiments.Add(1)
+	if exp.Quarantined {
+		s.metrics.quarantined.Add(1)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j.counts.Add(exp.Outcome)
 	j.done++
+	if exp.Quarantined {
+		// A sandboxed experiment (panic or wall-clock expiry) is worth a
+		// dedicated event: it is the signal that a fault specification is
+		// poisoning the simulator, not an ordinary outcome.
+		s.broadcastLocked(j, event{name: "quarantine", data: map[string]any{
+			"id":     j.id,
+			"exp":    exp.ID,
+			"effect": exp.Effect,
+			"detail": exp.Detail,
+		}})
+	}
 	s.broadcastLocked(j, event{name: "progress", data: map[string]any{
 		"id":     j.id,
 		"exp":    exp.ID,
@@ -325,6 +526,7 @@ func (s *Server) finishJob(base context.Context, j *job, res *core.CampaignResul
 	}
 	s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
 	close(j.finished)
+	s.cond.Broadcast() // a Drain waiter watches for quiescence
 }
 
 // cancelJob handles DELETE: a queued job is unqueued, a running one has
@@ -359,6 +561,7 @@ func (s *Server) cancelJob(id string) (string, error) {
 		s.metrics.cancelled.Add(1)
 		s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
 		close(j.finished)
+		s.cond.Broadcast() // a Drain waiter watches for quiescence
 		s.mu.Unlock()
 		return StateCancelled, nil
 	case StateRunning:

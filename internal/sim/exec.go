@@ -253,18 +253,25 @@ func (c *core) wordRead(l1 *cache.Cache, addr uint32) uint32 {
 	return l1.LoadWord(addr)
 }
 
-// lineWrite performs the policy state transition for one stored line.
+// lineWrite performs the policy state transition for one stored line. A
+// store routed into a read-only cache mode (only reachable through
+// fault-corrupted control flow) records a violation, which ends the run
+// as a Crash instead of panicking the simulator.
 func (c *core) lineWrite(l1 *cache.Cache, lineAddr uint32, mode cache.Mode) int {
 	if l1 == nil {
 		// No L1: the L2 absorbs the store with write-allocate.
-		_, below := c.gpu.l2.AccessWrite(lineAddr, cache.ModeLocal)
+		_, below, _ := c.gpu.l2.AccessWrite(lineAddr, cache.ModeLocal)
 		return c.gpu.l2.Geometry().HitCycles + below + c.gpu.l2QueueDelay(lineAddr)
 	}
-	hit, below := l1.AccessWrite(lineAddr, mode)
+	hit, below, werr := l1.AccessWrite(lineAddr, mode)
+	if werr != nil {
+		c.gpu.violation = werr
+		return 0
+	}
 	cost := l1.Geometry().HitCycles + below
 	if mode == cache.ModeGlobal {
 		// Evict-on-write: the data travels to L2; charge one L2 access.
-		_, l2below := c.gpu.l2.AccessWrite(lineAddr, cache.ModeLocal)
+		_, l2below, _ := c.gpu.l2.AccessWrite(lineAddr, cache.ModeLocal)
 		cost += c.gpu.l2.Geometry().HitCycles + l2below + c.gpu.l2QueueDelay(lineAddr)
 	} else if !hit {
 		cost += c.gpu.l2QueueDelay(lineAddr) // write-allocate fill from an L2 bank

@@ -98,8 +98,16 @@ type GPU struct {
 	seek        *seekState            // non-nil: elide host calls until restore
 	snapScratch *GPU                  // recycled snapshot template for the next capture
 	ctx         context.Context       // optional cancellation for long launches
-	ctxTick     uint32                // loop-iteration counter for ctx polling
+	ctxTick     uint32                // simulated cycles toward the next ctx poll
 }
+
+// ctxPollInterval is how many simulated cycles may elapse between context
+// polls. Fast-forwarded spans count toward it (see fastForward), so even a
+// launch whose cycle loop mostly skips memory latency in bulk observes
+// cancellation — and the per-experiment wall-clock deadline — within ~1k
+// simulated cycles. Polling never touches simulated state, so outcomes
+// stay bit-identical with or without a context.
+const ctxPollInterval = 1024
 
 // New builds a GPU from a validated configuration.
 func New(cfg *config.GPU) (*GPU, error) {
@@ -443,7 +451,8 @@ func (g *GPU) runLaunch() (*LaunchResult, error) {
 			}
 		}
 		if g.ctx != nil {
-			if g.ctxTick++; g.ctxTick&1023 == 0 {
+			if g.ctxTick++; g.ctxTick >= ctxPollInterval {
+				g.ctxTick = 0
 				if err := g.ctx.Err(); err != nil {
 					g.releaseLaunch()
 					return nil, err
@@ -559,6 +568,14 @@ func (g *GPU) fastForward() {
 		target = g.CycleLimit
 	}
 	if target > g.cycle {
+		// Skipped cycles still count toward the context-poll interval:
+		// without this, a launch dominated by latency skipping would poll
+		// (nearly) never and a hung-experiment deadline could not fire.
+		if span := target - g.cycle; span >= ctxPollInterval {
+			g.ctxTick = ctxPollInterval
+		} else {
+			g.ctxTick += uint32(span)
+		}
 		g.sampleStats(float64(target - g.cycle))
 		g.cycle = target
 	}

@@ -144,6 +144,36 @@ func (g *GPU) capture() *Snapshot {
 	return s
 }
 
+// VerifyStorage checks that the snapshot's backing state is still intact
+// and internally consistent: present, shaped for its configuration, and
+// frozen at the capture cycle. The campaign engine calls it before
+// RecycleSnapshot — a fork that panicked mid-restore shares nothing with
+// the snapshot by construction, but recycling is exactly the place where
+// a corrupted template would propagate into every later cluster, so the
+// cheap invariants are re-checked rather than assumed.
+func (s *Snapshot) VerifyStorage() error {
+	src := s.gpu
+	if src == nil {
+		return fmt.Errorf("sim: snapshot storage already recycled")
+	}
+	if src.mem == nil || src.l2 == nil || src.dram == nil {
+		return fmt.Errorf("sim: snapshot storage lost its memory system")
+	}
+	if src.cfg == nil || len(src.cores) != src.cfg.SMs {
+		return fmt.Errorf("sim: snapshot core count diverged from its configuration")
+	}
+	for i, c := range src.cores {
+		if c == nil {
+			return fmt.Errorf("sim: snapshot core %d missing", i)
+		}
+	}
+	if src.cycle != s.Cycle {
+		return fmt.Errorf("sim: snapshot state ticked past its capture cycle (%d != %d)",
+			src.cycle, s.Cycle)
+	}
+	return nil
+}
+
 // RecycleSnapshot hands a consumed snapshot's storage back to the GPU so
 // the next capture reuses it instead of allocating fresh memories and
 // cache arenas. The caller guarantees no fork still reads s — the campaign
@@ -204,7 +234,11 @@ func (g *GPU) restore(s *Snapshot) {
 func (g *GPU) copyStateFrom(src *GPU) {
 	g.mem.CopyFrom(src.mem)
 	g.dram.mem, g.dram.latency = g.mem, src.dram.latency
-	g.l2.CopyFrom(src.l2, g.dram)
+	if err := g.l2.CopyFrom(src.l2, g.dram); err != nil {
+		// Geometry drifted (a poisoned vessel left inconsistent storage):
+		// self-heal by rebuilding from the source instead of panicking.
+		g.l2 = src.l2.Clone(g.dram)
+	}
 	g.bankFree = append(g.bankFree[:0], src.bankFree...)
 	for i, sc := range src.cores {
 		g.cores[i].copyFrom(sc, g)
@@ -387,29 +421,40 @@ func (c *core) copyFrom(src *core, g *GPU) {
 	c.usedRegs = src.usedRegs
 	c.usedSmem = src.usedSmem
 	c.rr = src.rr
+	// A CopyFrom geometry mismatch means this vessel's cache storage has
+	// drifted from the snapshot's (a poisoned fork): self-heal with a
+	// fresh Clone instead of panicking.
 	if c.l1d != nil && src.l1d != nil {
-		c.l1d.CopyFrom(src.l1d, g.l2)
+		if err := c.l1d.CopyFrom(src.l1d, g.l2); err != nil {
+			c.l1d = src.l1d.Clone(g.l2)
+		}
 	} else if src.l1d != nil {
 		c.l1d = src.l1d.Clone(g.l2)
 	} else {
 		c.l1d = nil
 	}
 	if c.l1t != nil && src.l1t != nil {
-		c.l1t.CopyFrom(src.l1t, g.l2)
+		if err := c.l1t.CopyFrom(src.l1t, g.l2); err != nil {
+			c.l1t = src.l1t.Clone(g.l2)
+		}
 	} else if src.l1t != nil {
 		c.l1t = src.l1t.Clone(g.l2)
 	} else {
 		c.l1t = nil
 	}
 	if c.l1c != nil && src.l1c != nil {
-		c.l1c.CopyFrom(src.l1c, g.l2)
+		if err := c.l1c.CopyFrom(src.l1c, g.l2); err != nil {
+			c.l1c = src.l1c.Clone(g.l2)
+		}
 	} else if src.l1c != nil {
 		c.l1c = src.l1c.Clone(g.l2)
 	} else {
 		c.l1c = nil
 	}
 	if c.l1i != nil && src.l1i != nil {
-		c.l1i.CopyFrom(src.l1i, g.l2)
+		if err := c.l1i.CopyFrom(src.l1i, g.l2); err != nil {
+			c.l1i = src.l1i.Clone(g.l2)
+		}
 	} else if src.l1i != nil {
 		c.l1i = src.l1i.Clone(g.l2)
 	} else {

@@ -45,6 +45,19 @@ type logExp struct {
 	core.Experiment
 }
 
+// logQuar is a quarantine record: the sandbox writes one, synced, the
+// moment an experiment poisons its vessel (simulator panic or wall-clock
+// deadline), BEFORE the batched outcome record. If the process dies in
+// that window, recovery synthesizes the outcome from this record — so a
+// crash-looping spec is skipped on resume instead of re-crashing the
+// campaign forever.
+type logQuar struct {
+	Type   string `json:"type"` // "quarantine"
+	ID     int    `json:"id"`
+	Effect string `json:"effect"` // outcome name (Crash or Timeout)
+	Reason string `json:"reason,omitempty"`
+}
+
 // HeaderOf extracts the log header of a campaign result.
 func HeaderOf(res *core.CampaignResult) Header {
 	return Header{
@@ -82,6 +95,19 @@ func (lw *LogWriter) Experiment(exp core.Experiment) error {
 	return nil
 }
 
+// Quarantine emits a quarantine record for a poisoned experiment: its id,
+// classified outcome and diagnostic reason. ParseLog treats it as a
+// write-ahead shadow of the experiment record — ignored when the outcome
+// record follows, substituted for it when a crash lost the outcome.
+func (lw *LogWriter) Quarantine(exp core.Experiment) error {
+	if err := lw.enc.Encode(logQuar{
+		Type: "quarantine", ID: exp.ID, Effect: exp.Outcome.String(), Reason: exp.Detail,
+	}); err != nil {
+		return fmt.Errorf("store: write quarantine record %d: %v", exp.ID, err)
+	}
+	return nil
+}
+
 // Result emits a whole finished campaign: header plus every experiment.
 func (lw *LogWriter) Result(res *core.CampaignResult) error {
 	if err := lw.Begin(HeaderOf(res)); err != nil {
@@ -106,6 +132,10 @@ func WriteLog(w io.Writer, res *core.CampaignResult) error {
 type logDecoder struct {
 	out []*core.CampaignResult
 	cur *core.CampaignResult
+
+	// quars holds the current campaign's quarantine records until finish
+	// decides which of them need a synthesized outcome.
+	quars []logQuar
 }
 
 // line decodes one non-empty record line. The reported error carries no
@@ -123,6 +153,7 @@ func (d *logDecoder) line(raw []byte) error {
 		if err := json.Unmarshal(raw, &hdr); err != nil {
 			return err
 		}
+		d.finish()
 		d.cur = &core.CampaignResult{
 			App: hdr.App, GPU: hdr.GPU, Kernel: hdr.Kernel,
 			Structure: hdr.Structure, Bits: hdr.Bits, Runs: hdr.Runs, Seed: hdr.Seed,
@@ -143,10 +174,55 @@ func (d *logDecoder) line(raw []byte) error {
 		le.Outcome = o
 		d.cur.Exps = append(d.cur.Exps, le.Experiment)
 		d.cur.Counts.Add(o)
+	case "quarantine":
+		if d.cur == nil {
+			return fmt.Errorf("quarantine record before campaign header")
+		}
+		var lq logQuar
+		if err := json.Unmarshal(raw, &lq); err != nil {
+			return err
+		}
+		if _, err := avf.ParseOutcome(lq.Effect); err != nil {
+			return err
+		}
+		d.quars = append(d.quars, lq)
 	default:
 		return fmt.Errorf("unknown record type %q", probe.Type)
 	}
 	return nil
+}
+
+// finish resolves the pending quarantine records of the current campaign.
+// A quarantined id whose outcome record made it to disk needs nothing; one
+// whose outcome was lost (the process died between the synced quarantine
+// write and the batched outcome flush) gets its outcome synthesized from
+// the quarantine record, so counts stay complete and resume skips the
+// poison spec. Callers invoke it at each campaign boundary and at EOF.
+func (d *logDecoder) finish() {
+	if d.cur == nil || len(d.quars) == 0 {
+		d.quars = nil
+		return
+	}
+	seen := make(map[int]bool, len(d.cur.Exps))
+	for i := range d.cur.Exps {
+		seen[d.cur.Exps[i].ID] = true
+	}
+	for _, q := range d.quars {
+		if seen[q.ID] {
+			continue
+		}
+		seen[q.ID] = true
+		o, err := avf.ParseOutcome(q.Effect)
+		if err != nil {
+			o = avf.Crash // line() validated Effect; defend anyway
+		}
+		d.cur.Exps = append(d.cur.Exps, core.Experiment{
+			ID: q.ID, Outcome: o, Effect: o.String(),
+			Quarantined: true, Detail: q.Reason,
+		})
+		d.cur.Counts.Add(o)
+	}
+	d.quars = nil
 }
 
 // isSyntaxError reports whether a record failed at the JSON layer — the
@@ -205,5 +281,6 @@ func parseLog(r io.Reader, lenient bool) ([]*core.CampaignResult, bool, error) {
 	if err := sc.Err(); err != nil {
 		return nil, false, fmt.Errorf("store: read log: %v", err)
 	}
+	dec.finish()
 	return dec.out, badLine != 0, nil
 }

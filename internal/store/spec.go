@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"gpufi/internal/bench"
 	"gpufi/internal/config"
@@ -34,6 +35,13 @@ type Spec struct {
 	Lenient      bool     `json:"lenient_memory,omitempty"`
 	ECC          bool     `json:"ecc,omitempty"`
 	L2Queue      int      `json:"l2_queue,omitempty"`
+
+	// ExpTimeoutMS is the per-experiment wall-clock deadline in
+	// milliseconds (0 = none): a simulator-side hang is classified as a
+	// quarantined Timeout instead of wedging the worker. It complements
+	// the cycle-limit, which only catches runs whose cycle counter keeps
+	// advancing.
+	ExpTimeoutMS int64 `json:"exp_timeout_ms,omitempty"`
 }
 
 // normalize applies the defaults a zero value implies.
@@ -73,6 +81,7 @@ func (s Spec) Config() (*core.CampaignConfig, error) {
 		Runs: s.Runs, Bits: s.Bits, WarpWide: s.WarpWide, Blocks: s.Blocks,
 		Seed: s.Seed, Workers: s.Workers, Invocation: s.Invocation,
 		LegacyReplay: s.LegacyReplay,
+		ExpTimeout:   time.Duration(s.ExpTimeoutMS) * time.Millisecond,
 	}
 	for _, name := range s.Simultaneous {
 		extra, err := sim.ParseStructure(name)

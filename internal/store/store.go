@@ -106,6 +106,23 @@ func (j *Journal) Append(exp core.Experiment) error {
 	return nil
 }
 
+// Quarantine journals a quarantine record for a poisoned experiment and
+// syncs it immediately — it is a write-ahead marker: by the time the
+// sandbox reports the outcome upward, the spec is already durably flagged,
+// so even a process crash before the next batch fsync cannot bring the
+// poison spec back on resume.
+func (j *Journal) Quarantine(exp core.Experiment) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("store: quarantine on closed journal")
+	}
+	if err := j.lw.Quarantine(exp); err != nil {
+		return err
+	}
+	return j.syncLocked()
+}
+
 // Sync flushes buffered records to disk and fsyncs the journal file.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
@@ -174,6 +191,15 @@ func (c *Campaign) Append(exp core.Experiment) error {
 		return fmt.Errorf("store: campaign %s is complete; nothing to append", c.ID)
 	}
 	return c.journal.Append(exp)
+}
+
+// Quarantine durably flags a poisoned experiment ahead of its outcome
+// record (see Journal.Quarantine).
+func (c *Campaign) Quarantine(exp core.Experiment) error {
+	if c.journal == nil {
+		return fmt.Errorf("store: campaign %s is complete; nothing to quarantine", c.ID)
+	}
+	return c.journal.Quarantine(exp)
 }
 
 // Close syncs and closes the journal (keeping the campaign resumable if
@@ -356,6 +382,10 @@ func (s *Store) readState(id string) (*state, error) {
 		}
 		offset, data = next, rest
 	}
+	// Resolve quarantine records whose outcome record was lost to the
+	// crash: their experiments are synthesized into the prior set, so the
+	// resume skip-list covers the poison specs.
+	dec.finish()
 	st.goodOffset = offset
 	switch len(dec.out) {
 	case 0:
@@ -566,6 +596,7 @@ func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profil
 	}
 	cfg.Completed = c.CompletedIDs()
 	cfg.Journal = c.Append
+	cfg.Quarantine = c.Quarantine
 	cfg.Progress = onExp
 	if prof == nil {
 		prof, err = core.ProfileApp(ctx, cfg.App, cfg.GPU)
