@@ -124,6 +124,21 @@ func WithExpTimeout(d time.Duration) CampaignOption {
 	return func(c *Campaign) { c.cfg.ExpTimeout = d }
 }
 
+// WithTrace enables fault-propagation tracing and delivers each finished
+// experiment's trace to sink (serialized, after the WithJournal hook and
+// before the WithProgress callback). Tracing is purely observational —
+// outcomes stay bit-identical with it on or off — but it annotates every
+// experiment with a Why classification ("masked:never-read",
+// "sdc:read", ...) and records the injection site, the first architectural
+// read of the corrupted cell, and the taint hops in between. A sink error
+// aborts the campaign, like a failed journal write.
+func WithTrace(sink func(ExperimentTrace) error) CampaignOption {
+	return func(c *Campaign) {
+		c.cfg.Trace = true
+		c.cfg.TraceSink = sink
+	}
+}
+
 // WithLegacyReplay forces the original engine that re-simulates the whole
 // fault-free prefix for every experiment. Outcomes are bit-identical to
 // the default snapshot-and-fork engine; this exists for validation and

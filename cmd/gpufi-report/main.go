@@ -12,6 +12,11 @@
 // line number. The salvaged/dropped record counts are printed to stderr;
 // with -strict a drop exits non-zero after rendering, so pipelines can
 // refuse to treat an incomplete journal as authoritative.
+//
+// With -why the report appends a fault-propagation table built from the
+// Why annotations that traced campaigns (gpufi -trace, spec "trace":true)
+// journal per experiment — e.g. what share of a structure's masked faults
+// were never read versus overwritten before a read.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 
 	"gpufi"
 	"gpufi/internal/report"
@@ -39,14 +45,59 @@ func parseSource(name string, r io.Reader) ([]*gpufi.CampaignResult, bool) {
 	return res, truncated
 }
 
+// renderWhy aggregates the per-experiment Why annotations that traced
+// campaigns journal ("masked:never-read", "sdc:read", ...) into a
+// propagation table per structure: how each structure's faults actually
+// met their fate. Experiments from untraced campaigns group under
+// "(untraced)".
+func renderWhy(all []*gpufi.CampaignResult, csvOut bool) error {
+	type key struct{ structure, why string }
+	counts := map[key]int{}
+	totals := map[string]int{}
+	for _, r := range all {
+		for i := range r.Exps {
+			w := r.Exps[i].Why
+			if w == "" {
+				w = "(untraced)"
+			}
+			counts[key{r.Structure, w}]++
+			totals[r.Structure]++
+		}
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].structure != keys[b].structure {
+			return keys[a].structure < keys[b].structure
+		}
+		return keys[a].why < keys[b].why
+	})
+	tb := &report.Table{
+		Title:  "fault propagation (why each outcome)",
+		Header: []string{"structure", "why", "count", "share"},
+	}
+	for _, k := range keys {
+		n := counts[k]
+		tb.AddRow(k.structure, k.why, fmt.Sprint(n),
+			fmt.Sprintf("%.1f%%", 100*float64(n)/float64(totals[k.structure])))
+	}
+	if csvOut {
+		return tb.WriteCSV(os.Stdout)
+	}
+	return tb.Render(os.Stdout)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gpufi-report: ")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	strict := flag.Bool("strict", false, "exit non-zero when torn-tail salvage dropped records")
+	why := flag.Bool("why", false, "append the fault-propagation breakdown (campaigns journaled with tracing)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal(`usage: gpufi-report [-csv] [-strict] log.jsonl... ("-" reads stdin)`)
+		log.Fatal(`usage: gpufi-report [-csv] [-strict] [-why] log.jsonl... ("-" reads stdin)`)
 	}
 
 	var all []*gpufi.CampaignResult
@@ -105,6 +156,12 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *why {
+		fmt.Println()
+		if err := renderWhy(all, *csvOut); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "gpufi-report: %d record(s) salvaged, %d torn record(s) dropped\n",
 		total.Total(), dropped)

@@ -22,9 +22,14 @@
 //	curl localhost:8080/campaigns/<id>          # status + live counts
 //	curl -N localhost:8080/campaigns/<id>/events  # SSE progress
 //	curl localhost:8080/campaigns/<id>/log      # JSONL journal
+//	curl localhost:8080/campaigns/<id>/trace    # propagation traces ("trace":true specs)
 //	curl -X DELETE localhost:8080/campaigns/<id>
-//	curl localhost:8080/metrics
+//	curl localhost:8080/metrics                 # flat JSON counters
+//	curl 'localhost:8080/metrics?format=prom'   # Prometheus text exposition
 //	curl localhost:8080/healthz localhost:8080/readyz
+//
+// With -debug-addr the net/http/pprof endpoints are served on a separate
+// listener for CPU/heap profiling of a live service.
 package main
 
 import (
@@ -32,7 +37,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +60,7 @@ func main() {
 		batch   = flag.Int("fsync-batch", store.DefaultBatchSize, "journal records per fsync")
 		retries = flag.Int("max-retries", 3, "re-runs of a job whose attempt panicked (negative = none)")
 		drainTO = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight campaigns on SIGINT/SIGTERM")
+		debug   = flag.String("debug-addr", "", "serve net/http/pprof profiling on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -64,7 +72,25 @@ func main() {
 
 	srv := service.New(st, service.Options{
 		Workers: *workers, QueueDepth: *queue, MaxRetries: *retries,
+		Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
+
+	// The pprof endpoints run on their own listener so profiling is never
+	// exposed on the public API address by accident.
+	if *debug != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof profiling on %s/debug/pprof/", *debug)
+			if err := http.ListenAndServe(*debug, dm); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 	// The pool runs under the background context: shutdown goes through the
 	// drain below, not through cancelling every campaign the instant a
 	// signal lands.

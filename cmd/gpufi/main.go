@@ -2,7 +2,9 @@
 // line — the role of the paper's front-end bash script. It profiles a
 // benchmark on a GPU model, runs one campaign point (kernel x structure x
 // multiplicity), prints the fault-effect breakdown, and optionally writes
-// the JSONL experiment log.
+// the JSONL experiment log. With -trace it also records fault-propagation
+// traces — where each fault landed, whether it was ever read, and how it
+// spread before classification — summarizable with gpufi-report -why.
 //
 // SIGINT cancels the campaign: in-flight experiments stop promptly, and
 // whatever finished is still reported and flushed to the log file.
@@ -15,12 +17,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 
 	"gpufi"
 	"gpufi/internal/report"
@@ -49,7 +53,8 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the memory-system statistics of the fault-free run")
 		legacy    = flag.Bool("legacy-replay", false, "use the legacy full-replay engine instead of snapshot-and-fork")
 		progress  = flag.Bool("progress", false, "print one dot per finished experiment")
-		tracePath = flag.String("trace", "", "write the fault-free instruction trace to this file (slow)")
+		tracePath = flag.String("trace", "", "record fault-propagation traces (JSONL; with -store they land in the campaign directory)")
+		instTrace = flag.String("instr-trace", "", "write the fault-free instruction trace to this file (slow)")
 		listApps  = flag.Bool("list", false, "list benchmarks and kernels, then exit")
 		storeDir  = flag.String("store", "", "journal campaigns durably into this directory (crash-safe)")
 		resume    = flag.Bool("resume", false, "with -store: continue interrupted campaigns, skipping journaled experiments")
@@ -94,14 +99,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fault-free execution: %d cycles, kernels %v\n\n", prof.TotalCycles, prof.KernelOrder)
-	if *stats || *tracePath != "" {
+	if *stats || *instTrace != "" {
 		dev, err := gpufi.NewDevice(gpu)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var traceFile *os.File
-		if *tracePath != "" {
-			if traceFile, err = os.Create(*tracePath); err != nil {
+		if *instTrace != "" {
+			if traceFile, err = os.Create(*instTrace); err != nil {
 				log.Fatal(err)
 			}
 			dev.TraceWriter = traceFile
@@ -111,7 +116,7 @@ func main() {
 		}
 		if traceFile != nil {
 			traceFile.Close()
-			fmt.Printf("instruction trace: %s\n", *tracePath)
+			fmt.Printf("instruction trace: %s\n", *instTrace)
 		}
 		if *stats {
 			fmt.Println(dev.StatsReport())
@@ -140,6 +145,20 @@ func main() {
 		}
 	}
 
+	// Propagation traces: in direct mode they stream to the -trace file;
+	// with -store the store journals them into the campaign directory
+	// (<store>/<id>/traces.jsonl) and the -trace value only switches
+	// tracing on.
+	var traceEnc *json.Encoder
+	if *tracePath != "" && cstore == nil {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		traceEnc = json.NewEncoder(tf)
+	}
+
 	tb := &report.Table{
 		Title: fmt.Sprintf("%s / %s / %s, %d-bit faults, %d runs per kernel",
 			app.Name, gpu.Name, st, *bits, *runs),
@@ -149,6 +168,7 @@ func main() {
 	cancelled := false
 	for _, k := range kernels {
 		var res *gpufi.CampaignResult
+		var traces []gpufi.ExperimentTrace
 		if cstore != nil {
 			res, err = runStored(ctx, cstore, *resume, store.Spec{
 				App: *appName, Scale: *scale, GPU: *gpuName, Kernel: k,
@@ -157,6 +177,7 @@ func main() {
 				Workers: *workers, LegacyReplay: *legacy,
 				Lenient: *lenient, ECC: *ecc, L2Queue: *l2queue,
 				ExpTimeoutMS: expTO.Milliseconds(),
+				Trace:        *tracePath != "",
 			}, prof, *progress)
 		} else {
 			opts := []gpufi.CampaignOption{
@@ -172,6 +193,12 @@ func main() {
 			}
 			if *legacy {
 				opts = append(opts, gpufi.WithLegacyReplay())
+			}
+			if traceEnc != nil {
+				opts = append(opts, gpufi.WithTrace(func(t gpufi.ExperimentTrace) error {
+					traces = append(traces, t)
+					return nil
+				}))
 			}
 			if *progress {
 				opts = append(opts, gpufi.WithProgress(func(gpufi.Experiment) {
@@ -199,6 +226,17 @@ func main() {
 		if lw != nil {
 			if err := lw.Result(res); err != nil {
 				log.Fatal(err)
+			}
+		}
+		// Same contract for the -trace file: sorted by id, so traced runs
+		// diff clean across engines too. (The -store trace journal streams
+		// in completion order instead.)
+		if traceEnc != nil {
+			sort.Slice(traces, func(i, j int) bool { return traces[i].ID < traces[j].ID })
+			for i := range traces {
+				if err := traceEnc.Encode(traces[i]); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 		c := res.Counts
@@ -229,6 +267,13 @@ func main() {
 	}
 	if *logPath != "" {
 		fmt.Printf("\nexperiment log: %s\n", *logPath)
+	}
+	if *tracePath != "" {
+		if cstore != nil {
+			fmt.Printf("propagation traces: %s/<id>/traces.jsonl (summarize with gpufi-report -why)\n", *storeDir)
+		} else {
+			fmt.Printf("propagation traces: %s (summarize with gpufi-report -why)\n", *tracePath)
+		}
 	}
 	if cancelled {
 		os.Exit(130)

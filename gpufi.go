@@ -75,6 +75,10 @@ type (
 	CampaignResult = core.CampaignResult
 	// Experiment is one logged injection outcome.
 	Experiment = core.Experiment
+	// ExperimentTrace is one experiment's fault-propagation trace.
+	ExperimentTrace = core.ExperimentTrace
+	// TraceEvent is one propagation event within an ExperimentTrace.
+	TraceEvent = sim.TraceEvent
 	// EvalConfig tunes a full application evaluation.
 	EvalConfig = core.EvalConfig
 	// AppEval is a full application AVF/FIT evaluation.

@@ -134,6 +134,19 @@ type CampaignConfig struct {
 	// or blocks exercises the sandbox); production configs leave it nil.
 	// It takes precedence over the process-wide SetExperimentHook.
 	ExperimentHook func(id int, spec *sim.FaultSpec)
+
+	// Trace enables fault-propagation tracing: every experiment runs with
+	// the simulator's taint tracer attached, Experiment.Why carries the
+	// propagation sub-classification, and each experiment yields an
+	// ExperimentTrace delivered to TraceSink. Tracing is observational
+	// only — outcome counts are bit-identical with it on or off, on both
+	// engines.
+	Trace bool
+
+	// TraceSink, when non-nil (with Trace set), receives one propagation
+	// trace per finished experiment, serialized in completion order after
+	// Journal and before Progress. A non-nil error aborts the campaign.
+	TraceSink func(ExperimentTrace) error
 }
 
 // workerCount resolves the configured worker count.
@@ -222,6 +235,17 @@ type Experiment struct {
 	// Quarantined specs are journaled ahead of their outcome and skipped
 	// on resume, so a poison spec cannot wedge a campaign.
 	Quarantined bool `json:"quarantined,omitempty"`
+
+	// Why is the propagation sub-classification derived from the fault
+	// trace (e.g. "masked:never-read", "sdc:read", "due:crash"). Empty
+	// unless the campaign ran with Trace enabled, so untraced journal
+	// bytes are unchanged from earlier builds.
+	Why string `json:"why,omitempty"`
+
+	// Trace carries the propagation trace from the engine to the
+	// collector, which hands it to CampaignConfig.TraceSink and drops it.
+	// Never part of the journal record.
+	Trace *ExperimentTrace `json:"-"`
 }
 
 // CampaignResult aggregates a finished campaign point.
@@ -292,11 +316,20 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 				ID: i, Outcome: avf.Masked, Effect: avf.Masked.String(),
 				Cycles: prof.TotalCycles, Detail: "structure absent for kernel",
 			}
+			if cfg.Trace {
+				classifyOnlyTrace(&exp)
+			}
 			if cfg.Journal != nil {
 				if err := cfg.Journal(exp); err != nil {
 					return nil, fmt.Errorf("core: journal experiment %d: %w", i, err)
 				}
 			}
+			if cfg.TraceSink != nil && exp.Trace != nil {
+				if err := cfg.TraceSink(*exp.Trace); err != nil {
+					return nil, fmt.Errorf("core: trace experiment %d: %w", i, err)
+				}
+			}
+			exp.Trace = nil
 			if cfg.Progress != nil {
 				cfg.Progress(exp)
 			}
@@ -435,6 +468,9 @@ func runExperiment(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 
 	g.CycleLimit = 2 * prof.TotalCycles // the paper's timeout threshold
 	g.SetContext(ctx)
+	if cfg.Trace {
+		g.EnableTrace()
+	}
 	if err := g.ArmFault(spec); err != nil {
 		return Experiment{}, err
 	}
@@ -443,12 +479,15 @@ func runExperiment(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 			return Experiment{}, err
 		}
 	}
+	execStart := time.Now()
 	out, runErr := cfg.App.Run(g)
+	observePhase(&phaseExecuteNanos, execStart)
 	if runErr != nil && isCancel(runErr) {
 		// A cancelled run is an aborted campaign, not a Crash outcome.
 		return Experiment{}, runErr
 	}
 
+	clsStart := time.Now()
 	exp := Experiment{
 		ID:    i,
 		Cycle: spec.Cycle,
@@ -461,6 +500,10 @@ func runExperiment(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 	exp.Cycles = g.Cycle()
 	exp.Outcome = classify(runErr, out, prof, g.Cycle())
 	exp.Effect = exp.Outcome.String()
+	if cfg.Trace {
+		finishTrace(g, &exp)
+	}
+	observePhase(&phaseClassifyNanos, clsStart)
 	return exp, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gpufi/internal/sim"
 )
@@ -25,14 +26,9 @@ import (
 // Process-wide fork-engine counters: how many fork vessels were freshly
 // allocated versus restored in place over an existing one. Reuse dominating
 // creation is what keeps per-experiment cost low; gpufi-serve exposes the
-// ratio on /metrics.
+// ratio on /metrics. EngineStats (obsstats.go) folds them into the full
+// phase-counter view.
 var forksCreated, forksReused atomic.Int64
-
-// EngineStats returns the process-wide fork-engine counters: vessels
-// freshly allocated and vessels reused via snapshot restore.
-func EngineStats() (created, reused int64) {
-	return forksCreated.Load(), forksReused.Load()
-}
 
 // cluster is a group of experiments whose injection cycles are close
 // enough to share one snapshot, taken one cycle before the earliest.
@@ -189,6 +185,7 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 					return
 				}
 				i := idxs[k]
+				forkStart := time.Now()
 				g := vessels[w]
 				if g == nil {
 					g = sim.NewFork(snap)
@@ -198,6 +195,7 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 					g.Refork(snap)
 					forksReused.Add(1)
 				}
+				observePhase(&phaseForkNanos, forkStart)
 				exp, poisoned, err := runExperimentSandboxed(ctx, cfg, prof, g, specs[i], extras[i], i)
 				if poisoned {
 					// The vessel ran a panicked or deadlined experiment:
@@ -263,6 +261,14 @@ func (c *collector) add(i int, exp Experiment) error {
 			return fmt.Errorf("core: journal experiment %d: %w", i, err)
 		}
 	}
+	if c.cfg.TraceSink != nil && exp.Trace != nil {
+		if err := c.cfg.TraceSink(*exp.Trace); err != nil {
+			return fmt.Errorf("core: trace experiment %d: %w", i, err)
+		}
+	}
+	// The trace has been delivered; don't hold event buffers for the whole
+	// campaign in the collector's result slice.
+	c.exps[i].Trace = nil
 	if c.cfg.Progress != nil {
 		c.cfg.Progress(exp)
 	}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gpufi/internal/obs"
+	"gpufi/internal/sim"
+)
+
+// Engine phase timers: cumulative wall-clock nanoseconds per pipeline
+// phase, complementing the snapshot capture/restore timers owned by
+// internal/sim. They observe host time only and never touch simulated
+// state, so campaign outcomes are unaffected by their presence.
+var (
+	phaseForkNanos     atomic.Int64 // vessel allocation / refork prep
+	phaseExecuteNanos  atomic.Int64 // faulty application runs
+	phaseClassifyNanos atomic.Int64 // outcome comparison + trace assembly
+
+	expHist = obs.Default().Histogram("gpufi_experiment_seconds",
+		"Wall-clock seconds per sandboxed injection experiment.", nil)
+)
+
+// EngineCounters are the process-wide fork-engine and phase counters
+// surfaced on gpufi-serve's /metrics.
+type EngineCounters struct {
+	ForksCreated     int64 // fork vessels freshly allocated
+	ForksReused      int64 // fork vessels restored in place
+	VesselsDiscarded int64 // poisoned vessels dropped by the engine
+
+	SnapshotCaptures     int64 // snapshots taken by prefix runs
+	SnapshotCaptureNanos int64
+	SnapshotRestores     int64 // fork restores from snapshots
+	SnapshotRestoreNanos int64
+
+	ForkNanos     int64
+	ExecuteNanos  int64
+	ClassifyNanos int64
+}
+
+// EngineStats returns the process-wide fork-engine counters and phase
+// timers (fork vessel churn, snapshot capture/restore, execute/classify).
+func EngineStats() EngineCounters {
+	st := sim.SnapshotTimings()
+	return EngineCounters{
+		ForksCreated:         forksCreated.Load(),
+		ForksReused:          forksReused.Load(),
+		VesselsDiscarded:     vesselsDiscarded.Load(),
+		SnapshotCaptures:     st.Captures,
+		SnapshotCaptureNanos: st.CaptureNanos,
+		SnapshotRestores:     st.Restores,
+		SnapshotRestoreNanos: st.RestoreNanos,
+		ForkNanos:            phaseForkNanos.Load(),
+		ExecuteNanos:         phaseExecuteNanos.Load(),
+		ClassifyNanos:        phaseClassifyNanos.Load(),
+	}
+}
+
+func observePhase(dst *atomic.Int64, start time.Time) {
+	dst.Add(time.Since(start).Nanoseconds())
+}

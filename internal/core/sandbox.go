@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gpufi/internal/avf"
 	"gpufi/internal/sim"
@@ -79,6 +80,9 @@ func loadExperimentHook() func(int, *sim.FaultSpec) {
 func runExperimentSandboxed(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 	g *sim.GPU, spec *sim.FaultSpec, extras []*sim.FaultSpec, i int) (exp Experiment, poisoned bool, err error) {
 
+	expStart := time.Now()
+	defer func() { expHist.Observe(time.Since(expStart).Seconds()) }()
+
 	runCtx := ctx
 	if cfg.ExpTimeout > 0 {
 		var cancel context.CancelFunc
@@ -116,6 +120,11 @@ func runExperimentSandboxed(ctx context.Context, cfg *CampaignConfig, prof *Prof
 				panicVal, spec.Structure, spec.Cycle, digest),
 		}
 		exp.Effect = exp.Outcome.String()
+		if cfg.Trace {
+			// Reading tracer state is safe after a recovered panic: the
+			// tracer only holds plain maps and slices this goroutine wrote.
+			finishTrace(g, &exp)
+		}
 		return exp, true, nil
 	case err != nil && isCancel(err):
 		if ctx.Err() != nil {
@@ -132,6 +141,9 @@ func runExperimentSandboxed(ctx context.Context, cfg *CampaignConfig, prof *Prof
 				cfg.ExpTimeout, spec.Structure, spec.Cycle),
 		}
 		exp.Effect = exp.Outcome.String()
+		if cfg.Trace {
+			finishTrace(g, &exp)
+		}
 		return exp, true, nil
 	}
 	return exp, false, err

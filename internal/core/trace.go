@@ -1,0 +1,87 @@
+package core
+
+import (
+	"gpufi/internal/avf"
+	"gpufi/internal/sim"
+)
+
+// ExperimentTrace is one experiment's fault-propagation trace: the event
+// stream recorded by the simulator's taint tracer plus the campaign's
+// classification verdict. Each trace serializes to one JSONL line in the
+// store's traces file.
+type ExperimentTrace struct {
+	ID      int              `json:"id"`
+	Effect  string           `json:"effect"`
+	Why     string           `json:"why,omitempty"`
+	Dropped int              `json:"dropped,omitempty"`
+	Events  []sim.TraceEvent `json:"events"`
+}
+
+// propagationWhy derives the propagation sub-classification from the
+// terminal outcome and the tracer's counters. The taxonomy splits the
+// outcomes the paper aggregates — in particular Masked into "the fault
+// never landed on live state", "it was consumed but the output still
+// matched", "it was overwritten before any read", and "it sat unread in
+// live state until the end".
+func propagationWhy(o avf.Outcome, s *sim.TraceSummary) string {
+	switch o {
+	case avf.Crash:
+		return "due:crash"
+	case avf.Timeout:
+		return "due:timeout"
+	case avf.Performance:
+		return "perf"
+	case avf.SDC:
+		if s != nil && (s.Reads > 0 || s.CacheReads > 0) {
+			return "sdc:read"
+		}
+		// The corrupted data reached the output without an observed
+		// architectural read — e.g. a flip directly in an output buffer's
+		// memory word, or a cache-array path the tracer approximates.
+		return "sdc:silent"
+	}
+	if s == nil || (s.Cells == 0 && !s.CacheInjected) {
+		return "masked:not-applied"
+	}
+	switch {
+	case s.Reads > 0 || s.CacheReads > 0:
+		return "masked:consumed"
+	case s.Live == 0 && s.Overwrites > 0 && !s.CacheInjected:
+		return "masked:overwritten"
+	default:
+		return "masked:never-read"
+	}
+}
+
+// finishTrace fills exp.Why and assembles exp.Trace from the GPU's tracer
+// state, appending the classification event. Called only when cfg.Trace is
+// set — untraced experiments keep Why empty, so their journal bytes are
+// unchanged from pre-tracing builds.
+func finishTrace(g *sim.GPU, exp *Experiment) {
+	sum := g.TraceSummary()
+	exp.Why = propagationWhy(exp.Outcome, sum)
+	events := append(g.TraceEvents(), sim.TraceEvent{
+		Ev: "classify", Cycle: exp.Cycles,
+		Core: -1, Warp: -1, Lane: -1, PC: -1,
+		Outcome: exp.Effect, Why: exp.Why,
+	})
+	t := &ExperimentTrace{ID: exp.ID, Effect: exp.Effect, Why: exp.Why, Events: events}
+	if sum != nil {
+		t.Dropped = sum.Dropped
+	}
+	exp.Trace = t
+}
+
+// classifyOnlyTrace builds the minimal trace for experiments that never
+// simulate (structure absent for the kernel): the verdict alone.
+func classifyOnlyTrace(exp *Experiment) {
+	exp.Why = "masked:not-applied"
+	exp.Trace = &ExperimentTrace{
+		ID: exp.ID, Effect: exp.Effect, Why: exp.Why,
+		Events: []sim.TraceEvent{{
+			Ev: "classify", Cycle: exp.Cycles,
+			Core: -1, Warp: -1, Lane: -1, PC: -1,
+			Outcome: exp.Effect, Why: exp.Why,
+		}},
+	}
+}

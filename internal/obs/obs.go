@@ -1,0 +1,367 @@
+// Package obs is the observability registry of the reproduction: typed
+// counters, gauges and latency histograms shared by the simulator, the
+// campaign engine, the durable store and the gpufi-serve service. All
+// instruments are lock-free atomics on the hot path; registration takes a
+// mutex once. The registry renders both a structured snapshot (the JSON
+// /metrics view) and the Prometheus text exposition format
+// (/metrics?format=prom), so the same instruments feed ad-hoc curl
+// inspection and a real scrape pipeline.
+//
+// A process-wide Default registry collects the cross-layer instruments
+// (snapshot capture/restore, per-experiment runtime, journal fsync); the
+// service adds its own per-Server registry on top so tests can run many
+// servers in one process without sharing job counters.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the default histogram bounds for wall-clock seconds,
+// spanning microsecond snapshot restores to multi-second campaign jobs.
+var LatencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30,
+}
+
+// instrument is one registered metric family.
+type instrument interface {
+	meta() *metaData
+	promType() string
+	// writeSamples emits the family's sample lines (without HELP/TYPE).
+	writeSamples(w io.Writer)
+	// snapshotValue is the structured (JSON-friendly) value.
+	snapshotValue() any
+}
+
+type metaData struct {
+	name string
+	help string
+}
+
+func (m *metaData) meta() *metaData { return m }
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	metaData
+	v atomic.Int64
+}
+
+func (c *Counter) Add(n int64)        { c.v.Add(n) }
+func (c *Counter) Inc()               { c.v.Add(1) }
+func (c *Counter) Load() int64        { return c.v.Load() }
+func (c *Counter) promType() string   { return "counter" }
+func (c *Counter) snapshotValue() any { return c.v.Load() }
+func (c *Counter) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.name, c.v.Load())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	metaData
+	v atomic.Int64
+}
+
+func (g *Gauge) Set(n int64)        { g.v.Store(n) }
+func (g *Gauge) Add(n int64)        { g.v.Add(n) }
+func (g *Gauge) Load() int64        { return g.v.Load() }
+func (g *Gauge) promType() string   { return "gauge" }
+func (g *Gauge) snapshotValue() any { return g.v.Load() }
+func (g *Gauge) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+}
+
+// GaugeFunc is a gauge whose value is computed at collection time — used
+// to surface counters owned elsewhere (engine fork counters, sandbox
+// counters, uptime) without double bookkeeping.
+type GaugeFunc struct {
+	metaData
+	fn func() float64
+}
+
+func (g *GaugeFunc) promType() string   { return "gauge" }
+func (g *GaugeFunc) snapshotValue() any { return g.fn() }
+func (g *GaugeFunc) writeSamples(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// GaugeVec is a gauge family with one label dimension (e.g. per-campaign
+// progress). The label set is expected to stay small and bounded.
+type GaugeVec struct {
+	metaData
+	label string
+	mu    sync.Mutex
+	vals  map[string]float64
+}
+
+// Set sets the gauge for one label value.
+func (g *GaugeVec) Set(labelValue string, v float64) {
+	g.mu.Lock()
+	g.vals[labelValue] = v
+	g.mu.Unlock()
+}
+
+// Delete drops one label value from the family.
+func (g *GaugeVec) Delete(labelValue string) {
+	g.mu.Lock()
+	delete(g.vals, labelValue)
+	g.mu.Unlock()
+}
+
+func (g *GaugeVec) promType() string { return "gauge" }
+
+func (g *GaugeVec) snapshotValue() any {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]float64, len(g.vals))
+	for k, v := range g.vals {
+		out[k] = v
+	}
+	return out
+}
+
+func (g *GaugeVec) writeSamples(w io.Writer) {
+	g.mu.Lock()
+	keys := make([]string, 0, len(g.vals))
+	for k := range g.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		lines = append(lines, fmt.Sprintf("%s{%s=%q} %s", g.name, g.label, k, formatFloat(g.vals[k])))
+	}
+	g.mu.Unlock()
+	for _, l := range lines {
+		io.WriteString(w, l+"\n")
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram with an atomic hot path:
+// one bucket increment, one count increment, one CAS loop for the sum.
+type Histogram struct {
+	metaData
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) promType() string { return "histogram" }
+
+func (h *Histogram) snapshotValue() any {
+	return map[string]any{"count": h.Count(), "sum": h.Sum()}
+}
+
+func (h *Histogram) writeSamples(w io.Writer) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}
+
+// Registry holds a set of named instruments. Registration is idempotent:
+// asking for an existing name returns the existing instrument, so package
+// initializers and repeated Server constructions cannot collide. A name
+// re-registered as a different kind panics — that is a programming error,
+// caught the first time the path runs.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	byN   map[string]instrument
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]instrument)}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default is the process-wide registry holding the cross-layer
+// instruments (simulator, engine, store).
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+func (r *Registry) register(name string, mk func() instrument) instrument {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.byN[name]; ok {
+		return in
+	}
+	in := mk()
+	r.byN[name] = in
+	r.order = append(r.order, name)
+	return in
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	in := r.register(name, func() instrument {
+		return &Counter{metaData: metaData{name: name, help: help}}
+	})
+	c, ok := in.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, in.promType()))
+	}
+	return c
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	in := r.register(name, func() instrument {
+		return &Gauge{metaData: metaData{name: name, help: help}}
+	})
+	g, ok := in.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, in.promType()))
+	}
+	return g
+}
+
+// GaugeFunc registers (or returns) a computed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	in := r.register(name, func() instrument {
+		return &GaugeFunc{metaData: metaData{name: name, help: help}, fn: fn}
+	})
+	g, ok := in.(*GaugeFunc)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, in.promType()))
+	}
+	return g
+}
+
+// GaugeVec registers (or returns) a one-label gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	in := r.register(name, func() instrument {
+		return &GaugeVec{metaData: metaData{name: name, help: help}, label: label,
+			vals: make(map[string]float64)}
+	})
+	g, ok := in.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, in.promType()))
+	}
+	return g
+}
+
+// Histogram registers (or returns) a histogram with the given ascending
+// bucket upper bounds (nil = LatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	in := r.register(name, func() instrument {
+		if bounds == nil {
+			bounds = LatencyBuckets
+		}
+		h := &Histogram{metaData: metaData{name: name, help: help}}
+		h.bounds = append([]float64(nil), bounds...)
+		h.buckets = make([]atomic.Int64, len(h.bounds)+1)
+		return h
+	})
+	h, ok := in.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, in.promType()))
+	}
+	return h
+}
+
+// WriteProm renders every family in the Prometheus text exposition
+// format, in registration order: HELP and TYPE lines followed by the
+// family's samples.
+func (r *Registry) WriteProm(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	ins := make([]instrument, len(names))
+	for i, n := range names {
+		ins[i] = r.byN[n]
+	}
+	r.mu.Unlock()
+	for i, in := range ins {
+		m := in.meta()
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", names[i], in.promType())
+		in.writeSamples(w)
+	}
+}
+
+// Snapshot returns a structured name -> value view of every family
+// (histograms as {count, sum}, gauge vectors as label -> value maps).
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	ins := make(map[string]instrument, len(r.byN))
+	for n, in := range r.byN {
+		ins[n] = in
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(ins))
+	for n, in := range ins {
+		out[n] = in.snapshotValue()
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

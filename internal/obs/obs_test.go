@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Load())
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Load())
+	}
+	h := r.Histogram("test_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got != 55.55 {
+		t.Fatalf("histogram sum = %v, want 55.55", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a name as a different kind did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "kind mismatch")
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_done_total", "done jobs").Add(2)
+	r.Gauge("queue_depth", "queued jobs").Set(3)
+	r.GaugeFunc("uptime_seconds", "uptime", func() float64 { return 1.5 })
+	v := r.GaugeVec("progress_ratio", "per-campaign progress", "id")
+	v.Set("c1", 0.25)
+	h := r.Histogram("wait_seconds", "queue wait", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(100)
+
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE jobs_done_total counter",
+		"jobs_done_total 2",
+		"# TYPE queue_depth gauge",
+		"queue_depth 3",
+		"uptime_seconds 1.5",
+		`progress_ratio{id="c1"} 0.25`,
+		"# TYPE wait_seconds histogram",
+		`wait_seconds_bucket{le="0.5"} 1`,
+		`wait_seconds_bucket{le="2"} 2`,
+		`wait_seconds_bucket{le="+Inf"} 3`,
+		"wait_seconds_sum 101.1",
+		"wait_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("prom output missing line %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name value" or "name{label} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 || fields[0] == "" || fields[1] == "" {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "x").Add(9)
+	h := r.Histogram("snap_seconds", "y", nil)
+	h.Observe(0.01)
+	s := r.Snapshot()
+	if s["snap_total"].(int64) != 9 {
+		t.Fatalf("snapshot counter = %v", s["snap_total"])
+	}
+	hv := s["snap_seconds"].(map[string]any)
+	if hv["count"].(int64) != 1 {
+		t.Fatalf("snapshot histogram = %v", hv)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gpufi/internal/avf"
+	"gpufi/internal/obs"
 	"gpufi/internal/store"
 )
 
@@ -19,10 +20,14 @@ import (
 //	GET    /campaigns/{id}        status + live counts
 //	GET    /campaigns/{id}/events SSE progress stream
 //	GET    /campaigns/{id}/log    the raw JSONL journal
+//	GET    /campaigns/{id}/trace  the propagation traces (campaigns run with trace)
 //	DELETE /campaigns/{id}        cancel (queued or running)
-//	GET    /metrics               service counters
+//	GET    /metrics               service counters (?format=prom for Prometheus text)
 //	GET    /healthz               liveness (200 while the process serves)
 //	GET    /readyz                readiness (503 while starting/draining)
+//
+// Every route runs behind the observability middleware: X-Request-ID
+// assignment/propagation and one structured log line per request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
@@ -30,11 +35,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /campaigns/{id}/log", s.handleLog)
+	mux.HandleFunc("GET /campaigns/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	return mux
+	return s.withObservability(mux)
 }
 
 // status is the wire form of a job's state.
@@ -263,7 +269,32 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": state})
 }
 
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f, err := s.st.OpenTraces(id)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			writeErr(w, &httpError{code: 404, msg: fmt.Sprintf("no traces for campaign %s", id)})
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	io.Copy(w, f)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		// Prometheus text exposition: the per-server registry followed by
+		// the process-wide one (sim/core/store instruments). Family names
+		// are disjoint between the two.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.reg.WriteProm(w)
+		obs.Default().WriteProm(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.snapshot())
 }
 

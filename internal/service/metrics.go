@@ -1,36 +1,88 @@
 package service
 
 import (
-	"sync/atomic"
 	"time"
 
 	"gpufi/internal/core"
+	"gpufi/internal/obs"
 )
 
-// metrics holds the service's expvar-style counters, exposed as a flat
-// JSON object on GET /metrics.
+// metrics holds the service's instruments, all registered in a per-Server
+// obs.Registry so tests can run many servers in one process without
+// sharing job counters. The same instruments back both views of
+// GET /metrics: the flat JSON object (unchanged keys from earlier
+// releases) and the Prometheus text exposition under ?format=prom, which
+// additionally includes the process-wide obs.Default registry (snapshot,
+// experiment and journal-fsync histograms owned by sim/core/store).
 type metrics struct {
-	start       time.Time
-	queued      atomic.Int64 // jobs currently queued
-	running     atomic.Int64 // jobs currently running
-	done        atomic.Int64 // jobs completed successfully
-	failed      atomic.Int64 // jobs that errored
-	cancelled   atomic.Int64 // jobs cancelled (by request or shutdown)
-	experiments atomic.Int64 // experiments finished since start
+	start time.Time
+	reg   *obs.Registry
 
-	retries        atomic.Int64 // job attempts re-queued after a panic
-	workerPanics   atomic.Int64 // panics recovered in the worker pool
-	workerRestarts atomic.Int64 // worker loops restarted by the supervisor
-	quarantined    atomic.Int64 // experiments quarantined (panic or deadline)
+	queued      *obs.Gauge   // jobs currently queued
+	running     *obs.Gauge   // jobs currently running
+	done        *obs.Counter // jobs completed successfully
+	failed      *obs.Counter // jobs that errored
+	cancelled   *obs.Counter // jobs cancelled (by request or shutdown)
+	experiments *obs.Counter // experiments finished since start
+
+	retries        *obs.Counter // job attempts re-queued after a panic
+	workerPanics   *obs.Counter // panics recovered in the worker pool
+	workerRestarts *obs.Counter // worker loops restarted by the supervisor
+	quarantined    *obs.Counter // experiments quarantined (panic or deadline)
+
+	queueWait  *obs.Histogram // seconds a job waited queued before a worker took it
+	jobSeconds *obs.Histogram // seconds per job attempt, pop to terminal state
+	progress   *obs.GaugeVec  // per-running-campaign completion ratio
 }
 
-func (m *metrics) init() { m.start = time.Now() }
+func (m *metrics) init() {
+	m.start = time.Now()
+	r := obs.NewRegistry()
+	m.reg = r
+	m.queued = r.Gauge("gpufi_jobs_queued", "Jobs currently waiting in the queue.")
+	m.running = r.Gauge("gpufi_jobs_running", "Jobs currently running.")
+	m.done = r.Counter("gpufi_jobs_done_total", "Jobs completed successfully.")
+	m.failed = r.Counter("gpufi_jobs_failed_total", "Jobs that ended in error.")
+	m.cancelled = r.Counter("gpufi_jobs_cancelled_total", "Jobs cancelled by request or shutdown.")
+	m.experiments = r.Counter("gpufi_experiments_total", "Injection experiments finished.")
+	m.retries = r.Counter("gpufi_job_retries_total", "Job attempts re-queued after a panic.")
+	m.workerPanics = r.Counter("gpufi_worker_panics_total", "Panics recovered at the worker boundary.")
+	m.workerRestarts = r.Counter("gpufi_worker_restarts_total", "Worker loops restarted by the supervisor.")
+	m.quarantined = r.Counter("gpufi_experiments_quarantined_total",
+		"Experiments quarantined by the sandbox (panic or wall-clock deadline).")
+	m.queueWait = r.Histogram("gpufi_queue_wait_seconds",
+		"Seconds a job waited in the queue before a worker picked it up.", nil)
+	m.jobSeconds = r.Histogram("gpufi_job_seconds",
+		"Seconds per job attempt, from queue pop to terminal state.", nil)
+	m.progress = r.GaugeVec("gpufi_campaign_progress_ratio",
+		"Completion ratio (done/total) per running campaign.", "id")
+	r.GaugeFunc("gpufi_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(m.start).Seconds() })
 
-// snapshot renders the counters. experiments_per_sec is the lifetime
-// average injection throughput; the fork counters expose how often the
-// engine restored a snapshot into an existing vessel instead of
-// allocating a fresh one (reuse dominating creation is the fork engine
-// working as designed).
+	// Mirror the process-wide engine and sandbox counters so one prom
+	// scrape of the service covers the whole pipeline.
+	r.GaugeFunc("gpufi_forks_created", "Fork vessels freshly allocated by the engine.",
+		func() float64 { return float64(core.EngineStats().ForksCreated) })
+	r.GaugeFunc("gpufi_forks_reused", "Fork vessels reused via snapshot restore.",
+		func() float64 { return float64(core.EngineStats().ForksReused) })
+	r.GaugeFunc("gpufi_vessels_discarded", "Poisoned fork vessels discarded by the engine.",
+		func() float64 { return float64(core.EngineStats().VesselsDiscarded) })
+	r.GaugeFunc("gpufi_exp_panics", "Simulator panics recovered by the experiment sandbox.",
+		func() float64 { p, _, _ := core.SandboxStats(); return float64(p) })
+	r.GaugeFunc("gpufi_exp_deadlines", "Experiments cut by the wall-clock deadline.",
+		func() float64 { _, d, _ := core.SandboxStats(); return float64(d) })
+	r.GaugeFunc("gpufi_engine_fork_seconds", "Cumulative wall-clock seconds preparing fork vessels.",
+		func() float64 { return float64(core.EngineStats().ForkNanos) / 1e9 })
+	r.GaugeFunc("gpufi_engine_execute_seconds", "Cumulative wall-clock seconds executing faulty runs.",
+		func() float64 { return float64(core.EngineStats().ExecuteNanos) / 1e9 })
+	r.GaugeFunc("gpufi_engine_classify_seconds", "Cumulative wall-clock seconds classifying outcomes.",
+		func() float64 { return float64(core.EngineStats().ClassifyNanos) / 1e9 })
+}
+
+// snapshot renders the counters as the flat JSON /metrics object. The key
+// set is unchanged from pre-registry releases so existing scrapers keep
+// working; every value now reads from the same registry instruments the
+// prom view exposes, so the two views cannot drift.
 func (m *metrics) snapshot() map[string]any {
 	uptime := time.Since(m.start).Seconds()
 	exps := m.experiments.Load()
@@ -38,14 +90,11 @@ func (m *metrics) snapshot() map[string]any {
 	if uptime > 0 {
 		rate = float64(exps) / uptime
 	}
-	created, reused := core.EngineStats()
+	es := core.EngineStats()
 	reuseRatio := 0.0
-	if created+reused > 0 {
-		reuseRatio = float64(reused) / float64(created+reused)
+	if es.ForksCreated+es.ForksReused > 0 {
+		reuseRatio = float64(es.ForksReused) / float64(es.ForksCreated+es.ForksReused)
 	}
-	// The sandbox counters come straight from the engine: experiments whose
-	// simulation panicked, experiments cut by the wall-clock deadline, and
-	// fork vessels discarded because a poisoned run may have corrupted them.
 	expPanics, expDeadlines, discarded := core.SandboxStats()
 	return map[string]any{
 		"uptime_seconds":          uptime,
@@ -63,8 +112,8 @@ func (m *metrics) snapshot() map[string]any {
 		"exp_panics":              expPanics,
 		"exp_deadlines":           expDeadlines,
 		"vessels_discarded":       discarded,
-		"forks_created":           created,
-		"forks_reused":            reused,
+		"forks_created":           es.ForksCreated,
+		"forks_reused":            es.ForksReused,
 		"fork_reuse_ratio":        reuseRatio,
 	}
 }

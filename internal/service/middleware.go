@@ -1,0 +1,69 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"time"
+)
+
+// statusWriter records the response code for the request log while
+// delegating everything else to the underlying ResponseWriter. It must
+// implement http.Flusher: the SSE handler type-asserts for it, and a
+// wrapper that hides flushing would silently break event streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// newRequestID generates a random request id for requests that arrive
+// without an X-Request-ID header.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withObservability is the outermost HTTP middleware: it assigns (or
+// propagates) the X-Request-ID, echoes it on the response, and emits one
+// structured log line per request, so campaign lifecycle events, SSE
+// streams and metrics are correlatable across logs.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.opts.Logger.Info("http request",
+			"request_id", id, "method", r.Method, "path", r.URL.Path,
+			"status", code, "duration", time.Since(start))
+	})
+}

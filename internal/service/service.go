@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -38,6 +40,10 @@ type Options struct {
 	// RetryBaseDelay is the backoff before the first retry; each further
 	// retry doubles it. Default 500ms.
 	RetryBaseDelay time.Duration
+	// Logger receives structured lifecycle and request logs (job state
+	// transitions, retries, HTTP requests with their X-Request-ID). Nil
+	// discards logs, keeping library consumers and tests quiet.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +52,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	switch {
 	case o.MaxRetries == 0:
@@ -85,6 +94,10 @@ type job struct {
 	done     int  // experiments finished (including journaled prior ones)
 	resumed  bool // re-queued from the store at startup or by resubmit
 	attempts int  // run attempts so far (retries after a panic re-run the job)
+
+	enqueuedAt  time.Time // when the job (re)entered the queue
+	startedAt   time.Time // when a worker popped the current attempt
+	doneAtStart int       // j.done when the current attempt began, for ETA
 
 	cancel    context.CancelFunc // non-nil while running
 	userAbort bool               // cancellation was requested, not a crash
@@ -219,7 +232,8 @@ func (s *Server) Close() {
 func (s *Server) newJobLocked(id string, spec store.Spec) *job {
 	j := &job{
 		id: id, spec: spec, state: StateQueued, total: spec.Runs,
-		subs: make(map[chan event]struct{}), finished: make(chan struct{}),
+		enqueuedAt: time.Now(),
+		subs:       make(map[chan event]struct{}), finished: make(chan struct{}),
 	}
 	s.jobs[id] = j
 	s.metrics.queued.Add(1)
@@ -329,10 +343,14 @@ func (s *Server) workerLoop(base context.Context) (clean bool) {
 		j.cancel = cancel
 		j.attempts++
 		attempt := j.attempts
+		j.startedAt = time.Now()
+		j.doneAtStart = j.done
+		s.metrics.queueWait.Observe(j.startedAt.Sub(j.enqueuedAt).Seconds())
 		s.metrics.queued.Add(-1)
 		s.metrics.running.Add(1)
 		s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
 		s.mu.Unlock()
+		s.opts.Logger.Info("job started", "id", j.id, "attempt", attempt, "resumed", j.resumed)
 
 		cur = j
 		res, err := s.runJob(ctx, j, attempt)
@@ -395,6 +413,8 @@ func (s *Server) retryOrFail(base context.Context, j *job, pe *panicError) (retr
 		"delay_ms": delay.Milliseconds(),
 		"panic":    pe.Error(),
 	}})
+	s.opts.Logger.Warn("job retry scheduled", "id", j.id, "attempt", j.attempts,
+		"max", max+1, "delay", delay, "panic", pe.Error())
 	time.AfterFunc(delay, func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -402,6 +422,7 @@ func (s *Server) retryOrFail(base context.Context, j *job, pe *panicError) (retr
 		// The job may have been cancelled while it waited out the backoff;
 		// only a still-queued job goes back on the queue.
 		if j.state == StateQueued {
+			j.enqueuedAt = time.Now()
 			s.queue = append(s.queue, j)
 		}
 		s.cond.Broadcast() // wake a worker, and any Drain waiter
@@ -474,12 +495,26 @@ func (s *Server) onExperiment(j *job, exp core.Experiment) {
 			"detail": exp.Detail,
 		}})
 	}
+	ratio := 0.0
+	if j.total > 0 {
+		ratio = float64(j.done) / float64(j.total)
+	}
+	s.metrics.progress.Set(j.id, ratio)
+	// ETA from this attempt's own throughput (resumed work is excluded via
+	// doneAtStart, so a 90%-journaled campaign doesn't project 10x speed).
+	eta := -1.0
+	if ran := j.done - j.doneAtStart; ran > 0 && j.done < j.total {
+		perExp := time.Since(j.startedAt).Seconds() / float64(ran)
+		eta = perExp * float64(j.total-j.done)
+	}
 	s.broadcastLocked(j, event{name: "progress", data: map[string]any{
-		"id":     j.id,
-		"exp":    exp.ID,
-		"effect": exp.Effect,
-		"done":   j.done,
-		"total":  j.total,
+		"id":          j.id,
+		"exp":         exp.ID,
+		"effect":      exp.Effect,
+		"done":        j.done,
+		"total":       j.total,
+		"ratio":       ratio,
+		"eta_seconds": eta,
 	}})
 }
 
@@ -489,6 +524,10 @@ func (s *Server) finishJob(base context.Context, j *job, res *core.CampaignResul
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics.running.Add(-1)
+	s.metrics.progress.Delete(j.id)
+	if !j.startedAt.IsZero() {
+		s.metrics.jobSeconds.Observe(time.Since(j.startedAt).Seconds())
+	}
 	j.cancel = nil
 	switch {
 	case err == nil:
@@ -527,6 +566,11 @@ func (s *Server) finishJob(base context.Context, j *job, res *core.CampaignResul
 	s.broadcastLocked(j, event{name: "state", data: s.statusLocked(j)})
 	close(j.finished)
 	s.cond.Broadcast() // a Drain waiter watches for quiescence
+	if j.errMsg != "" {
+		s.opts.Logger.Info("job finished", "id", j.id, "state", j.state, "error", j.errMsg)
+	} else {
+		s.opts.Logger.Info("job finished", "id", j.id, "state", j.state, "done", j.done)
+	}
 }
 
 // cancelJob handles DELETE: a queued job is unqueued, a running one has

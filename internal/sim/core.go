@@ -17,6 +17,11 @@ type thread struct {
 	localBase uint32 // device address of this thread's local memory
 	exited    bool
 	valid     bool // false for padding lanes past the CTA size
+
+	// taint marks registers carrying fault-corrupted data when propagation
+	// tracing is on (bit min(reg,63); always zero when tracing is off).
+	// It rides along struct copies, so snapshots and forks preserve it.
+	taint uint64
 }
 
 // readReg returns a register value. Indices beyond the thread's

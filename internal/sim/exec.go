@@ -19,6 +19,9 @@ func (c *core) execute(w *warp, in *isa.Instr, eff uint32) int {
 			}
 			t := w.threads[lane]
 			t.writeReg(in.Dst, c.specialReg(w, t, lane, in.SReg))
+			if g.tracer != nil && t.taint != 0 {
+				c.traceRegOverwrite(w, lane, t, in.Dst)
+			}
 		}
 		return g.cfg.ALULatency
 	default:
@@ -44,6 +47,9 @@ func (c *core) execute(w *warp, in *isa.Instr, eff uint32) int {
 				t.writePred(in.PDst, pred)
 			} else {
 				t.writeReg(in.Dst, val)
+			}
+			if g.tracer != nil && t.taint != 0 {
+				c.traceALU(w, lane, t, in, in.Op.WritesPred())
 			}
 		}
 		if in.Op.Class() == isa.ClassSFU {
@@ -118,7 +124,11 @@ func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
 		}
 		for lane := 0; lane < 32; lane++ {
 			if eff&(1<<uint(lane)) != 0 {
-				w.threads[lane].writeReg(in.Dst, v)
+				t := w.threads[lane]
+				t.writeReg(in.Dst, v)
+				if g.tracer != nil && t.taint != 0 {
+					c.traceRegOverwrite(w, lane, t, in.Dst)
+				}
 			}
 		}
 		return cost
@@ -208,7 +218,11 @@ func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
 				continue
 			}
 			v := c.wordRead(l1, addrs[lane])
-			w.threads[lane].writeReg(in.Dst, v)
+			t := w.threads[lane]
+			t.writeReg(in.Dst, v)
+			if tr := g.tracer; tr != nil && (t.taint != 0 || len(tr.memTaint) != 0) {
+				c.traceLoad(w, lane, t, in.Dst, addrs[lane])
+			}
 		}
 	} else {
 		mode := cache.ModeGlobal
@@ -225,7 +239,11 @@ func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
 			if eff&(1<<uint(lane)) == 0 {
 				continue
 			}
-			c.wordWrite(l1, addrs[lane], w.threads[lane].readReg(in.SrcC), mode)
+			t := w.threads[lane]
+			c.wordWrite(l1, addrs[lane], t.readReg(in.SrcC), mode)
+			if tr := g.tracer; tr != nil && (t.taint != 0 || len(tr.memTaint) != 0) {
+				c.traceStore(w, lane, t, in.SrcC, addrs[lane])
+			}
 		}
 	}
 	return maxCost + (len(lines)-1)*lineServiceInterval
@@ -311,12 +329,18 @@ func (c *core) sharedAccess(w *warp, in *isa.Instr, eff uint32) int {
 			v := uint32(smem[addr]) | uint32(smem[addr+1])<<8 |
 				uint32(smem[addr+2])<<16 | uint32(smem[addr+3])<<24
 			t.writeReg(in.Dst, v)
+			if tr := g.tracer; tr != nil && (t.taint != 0 || len(tr.smemTaint) != 0) {
+				c.traceSharedLoad(w, lane, t, in.Dst, w.cta.id, addr)
+			}
 		} else {
 			v := t.readReg(in.SrcC)
 			smem[addr] = byte(v)
 			smem[addr+1] = byte(v >> 8)
 			smem[addr+2] = byte(v >> 16)
 			smem[addr+3] = byte(v >> 24)
+			if tr := g.tracer; tr != nil && (t.taint != 0 || len(tr.smemTaint) != 0) {
+				c.traceSharedStore(w, lane, t, in.SrcC, w.cta.id, addr)
+			}
 		}
 	}
 	return g.cfg.SmemLatency

@@ -55,6 +55,9 @@ func (g *GPU) injectRegFile(spec *FaultSpec, rec *InjectionRecord, rng *rand.Ran
 		bit := uint(pos % 32)
 		if reg < len(t.regs) {
 			t.regs[reg] ^= 1 << bit
+			if g.tracer != nil {
+				g.tracer.seedReg(t, reg)
+			}
 		}
 	}
 	if spec.WarpWide {
@@ -112,6 +115,9 @@ func (g *GPU) injectLocal(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand)
 		byteOff := uint32(pos / 8)
 		if byteOff < g.localStep {
 			g.mem.FlipBit(t.localBase+byteOff, uint(pos%8))
+			if g.tracer != nil {
+				g.tracer.seedMem(t.localBase + byteOff)
+			}
 		}
 	}
 	if spec.WarpWide {
@@ -187,6 +193,9 @@ func (g *GPU) injectShared(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand
 			byteOff := pos / 8
 			if byteOff < int64(len(b.smem)) {
 				b.smem[byteOff] ^= 1 << uint(pos%8)
+				if g.tracer != nil {
+					g.tracer.seedSmem(b.id, uint32(byteOff))
+				}
 			}
 		}
 	}
@@ -341,6 +350,12 @@ func (g *GPU) injectCacheBits(c *cache.Cache, positions []int64) string {
 		case cache.InjectHook:
 			hooks++
 		}
+	}
+	// Cache arrays are not cell-tracked by the tracer; flag the injection
+	// so consumption is judged from the cache's own hook counters. Flips
+	// that only landed on invalid lines cannot be read at all.
+	if g.tracer != nil && tags+hooks > 0 {
+		g.tracer.markCacheInjection()
 	}
 	return fmt.Sprintf("cache flips: %d tag, %d hook, %d invalid-line", tags, hooks, masked)
 }

@@ -59,6 +59,10 @@ type GPU struct {
 	// simulation considerably; leave nil for campaigns.
 	TraceWriter io.Writer
 
+	// tracer, when non-nil, records fault-propagation events (see
+	// trace.go). Set per experiment via EnableTrace; cleared by Refork.
+	tracer *Tracer
+
 	// Pending faults, sorted by cycle. The paper supports single or
 	// multiple faults in the same entry, different entries, and different
 	// hardware structures simultaneously — each pending spec is applied
@@ -652,5 +656,9 @@ func (g *GPU) applyFault(spec *FaultSpec) {
 		g.injectL1C(spec, rec, rng)
 	case StructL1I:
 		g.injectL1I(spec, rec, rng)
+	}
+	if g.tracer != nil {
+		g.tracer.injectEvent(g.cycle, spec.Structure.String(), rec.Core, rec.Warp,
+			spec.BitPositions, rec.Detail)
 	}
 }

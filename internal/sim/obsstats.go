@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gpufi/internal/obs"
+)
+
+// Wall-clock phase accounting for the snapshot machinery. The timers only
+// observe host time around capture/restore — they never read or write
+// simulated state, so outcomes stay bit-identical with or without anyone
+// scraping them.
+var (
+	snapCaptures     atomic.Int64
+	snapCaptureNanos atomic.Int64
+	snapRestores     atomic.Int64
+	snapRestoreNanos atomic.Int64
+
+	captureHist = obs.Default().Histogram("gpufi_snapshot_capture_seconds",
+		"Wall-clock seconds to capture one simulator snapshot.", nil)
+	restoreHist = obs.Default().Histogram("gpufi_snapshot_restore_seconds",
+		"Wall-clock seconds to restore a fork from a snapshot.", nil)
+)
+
+// SnapshotStats are process-wide snapshot phase counters.
+type SnapshotStats struct {
+	Captures     int64
+	CaptureNanos int64
+	Restores     int64
+	RestoreNanos int64
+}
+
+// SnapshotTimings returns the process-wide snapshot phase counters.
+func SnapshotTimings() SnapshotStats {
+	return SnapshotStats{
+		Captures:     snapCaptures.Load(),
+		CaptureNanos: snapCaptureNanos.Load(),
+		Restores:     snapRestores.Load(),
+		RestoreNanos: snapRestoreNanos.Load(),
+	}
+}
+
+func observeCapture(d time.Duration) {
+	snapCaptures.Add(1)
+	snapCaptureNanos.Add(d.Nanoseconds())
+	captureHist.Observe(d.Seconds())
+}
+
+func observeRestore(d time.Duration) {
+	snapRestores.Add(1)
+	snapRestoreNanos.Add(d.Nanoseconds())
+	restoreHist.Observe(d.Seconds())
+}

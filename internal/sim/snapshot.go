@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"gpufi/internal/isa"
 )
@@ -128,6 +129,8 @@ func NewFork(snap *Snapshot) *GPU {
 // snapshot template is available (RecycleSnapshot) the state is copied
 // into its existing storage instead of freshly allocated.
 func (g *GPU) capture() *Snapshot {
+	start := time.Now()
+	defer func() { observeCapture(time.Since(start)) }()
 	s := &Snapshot{Cycle: g.cycle}
 	if sc := g.snapScratch; sc != nil && sc.cfg == g.cfg && sc.mem != nil && len(sc.cores) == len(g.cores) {
 		g.snapScratch = nil
@@ -195,6 +198,7 @@ func (g *GPU) Refork(snap *Snapshot) {
 	g.faults = nil
 	g.faultRecs = nil
 	g.violation = nil
+	g.tracer = nil
 	g.snapAt, g.snapFn, g.record = nil, nil, nil
 }
 
@@ -202,6 +206,8 @@ func (g *GPU) Refork(snap *Snapshot) {
 // everything; a reforked GPU already holds same-shaped memories and caches
 // and gets plain copies into the existing storage.
 func (g *GPU) restore(s *Snapshot) {
+	start := time.Now()
+	defer func() { observeRestore(time.Since(start)) }()
 	src := s.gpu
 	if g.mem == nil || g.l2 == nil || g.cfg != src.cfg || len(g.cores) != len(src.cores) {
 		c := cloneGPU(src)

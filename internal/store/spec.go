@@ -42,6 +42,11 @@ type Spec struct {
 	// the cycle-limit, which only catches runs whose cycle counter keeps
 	// advancing.
 	ExpTimeoutMS int64 `json:"exp_timeout_ms,omitempty"`
+
+	// Trace records fault-propagation traces (one JSONL record per
+	// experiment in traces.jsonl next to the journal). Tracing is purely
+	// observational: outcomes stay bit-identical with it on or off.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // normalize applies the defaults a zero value implies.
@@ -82,6 +87,7 @@ func (s Spec) Config() (*core.CampaignConfig, error) {
 		Seed: s.Seed, Workers: s.Workers, Invocation: s.Invocation,
 		LegacyReplay: s.LegacyReplay,
 		ExpTimeout:   time.Duration(s.ExpTimeoutMS) * time.Millisecond,
+		Trace:        s.Trace,
 	}
 	for _, name := range s.Simultaneous {
 		extra, err := sim.ParseStructure(name)

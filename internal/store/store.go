@@ -16,25 +16,37 @@ import (
 
 	"gpufi/internal/avf"
 	"gpufi/internal/core"
+	"gpufi/internal/obs"
 )
 
 // On-disk layout: one directory per campaign under the store root.
 //
 //	<root>/<id>/config.json    the Spec that defines the campaign
 //	<root>/<id>/journal.jsonl  header + one record per finished experiment
+//	<root>/<id>/traces.jsonl   propagation traces (campaigns run with Trace)
 //	<root>/<id>/done.json      completion marker with the final summary
 //	<root>/<id>/cancelled      marker: deliberately stopped, do not resume
 //
 // The journal is append-only and fsync'd every BatchSize records, so a
 // crash loses at most one batch of experiments — and since every
 // experiment is re-derivable from the seed, a resumed campaign simply
-// re-runs the lost tail and lands on bit-identical counts.
+// re-runs the lost tail and lands on bit-identical counts. The trace file
+// is observability data, not ground truth: it is flushed per record but
+// never drives resume decisions, and a resume that re-runs a lost journal
+// tail may append a second trace line for the same experiment id — readers
+// take the last line per id.
 const (
 	configFile    = "config.json"
 	journalFile   = "journal.jsonl"
+	tracesFile    = "traces.jsonl"
 	doneFile      = "done.json"
 	cancelledFile = "cancelled"
 )
+
+// fsyncHist times every journal flush+fsync batch; it lives in the
+// process-wide registry so gpufi-serve's ?format=prom view includes it.
+var fsyncHist = obs.Default().Histogram("gpufi_journal_fsync_seconds",
+	"Seconds per journal flush+fsync batch.", nil)
 
 // DefaultBatchSize is the journal fsync batch: how many experiment
 // records may sit in the write buffer before a flush+fsync.
@@ -134,12 +146,14 @@ func (j *Journal) Sync() error {
 }
 
 func (j *Journal) syncLocked() error {
+	start := time.Now()
 	if err := j.bw.Flush(); err != nil {
 		return fmt.Errorf("store: flush journal: %v", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("store: fsync journal: %v", err)
 	}
+	fsyncHist.Observe(time.Since(start).Seconds())
 	j.pending = 0
 	return nil
 }
@@ -159,6 +173,56 @@ func (j *Journal) Close() error {
 	return err
 }
 
+// traceWriter appends propagation traces, one JSON line per experiment.
+// Unlike the journal it is flushed (not fsync'd) per record: traces are
+// observability data, and losing a tail of them to a crash costs nothing —
+// the resumed campaign re-runs the same experiments and re-emits
+// byte-identical traces.
+type traceWriter struct {
+	mu     sync.Mutex
+	f      *os.File
+	bw     *bufio.Writer
+	closed bool
+}
+
+// Append writes one trace record as a JSON line and flushes it.
+func (t *traceWriter) Append(tr core.ExperimentTrace) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("store: append to closed trace file")
+	}
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		return fmt.Errorf("store: encode trace: %v", err)
+	}
+	if _, err := t.bw.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("store: write trace: %v", err)
+	}
+	if err := t.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush trace: %v", err)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the trace file.
+func (t *traceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	err := t.bw.Flush()
+	if serr := t.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := t.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Campaign is an open handle on one stored campaign: its spec, whatever
 // the journal already holds, and (unless the campaign is Done) a journal
 // open for appending the remaining experiments.
@@ -172,7 +236,8 @@ type Campaign struct {
 	Counts    avf.Counts        // aggregated over Prior
 
 	st      *Store
-	journal *Journal // nil when Done
+	journal *Journal     // nil when Done
+	traces  *traceWriter // nil unless the campaign runs with Spec.Trace
 }
 
 // CompletedIDs returns the experiment indices already in the journal —
@@ -202,13 +267,29 @@ func (c *Campaign) Quarantine(exp core.Experiment) error {
 	return c.journal.Quarantine(exp)
 }
 
-// Close syncs and closes the journal (keeping the campaign resumable if
-// it has not been Finished).
-func (c *Campaign) Close() error {
-	if c.journal == nil {
-		return nil
+// AppendTrace persists one experiment's propagation trace.
+func (c *Campaign) AppendTrace(tr core.ExperimentTrace) error {
+	if c.traces == nil {
+		return fmt.Errorf("store: campaign %s has no trace file open", c.ID)
 	}
-	return c.journal.Close()
+	return c.traces.Append(tr)
+}
+
+// Close syncs and closes the journal and trace file (keeping the campaign
+// resumable if it has not been Finished).
+func (c *Campaign) Close() error {
+	var err error
+	if c.traces != nil {
+		err = c.traces.Close()
+		c.traces = nil
+	}
+	if c.journal == nil {
+		return err
+	}
+	if jerr := c.journal.Close(); err == nil {
+		err = jerr
+	}
+	return err
 }
 
 // doneRecord is the completion marker's content: the final summary a
@@ -554,6 +635,31 @@ func (s *Store) OpenLog(id string) (io.ReadCloser, error) {
 	return f, err
 }
 
+// OpenTraces opens the campaign's propagation-trace JSONL for reading.
+// Campaigns run without Spec.Trace have no trace file; that reads as
+// ErrNotFound, same as an unknown id.
+func (s *Store) OpenTraces(id string) (io.ReadCloser, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("store: invalid campaign id %q", id)
+	}
+	f, err := os.Open(filepath.Join(s.campaignDir(id), tracesFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return f, err
+}
+
+// openTraceWriter opens (creating if needed) the campaign's trace file
+// for appending.
+func (s *Store) openTraceWriter(id string) (*traceWriter, error) {
+	f, err := os.OpenFile(filepath.Join(s.campaignDir(id), tracesFile),
+		os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open traces %s: %w", id, err)
+	}
+	return &traceWriter{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
 // Run executes a campaign durably: create the journal (or resume it if the
 // id already exists, skipping every journaled experiment), run the engine
 // with the journal hook attached, and on completion write the done marker.
@@ -598,6 +704,14 @@ func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profil
 	cfg.Journal = c.Append
 	cfg.Quarantine = c.Quarantine
 	cfg.Progress = onExp
+	if cfg.Trace {
+		tw, err := s.openTraceWriter(id)
+		if err != nil {
+			return nil, err
+		}
+		c.traces = tw
+		cfg.TraceSink = c.AppendTrace
+	}
 	if prof == nil {
 		prof, err = core.ProfileApp(ctx, cfg.App, cfg.GPU)
 		if err != nil {
