@@ -547,6 +547,142 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkCOWForkVsDeepClone runs the same 300-run register-file
+// campaign (BP's bp_adjust kernel, last invocation) on the fork engine's
+// default copy-on-write restore protocol and on the eager deep-clone
+// baseline (WithDeepClone). Each iteration verifies bit-identical Counts,
+// then reports the wall-clock ratio and — the number the COW work
+// actually targets — the per-experiment fork+recycle cost (vessel restore
+// plus snapshot capture nanoseconds, metered via EngineStats deltas).
+// The acceptance bar is a 2x lower fork+recycle cost under COW.
+func BenchmarkCOWForkVsDeepClone(b *testing.B) {
+	app, err := gpufi.AppByName("BP")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpu := gpufi.RTX2060()
+	prof, err := gpufi.Profile(nil, app, gpu)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lastInv := len(prof.Kernels["bp_adjust"].Windows)
+	const runs = 300
+	// run executes one campaign and returns its result, wall-clock, and
+	// the fork+recycle (restore + capture) nanoseconds it spent.
+	run := func(deep bool) (*gpufi.CampaignResult, time.Duration, int64) {
+		opts := []gpufi.CampaignOption{
+			gpufi.WithTarget(app, gpu, "bp_adjust", gpufi.StructRegFile),
+			gpufi.WithRuns(runs),
+			gpufi.WithSeed(5),
+			gpufi.WithInvocation(lastInv),
+			gpufi.WithProfile(prof),
+		}
+		if deep {
+			opts = append(opts, gpufi.WithDeepClone())
+		}
+		before := gpufi.EngineStats()
+		t0 := time.Now()
+		res, err := gpufi.NewCampaign(opts...).Run(nil)
+		wall := time.Since(t0)
+		after := gpufi.EngineStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sync := (after.ForkNanos - before.ForkNanos) +
+			(after.SnapshotRestoreNanos - before.SnapshotRestoreNanos) +
+			(after.SnapshotCaptureNanos - before.SnapshotCaptureNanos)
+		return res, wall, sync
+	}
+	var cowWall, deepWall time.Duration
+	var cowSync, deepSync int64
+	var cowStats gpufi.EngineCounters
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Min-of-two per arm: the gate below compares two short wall-clock
+		// measurements, and the minimum strips scheduler noise a single
+		// sample would pass straight into CI.
+		statsBefore := gpufi.EngineStats()
+		cowRes, cw1, cs1 := run(false)
+		statsAfter := gpufi.EngineStats()
+		deepRes, dw1, ds1 := run(true)
+		_, cw2, cs2 := run(false)
+		_, dw2, ds2 := run(true)
+		if cowRes.Counts != deepRes.Counts {
+			b.Fatalf("protocols disagree: COW %+v vs deep-clone %+v", cowRes.Counts, deepRes.Counts)
+		}
+		cowWall += min(cw1, cw2)
+		deepWall += min(dw1, dw2)
+		cowSync += min(cs1, cs2)
+		deepSync += min(ds1, ds2)
+		if i == 0 {
+			cowStats = diffCounters(statsBefore, statsAfter)
+		}
+	}
+	perExpCow := float64(cowSync) / float64(runs*b.N)
+	perExpDeep := float64(deepSync) / float64(runs*b.N)
+	syncRatio := perExpDeep / perExpCow
+	b.ReportMetric(cowWall.Seconds()/float64(b.N), "cow-s/op")
+	b.ReportMetric(deepWall.Seconds()/float64(b.N), "deep-s/op")
+	b.ReportMetric(perExpCow, "cow-fork-ns/exp")
+	b.ReportMetric(perExpDeep, "deep-fork-ns/exp")
+	b.ReportMetric(syncRatio, "fork-speedup-x")
+	b.ReportMetric(float64(deepWall)/float64(cowWall), "wall-speedup-x")
+	b.ReportMetric(cowStats.COWDirtyRatio, "dirty-ratio")
+
+	// Machine-readable artifact + regression gate: BENCH_FORK_JSON dumps
+	// the numbers for upload, BENCH_FORK_ENFORCE turns the 2x
+	// per-experiment fork+recycle bar into a hard failure (CI bench step).
+	if path := os.Getenv("BENCH_FORK_JSON"); path != "" {
+		out := map[string]any{
+			"benchmark":             "BenchmarkCOWForkVsDeepClone",
+			"iterations":            b.N,
+			"runs_per_campaign":     runs,
+			"cow_wall_ns_per_op":    cowWall.Nanoseconds() / int64(b.N),
+			"deep_wall_ns_per_op":   deepWall.Nanoseconds() / int64(b.N),
+			"cow_fork_ns_per_exp":   perExpCow,
+			"deep_fork_ns_per_exp":  perExpDeep,
+			"fork_recycle_speedup":  syncRatio,
+			"wall_speedup":          float64(deepWall) / float64(cowWall),
+			"cow_dirty_ratio":       cowStats.COWDirtyRatio,
+			"cow_bytes_copied":      cowStats.COWBytesCopied,
+			"cow_bytes_avoided":     cowStats.COWBytesAvoided,
+			"cow_full_restores":     cowStats.COWFullRestores,
+			"warps_shared":          cowStats.WarpsShared,
+			"warps_materialized":    cowStats.WarpsMaterialized,
+			"resident_bytes_copied": cowStats.ResidentBytesCopied,
+		}
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if os.Getenv("BENCH_FORK_ENFORCE") != "" && syncRatio < 2.0 {
+		b.Fatalf("COW fork+recycle only %.2fx cheaper than deep clone, want >= 2x "+
+			"(cow %.0f ns/exp, deep %.0f ns/exp)", syncRatio, perExpCow, perExpDeep)
+	}
+}
+
+// diffCounters subtracts two cumulative EngineCounters readings, keeping
+// only the COW fields the fork benchmark reports.
+func diffCounters(before, after gpufi.EngineCounters) gpufi.EngineCounters {
+	d := gpufi.EngineCounters{
+		COWRestores:         after.COWRestores - before.COWRestores,
+		COWFullRestores:     after.COWFullRestores - before.COWFullRestores,
+		COWBytesCopied:      after.COWBytesCopied - before.COWBytesCopied,
+		COWBytesAvoided:     after.COWBytesAvoided - before.COWBytesAvoided,
+		WarpsShared:         after.WarpsShared - before.WarpsShared,
+		WarpsMaterialized:   after.WarpsMaterialized - before.WarpsMaterialized,
+		ResidentBytesCopied: after.ResidentBytesCopied - before.ResidentBytesCopied,
+	}
+	if tot := d.COWBytesCopied + d.COWBytesAvoided; tot > 0 {
+		d.COWDirtyRatio = float64(d.COWBytesCopied) / float64(tot)
+	}
+	return d
+}
+
 // TestCampaignAPI exercises the public Campaign surface: functional
 // options, validation, progress callbacks, and cancellation with partial
 // results.

@@ -145,6 +145,13 @@ func WithTrace(sink func(ExperimentTrace) error) CampaignOption {
 // benchmarking.
 func WithLegacyReplay() CampaignOption { return func(c *Campaign) { c.cfg.LegacyReplay = true } }
 
+// WithDeepClone forces the fork engine's eager deep-clone protocol: every
+// fork restore and snapshot recapture copies the complete GPU state
+// instead of only what diverged (the default copy-on-write protocol).
+// Outcomes are bit-identical either way; this exists as the differential
+// baseline for the COW engine and for benchmarking.
+func WithDeepClone() CampaignOption { return func(c *Campaign) { c.cfg.DeepClone = true } }
+
 // WithProfile supplies a precomputed fault-free profile, so several
 // campaign points against the same app/GPU share one golden run.
 func WithProfile(prof *AppProfile) CampaignOption { return func(c *Campaign) { c.prof = prof } }

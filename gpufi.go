@@ -85,6 +85,9 @@ type (
 	AppEval = core.AppEval
 	// KernelEval is a per-kernel AVF evaluation.
 	KernelEval = core.KernelEval
+	// EngineCounters are the process-wide fork-engine, phase and
+	// copy-on-write counters (see EngineStats).
+	EngineCounters = core.EngineCounters
 )
 
 // Injectable structures (paper Table IV, plus the L1C/L1I extensions).
@@ -192,6 +195,14 @@ func Run(cfg *CampaignConfig, prof *AppProfile) (*CampaignResult, error) {
 func Evaluate(ctx context.Context, app *App, gpu *GPU, cfg EvalConfig) (*AppEval, error) {
 	return core.EvaluateApp(ctx, app, gpu, cfg)
 }
+
+// EngineStats returns the process-wide fork-engine counters: vessel
+// churn, snapshot capture/restore totals and timings, per-phase
+// wall-clock, and the copy-on-write sync counters (pages copied versus
+// shared, bytes a deep clone would have moved, dirty ratio, warp/smem
+// materializations). Counters are cumulative across every campaign run
+// in the process; subtract two readings to meter one campaign.
+func EngineStats() EngineCounters { return core.EngineStats() }
 
 // StructBreakdown returns each structure's share of an evaluation's total
 // AVF (Fig. 2).

@@ -102,6 +102,17 @@ type Cache struct {
 	setMask   uint32
 	tagShift  uint
 	tagMask   uint64 // TagBits wide
+
+	// Copy-on-write sync state, mirroring mem.Memory (see cowsync.go):
+	// touched records the lines mutated since the last sync point, epoch
+	// counts content generations, lastDelta holds the lines changed by the
+	// most recent CaptureFrom into this cache, and syncSrc/syncVer record
+	// which cache (at which epoch) this one last mirrored.
+	touched   *lineSet
+	epoch     uint64
+	lastDelta *lineSet
+	syncSrc   *Cache
+	syncVer   uint64
 }
 
 // New builds a cache with the given geometry over a backing level.
@@ -185,6 +196,11 @@ func (c *Cache) CopyFrom(src *Cache, backing Backing) error {
 			c.lines[i].hookBits = append([]uint16(nil), hb...)
 		}
 	}
+	// A verbatim copy redefines c's content: drop any delta-sync provenance
+	// so stale touched state cannot be mistaken for a valid delta later.
+	// RestoreFrom/CaptureFrom re-establish it when appropriate.
+	c.syncSrc, c.syncVer = nil, 0
+	c.epoch++
 	return nil
 }
 
@@ -240,6 +256,7 @@ func (c *Cache) victim(set int) int {
 func (c *Cache) touch(idx int) {
 	c.useCtr++
 	c.lines[idx].lastUse = c.useCtr
+	c.markLine(idx)
 }
 
 // disarm kills any armed hook on the line (replacement or overwrite).
@@ -247,6 +264,7 @@ func (c *Cache) disarm(idx int) {
 	if len(c.lines[idx].hookBits) > 0 {
 		c.stats.HookKills++
 		c.lines[idx].hookBits = nil
+		c.markLine(idx)
 	}
 }
 
@@ -261,6 +279,7 @@ func (c *Cache) fireHooks(idx int) {
 	}
 	l.hookBits = nil
 	c.stats.HookFires++
+	c.markLine(idx)
 }
 
 // evict writes back a dirty victim and invalidates it.
@@ -275,6 +294,7 @@ func (c *Cache) evict(idx int) int {
 			cost += c.backing.StoreLine(c.addrOf(set, l.tag), l.data)
 			c.stats.Writebacks++
 		}
+		c.markLine(idx)
 	}
 	l.valid, l.dirty = false, false
 	return cost
@@ -292,7 +312,7 @@ func (c *Cache) fill(addr uint32) (int, int) {
 	l.tag = c.tagOf(addr)
 	l.valid = true
 	l.dirty = false
-	c.touch(idx)
+	c.touch(idx) // touch marks the line for COW sync too
 	return idx, cost
 }
 
@@ -334,6 +354,7 @@ func (c *Cache) AccessWrite(addr uint32, mode Mode) (bool, int, error) {
 			c.disarm(idx)
 			c.lines[idx].valid = false
 			c.lines[idx].dirty = false
+			c.markLine(idx)
 			return true, 0, nil
 		}
 		c.stats.Misses++ // write miss: no allocate, nothing happens here
@@ -341,7 +362,7 @@ func (c *Cache) AccessWrite(addr uint32, mode Mode) (bool, int, error) {
 	case ModeLocal:
 		if idx >= 0 {
 			c.stats.Hits++
-			c.touch(idx)
+			c.touch(idx)  // marks the line for COW sync
 			c.disarm(idx) // write hit overwrites the faulted data
 			c.lines[idx].dirty = true
 			return true, 0, nil
@@ -384,6 +405,7 @@ func (c *Cache) StoreWordLocal(addr uint32, v uint32) int {
 		l.data[off+2] = byte(v >> 16)
 		l.data[off+3] = byte(v >> 24)
 		l.dirty = true
+		c.markLine(idx)
 		return 0
 	}
 	return c.backing.StoreWord(addr, v)
@@ -418,6 +440,7 @@ func (c *Cache) StoreLine(addr uint32, src []byte) int {
 	if idx := c.lookup(set, tag); idx >= 0 {
 		copy(c.lines[idx].data, src)
 		c.lines[idx].dirty = true
+		c.markLine(idx)
 	}
 	return cost
 }
@@ -490,11 +513,13 @@ func (c *Cache) InjectBit(bit int64) (InjectOutcome, error) {
 	if off < config.TagBits {
 		l.tag ^= uint64(1) << uint(off)
 		c.stats.TagFlips++
+		c.markLine(idx)
 		return InjectTag, nil
 	}
 	dataBit := uint16(off - config.TagBits)
 	l.hookBits = append(l.hookBits, dataBit)
 	c.stats.HookArms++
+	c.markLine(idx)
 	return InjectHook, nil
 }
 
@@ -522,6 +547,7 @@ func (c *Cache) UpdateResident(addr uint32, src []byte) bool {
 	c.disarm(idx)
 	off := int(addr & uint32(c.geom.LineBytes-1))
 	copy(c.lines[idx].data[off:], src)
+	c.markLine(idx)
 	return true
 }
 

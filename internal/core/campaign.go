@@ -91,6 +91,13 @@ type CampaignConfig struct {
 	// the legacy path exists for validation and benchmarking.
 	LegacyReplay bool
 
+	// DeepClone forces the fork engine's legacy eager protocol: every
+	// restore and capture copies the complete state instead of only the
+	// pages, cache lines and resident slabs that diverged (the default
+	// copy-on-write protocol). Outcomes are bit-identical either way; the
+	// deep path exists as the differential baseline and for benchmarking.
+	DeepClone bool
+
 	// Progress, when non-nil, is called once per finished experiment (in
 	// completion order, serialized). Long campaigns use it for progress
 	// reporting and incremental logging.

@@ -110,6 +110,7 @@ func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 		return nil, err
 	}
 	g.SetContext(ctx)
+	g.SetDeepClone(cfg.DeepClone)
 	g.EnableRecording()
 	// The prefix is fault-free, but bound it anyway so a scheduling bug
 	// cannot hang the campaign.
@@ -156,6 +157,15 @@ func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 	if err := ctx.Err(); err != nil {
 		return col.result(prof), err
 	}
+	if next != len(clusters) {
+		// The prefix run returned cleanly without visiting every snapshot
+		// cycle — an app wrapper that swallows launch errors, or a cycle
+		// plan past the execution's end. Without this check the campaign
+		// would report partial results as a clean success.
+		return col.result(prof), fmt.Errorf(
+			"core: prefix run of %s finished after %d of %d snapshot clusters: %d experiment(s) never ran",
+			cfg.App.Name, next, len(clusters), len(pending)-col.completedCount())
+	}
 	return col.result(prof), nil
 }
 
@@ -189,6 +199,7 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 				g := vessels[w]
 				if g == nil {
 					g = sim.NewFork(snap)
+					g.SetDeepClone(cfg.DeepClone)
 					vessels[w] = g
 					forksCreated.Add(1)
 				} else {
@@ -273,6 +284,19 @@ func (c *collector) add(i int, exp Experiment) error {
 		c.cfg.Progress(exp)
 	}
 	return nil
+}
+
+// completedCount returns how many experiments have finished so far.
+func (c *collector) completedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.done {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // result assembles the campaign result from whatever completed: the full

@@ -36,12 +36,30 @@ type EngineCounters struct {
 	ForkNanos     int64
 	ExecuteNanos  int64
 	ClassifyNanos int64
+
+	// Copy-on-write fork protocol counters (internal/sim): how much state
+	// the delta syncs actually moved versus a deep clone, and how much
+	// resident state forks shared with their snapshots.
+	COWRestores         int64 // vessel restores through the COW protocol
+	COWFullRestores     int64 // restores that fell back to a full copy
+	COWCaptures         int64 // snapshot recaptures through the COW protocol
+	COWFullCaptures     int64 // recaptures that fell back to a full copy
+	COWPagesCopied      int64 // pages + cache lines copied by syncs
+	COWPagesShared      int64 // pages + cache lines left shared
+	COWBytesCopied      int64
+	COWBytesAvoided     int64   // bytes a deep clone would have moved
+	COWDirtyRatio       float64 // BytesCopied / (BytesCopied + BytesAvoided)
+	WarpsShared         int64   // fork warps restored as shared COW slabs
+	WarpsMaterialized   int64   // slabs privatized on first write
+	SmemMaterialized    int64   // shared-memory banks privatized
+	ResidentBytesCopied int64
 }
 
 // EngineStats returns the process-wide fork-engine counters and phase
 // timers (fork vessel churn, snapshot capture/restore, execute/classify).
 func EngineStats() EngineCounters {
 	st := sim.SnapshotTimings()
+	cow := sim.COWStats()
 	return EngineCounters{
 		ForksCreated:         forksCreated.Load(),
 		ForksReused:          forksReused.Load(),
@@ -53,6 +71,19 @@ func EngineStats() EngineCounters {
 		ForkNanos:            phaseForkNanos.Load(),
 		ExecuteNanos:         phaseExecuteNanos.Load(),
 		ClassifyNanos:        phaseClassifyNanos.Load(),
+		COWRestores:          cow.Restores,
+		COWFullRestores:      cow.FullRestores,
+		COWCaptures:          cow.Captures,
+		COWFullCaptures:      cow.FullCaptures,
+		COWPagesCopied:       cow.UnitsCopied,
+		COWPagesShared:       cow.UnitsShared,
+		COWBytesCopied:       cow.BytesCopied,
+		COWBytesAvoided:      cow.BytesAvoided,
+		COWDirtyRatio:        cow.DirtyRatio(),
+		WarpsShared:          cow.WarpsShared,
+		WarpsMaterialized:    cow.WarpsMaterialized,
+		SmemMaterialized:     cow.SmemMaterialized,
+		ResidentBytesCopied:  cow.ResidentBytesCopied,
 	}
 }
 

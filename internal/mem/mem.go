@@ -38,6 +38,191 @@ type Memory struct {
 	data   []byte
 	next   uint32   // bump pointer for fresh allocations
 	allocs []extent // sorted by addr; includes reserved regions
+
+	// Copy-on-write sync state (see RestoreFrom/CaptureFrom). track records
+	// the pages this image wrote since it was last synchronized; epoch is
+	// bumped whenever the image's content is redefined relative to its
+	// consumers; lastDelta holds the pages changed by the most recent
+	// CaptureFrom into this image, so a consumer exactly one epoch behind
+	// can catch up without a full copy. syncSrc/syncVer record which image
+	// (at which epoch) this one last mirrored. All nil/zero when delta
+	// syncing is off; reads and writes then cost exactly one nil check.
+	track     *DirtyTracker
+	epoch     uint64
+	lastDelta *DirtyTracker
+	syncSrc   *Memory
+	syncVer   uint64
+}
+
+// SyncStats reports what one RestoreFrom/CaptureFrom moved: dirty pages
+// copied versus the image total, and whether the call fell back to a full
+// copy. The fork engine aggregates these into the campaign COW counters.
+type SyncStats struct {
+	UnitsCopied int // pages actually copied
+	UnitsTotal  int // pages in the source image
+	BytesCopied int64
+	BytesTotal  int64
+	Full        bool // provenance unknown or forced: whole image copied
+}
+
+// StartTracking enables (or resets) dirty-page tracking on this image and
+// advances its epoch, so any consumer synced against the previous clean
+// point falls back to a full copy. The campaign prefix run calls this when
+// its first snapshot is captured.
+func (m *Memory) StartTracking() {
+	if m.track == nil {
+		m.track = NewDirtyTracker()
+	} else {
+		m.track.Clear()
+	}
+	m.epoch++
+}
+
+// SetSyncedTo records that m's content is an exact copy of src at src's
+// current epoch, and enables dirty tracking on m so the next RestoreFrom
+// the same source copies only what diverged. Called right after a full
+// clone established that equality.
+func (m *Memory) SetSyncedTo(src *Memory) {
+	if m.track == nil {
+		m.track = NewDirtyTracker()
+	} else {
+		m.track.Clear()
+	}
+	m.syncSrc, m.syncVer = src, src.epoch
+}
+
+// markWrite records the pages of [addr, addr+n) as dirty when tracking is
+// enabled. Callers clip n to the image first.
+func (m *Memory) markWrite(addr uint32, n int) {
+	if m.track == nil || n <= 0 {
+		return
+	}
+	m.track.MarkRange(int(addr)>>pageShift, (int(addr)+n-1)>>pageShift+1)
+}
+
+// RestoreFrom makes m a copy of src, copying only the pages where the two
+// images can differ when provenance allows: m last mirrored src (at src's
+// current epoch, or one epoch behind with src.lastDelta still available),
+// m's own writes since then are in its dirty set, and src — a frozen
+// snapshot image — only changes via CaptureFrom, which bumps its epoch.
+// Any other provenance, or full=true, falls back to a verbatim deep copy.
+// This is the per-experiment fork-restore path of the campaign engine.
+func (m *Memory) RestoreFrom(src *Memory, full bool) SyncStats {
+	st := SyncStats{
+		UnitsTotal: (len(src.data) + PageBytes - 1) / PageBytes,
+		BytesTotal: int64(len(src.data)),
+	}
+	fast := !full && m.track != nil && m.syncSrc == src &&
+		cap(m.data) >= len(src.data) &&
+		(m.syncVer == src.epoch || (m.syncVer+1 == src.epoch && src.lastDelta != nil))
+	if !fast {
+		m.CopyFrom(src)
+		st.Full, st.UnitsCopied, st.BytesCopied = true, st.UnitsTotal, st.BytesTotal
+		if full {
+			m.track, m.syncSrc, m.syncVer = nil, nil, 0
+		} else {
+			m.SetSyncedTo(src)
+		}
+		m.epoch++
+		return st
+	}
+	if m.syncVer+1 == src.epoch {
+		// src was recaptured once since we last synced: its own changes are
+		// recorded in lastDelta; fold them into our dirty set.
+		m.track.Merge(src.lastDelta)
+	}
+	// All length divergence is in the dirty set (our growth marks pages,
+	// src growth is in lastDelta), so resize first, then copy dirty pages.
+	m.data = m.data[:len(src.data)]
+	m.track.Range(func(p int) bool {
+		lo := p * PageBytes
+		if lo >= len(src.data) {
+			return false // ascending: nothing further overlaps the image
+		}
+		hi := min(lo+PageBytes, len(src.data))
+		copy(m.data[lo:hi], src.data[lo:hi])
+		st.UnitsCopied++
+		st.BytesCopied += int64(hi - lo)
+		return true
+	})
+	if cap(m.allocs) >= len(src.allocs) {
+		m.allocs = m.allocs[:len(src.allocs)]
+	} else {
+		m.allocs = make([]extent, len(src.allocs))
+	}
+	copy(m.allocs, src.allocs)
+	m.next = src.next
+	m.track.Clear()
+	m.syncVer = src.epoch
+	m.epoch++
+	return st
+}
+
+// CaptureFrom makes m — a recycled snapshot template that has not been
+// written since it was captured — a copy of src, copying only the pages
+// src dirtied since the previous capture into m. It records that delta in
+// m.lastDelta and bumps m's epoch so consumers synced against the old
+// content either catch up from the delta or full-copy. src's dirty set is
+// reset (and its epoch bumped) to open the next capture interval. With
+// unknown provenance or full=true it deep-copies and re-baselines.
+// This is the snapshot-recycling path of the campaign prefix run.
+func (m *Memory) CaptureFrom(src *Memory, full bool) SyncStats {
+	st := SyncStats{
+		UnitsTotal: (len(src.data) + PageBytes - 1) / PageBytes,
+		BytesTotal: int64(len(src.data)),
+	}
+	fast := !full && src.track != nil && m.syncSrc == src && m.syncVer == src.epoch &&
+		cap(m.data) >= len(src.data)
+	if !fast {
+		m.CopyFrom(src)
+		st.Full, st.UnitsCopied, st.BytesCopied = true, st.UnitsTotal, st.BytesTotal
+		m.lastDelta = nil // content redefined: one-epoch catch-up is off
+		m.epoch++
+		if full {
+			m.syncSrc, m.syncVer = nil, 0
+			return st
+		}
+		src.StartTracking()
+		m.syncSrc, m.syncVer = src, src.epoch
+		return st
+	}
+	m.data = m.data[:len(src.data)]
+	src.track.Range(func(p int) bool {
+		lo := p * PageBytes
+		if lo >= len(src.data) {
+			return false
+		}
+		hi := min(lo+PageBytes, len(src.data))
+		copy(m.data[lo:hi], src.data[lo:hi])
+		st.UnitsCopied++
+		st.BytesCopied += int64(hi - lo)
+		return true
+	})
+	if cap(m.allocs) >= len(src.allocs) {
+		m.allocs = m.allocs[:len(src.allocs)]
+	} else {
+		m.allocs = make([]extent, len(src.allocs))
+	}
+	copy(m.allocs, src.allocs)
+	m.next = src.next
+	if m.lastDelta == nil {
+		m.lastDelta = NewDirtyTracker()
+	}
+	m.lastDelta.CopyFrom(src.track)
+	m.epoch++
+	src.track.Clear()
+	src.epoch++
+	m.syncVer = src.epoch
+	return st
+}
+
+// DirtyPages returns how many pages the image has written since its dirty
+// set was last cleared (0 when tracking is off). Test and diagnostics hook.
+func (m *Memory) DirtyPages() int {
+	if m.track == nil {
+		return 0
+	}
+	return m.track.Count()
 }
 
 // New returns an empty device memory.
@@ -78,6 +263,11 @@ func (m *Memory) CopyFrom(src *Memory) {
 	}
 	copy(m.allocs, src.allocs)
 	m.next = src.next
+	// A verbatim copy redefines m's content: drop any delta-sync provenance
+	// so a later RestoreFrom cannot mistake stale dirty state for a valid
+	// delta. RestoreFrom/CaptureFrom re-establish it when appropriate.
+	m.syncSrc, m.syncVer = nil, 0
+	m.epoch++
 }
 
 // Alloc reserves size bytes and returns the base device address. The
@@ -116,10 +306,22 @@ func (m *Memory) insert(e extent) {
 }
 
 func (m *Memory) grow(limit uint32) {
-	if int(limit) > len(m.data) {
+	old := len(m.data)
+	if int(limit) <= old {
+		return
+	}
+	if cap(m.data) >= int(limit) {
+		// Reuse capacity left by a previous, larger epoch — but zero it:
+		// Alloc promises zero-initialized regions.
+		m.data = m.data[:limit]
+		clear(m.data[old:])
+	} else {
 		grown := make([]byte, int(limit))
 		copy(grown, m.data)
 		m.data = grown
+	}
+	if m.track != nil {
+		m.track.MarkRange(old>>pageShift, (len(m.data)+PageBytes-1)>>pageShift)
 	}
 }
 
@@ -158,6 +360,7 @@ func (m *Memory) Write32(addr uint32, v uint32) {
 		return
 	}
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
+	m.markWrite(addr, 4)
 }
 
 // ReadBytes copies len(dst) bytes starting at addr into dst. Bytes beyond
@@ -178,7 +381,8 @@ func (m *Memory) WriteBytes(addr uint32, src []byte) {
 	if int(addr) >= len(m.data) {
 		return
 	}
-	copy(m.data[addr:], src)
+	n := copy(m.data[addr:], src)
+	m.markWrite(addr, n)
 }
 
 // FlipBit flips one bit of the image: bit index 0 is the LSB of the byte
@@ -190,6 +394,7 @@ func (m *Memory) FlipBit(addr uint32, bit uint) {
 		return
 	}
 	m.data[idx] ^= 1 << (bit % 8)
+	m.markWrite(uint32(idx), 1)
 }
 
 // HostWrite copies host data into device memory (cudaMemcpyHostToDevice).
@@ -198,7 +403,8 @@ func (m *Memory) HostWrite(addr uint32, src []byte) error {
 	if !m.Valid(addr, uint32(len(src))) {
 		return fmt.Errorf("mem: HostWrite to invalid range [%#x,+%d)", addr, len(src))
 	}
-	copy(m.data[addr:], src)
+	n := copy(m.data[addr:], src)
+	m.markWrite(addr, n)
 	return nil
 }
 

@@ -115,5 +115,10 @@ func (m *metrics) snapshot() map[string]any {
 		"forks_created":           es.ForksCreated,
 		"forks_reused":            es.ForksReused,
 		"fork_reuse_ratio":        reuseRatio,
+		"cow_bytes_copied":        es.COWBytesCopied,
+		"cow_bytes_avoided":       es.COWBytesAvoided,
+		"cow_dirty_ratio":         es.COWDirtyRatio,
+		"cow_full_restores":       es.COWFullRestores,
+		"warps_materialized":      es.WarpsMaterialized,
 	}
 }

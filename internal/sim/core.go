@@ -80,6 +80,10 @@ type warp struct {
 	// L1I; crossing into a new line charges a fetch access.
 	fetchLine  uint32
 	fetchValid bool
+
+	// sharedSlab marks a COW fork warp whose threads still alias the
+	// snapshot's slab; core.materializeWarp clears it on first write.
+	sharedSlab bool
 }
 
 // liveMask returns the mask of threads that have not exited.
@@ -100,6 +104,10 @@ type cta struct {
 	smem      []byte
 	warps     []*warp
 	liveWarps int
+
+	// sharedSmem marks a COW fork CTA whose shared memory still aliases
+	// the snapshot's; core.materializeSmem clears it on first write.
+	sharedSmem bool
 }
 
 // core is one SIMT core (SM): resident CTAs, warp slots, L1 caches, and
@@ -127,6 +135,10 @@ type core struct {
 	usedSmem    int
 
 	rr int // round-robin pointer for greedy-then-oldest issue
+
+	// pool arenas the vessel-private resident state of a COW fork; nil
+	// until the core's first copy-on-write restore (see cow.go).
+	pool *residentPool
 }
 
 func newCore(g *GPU, id int) *core {
@@ -361,6 +373,11 @@ func (w *warp) exitThreads(mask uint32) {
 // step executes one instruction for warp w (functional execution at issue
 // time) and charges its latency.
 func (c *core) step(w *warp) {
+	if w.sharedSlab {
+		// Executing mutates thread state (registers, predicates, exits,
+		// taint): give a COW fork warp its private slab first.
+		c.materializeWarp(w)
+	}
 	g := c.gpu
 	p := g.curProg
 	top := &w.stack[len(w.stack)-1]

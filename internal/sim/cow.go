@@ -1,0 +1,255 @@
+package sim
+
+// Copy-on-write resident state for fork vessels.
+//
+// A restore used to deep-copy every resident CTA, warp and thread out of
+// the snapshot — for a full RTX 2060 that is tens of thousands of threads
+// and megabytes of register file per experiment, almost all of it never
+// touched before the experiment classifies. Under COW the vessel instead
+// gets private warp and CTA structs (cheap, and they hold all scheduler
+// state) whose thread pointers and shared-memory slices still alias the
+// snapshot's immutable slabs. The first write materializes a private copy:
+//
+//   - core.step materializes the warp's thread slab before executing, the
+//     single choke point for all architectural thread writes (registers,
+//     predicates, exits, taint);
+//   - sharedAccess materializes the CTA's shared memory before an STS;
+//   - injectRegFile / injectShared materialize before flipping bits.
+//
+// Reads (guard predicates, liveMask, LDS, local-memory bases) are served
+// from the shared slabs. Warps that never issue again — exited warps,
+// warps past the fault's blast radius when the experiment ends early —
+// never pay for their copy. The snapshot side never mutates: templates are
+// only written by capture, which allocates fresh resident slabs, and the
+// campaign engine serializes captures with cluster completion.
+//
+// The page/line-granular COW for device memory and caches lives in
+// internal/mem and internal/cache; this file owns the resident (SIMT)
+// state and the vessel-side pools.
+
+// residentPool is a per-core arena for a vessel's private resident state.
+// It is reset (not freed) at every restore, so a vessel reforked hundreds
+// of times allocates its CTAs, warps, stacks, thread slabs and register
+// slabs only once. Carved sub-slices use three-index slicing so an
+// append past a warp's reserved stack capacity reallocates to the heap
+// instead of clobbering its neighbor.
+type residentPool struct {
+	ctas    []cta
+	warps   []warp
+	stack   []stackEntry
+	threads []thread
+	regs    []uint32
+	smem    []byte
+	wmap    map[*warp]*warp // snapshot warp -> vessel warp, scheduler order
+}
+
+// reset prepares the pool for one restore. The cta, warp and stack arenas
+// are sized up front (their pointers must stay stable for the whole
+// experiment); the thread, register and smem arenas fill lazily as warps
+// materialize and may grow mid-experiment — old carvings stay valid on
+// the superseded backing array.
+func (p *residentPool) reset(nCTAs, nWarps, nStack int) {
+	if cap(p.ctas) < nCTAs {
+		p.ctas = make([]cta, 0, nCTAs)
+	}
+	p.ctas = p.ctas[:0]
+	if cap(p.warps) < nWarps {
+		p.warps = make([]warp, 0, nWarps)
+	}
+	p.warps = p.warps[:0]
+	if cap(p.stack) < nStack {
+		p.stack = make([]stackEntry, 0, nStack+nStack/2)
+	}
+	p.stack = p.stack[:0]
+	p.threads = p.threads[:0]
+	p.regs = p.regs[:0]
+	p.smem = p.smem[:0]
+	if p.wmap == nil {
+		p.wmap = make(map[*warp]*warp, nWarps)
+	} else {
+		clear(p.wmap)
+	}
+}
+
+func (p *residentPool) carveCTA() *cta {
+	p.ctas = p.ctas[:len(p.ctas)+1]
+	return &p.ctas[len(p.ctas)-1]
+}
+
+func (p *residentPool) carveWarp() *warp {
+	p.warps = p.warps[:len(p.warps)+1]
+	return &p.warps[len(p.warps)-1]
+}
+
+func (p *residentPool) carveStack(n int) []stackEntry {
+	off := len(p.stack)
+	p.stack = p.stack[: off+n : cap(p.stack)]
+	return p.stack[off : off+n : off+n]
+}
+
+func (p *residentPool) carveThreads(n int) []thread {
+	if len(p.threads)+n > cap(p.threads) {
+		p.threads = make([]thread, 0, 2*cap(p.threads)+n)
+	}
+	off := len(p.threads)
+	p.threads = p.threads[: off+n : cap(p.threads)]
+	return p.threads[off : off+n : off+n]
+}
+
+func (p *residentPool) carveRegs(n int) []uint32 {
+	if len(p.regs)+n > cap(p.regs) {
+		p.regs = make([]uint32, 0, 2*cap(p.regs)+n)
+	}
+	off := len(p.regs)
+	p.regs = p.regs[: off+n : cap(p.regs)]
+	return p.regs[off : off+n : off+n]
+}
+
+func (p *residentPool) carveSmem(n int) []byte {
+	if len(p.smem)+n > cap(p.smem) {
+		p.smem = make([]byte, 0, 2*cap(p.smem)+n)
+	}
+	off := len(p.smem)
+	p.smem = p.smem[: off+n : cap(p.smem)]
+	return p.smem[off : off+n : off+n]
+}
+
+// cowResidentInto rebuilds nc's resident CTAs, warps and threads as
+// copy-on-write views of c's (the snapshot core's): private CTA and warp
+// structs from nc's pool, thread slabs and shared memory aliased to the
+// snapshot until first write. The COW counterpart of cloneResidentInto.
+func (c *core) cowResidentInto(nc *core) {
+	if cap(nc.ctas) >= len(c.ctas) {
+		nc.ctas = nc.ctas[:0]
+	} else {
+		nc.ctas = make([]*cta, 0, len(c.ctas))
+	}
+	if cap(nc.warps) >= len(c.warps) {
+		nc.warps = nc.warps[:0]
+	} else {
+		nc.warps = make([]*warp, 0, len(c.warps))
+	}
+	if len(c.ctas) == 0 && len(c.warps) == 0 {
+		return
+	}
+	if nc.pool == nil {
+		nc.pool = &residentPool{}
+	}
+	p := nc.pool
+	nStack := 0
+	for _, w := range c.warps {
+		nStack += len(w.stack)
+	}
+	p.reset(len(c.ctas), len(c.warps), nStack)
+	shared := 0
+	for _, b := range c.ctas {
+		nb := p.carveCTA()
+		ws := nb.warps
+		if cap(ws) < len(b.warps) {
+			ws = make([]*warp, 0, len(b.warps))
+		} else {
+			ws = ws[:0]
+		}
+		*nb = cta{
+			id:         b.id,
+			core:       nc,
+			smem:       b.smem,
+			warps:      ws,
+			liveWarps:  b.liveWarps,
+			sharedSmem: len(b.smem) > 0,
+		}
+		for _, w := range b.warps {
+			nw := p.carveWarp()
+			st := p.carveStack(len(w.stack))
+			copy(st, w.stack)
+			*nw = warp{
+				cta:        nb,
+				slot:       w.slot,
+				threads:    w.threads, // aliased slab; step materializes
+				stack:      st,
+				busyUntil:  w.busyUntil,
+				atBarrier:  w.atBarrier,
+				exited:     w.exited,
+				lastIssue:  w.lastIssue,
+				fetchLine:  w.fetchLine,
+				fetchValid: w.fetchValid,
+				sharedSlab: true,
+			}
+			nb.warps = append(nb.warps, nw)
+			p.wmap[w] = nw
+			shared++
+		}
+		nc.ctas = append(nc.ctas, nb)
+	}
+	for _, w := range c.warps {
+		if nw, ok := p.wmap[w]; ok {
+			nc.warps = append(nc.warps, nw)
+		}
+	}
+	cowWarpsShared.Add(int64(shared))
+}
+
+// materializeWarp gives w a private copy of its thread slab and register
+// file before the first write. Must be called before any mutation of
+// w.threads' pointees; pointers into the old (snapshot-owned) slab become
+// stale for writing the moment it returns.
+func (c *core) materializeWarp(w *warp) {
+	if !w.sharedSlab {
+		return
+	}
+	w.sharedSlab = false
+	nThreads, nRegs := 0, 0
+	for _, t := range w.threads {
+		if t != nil {
+			nThreads++
+			nRegs += len(t.regs)
+		}
+	}
+	if nThreads == 0 {
+		return
+	}
+	p := c.pool
+	slab := p.carveThreads(nThreads)
+	regs := p.carveRegs(nRegs)
+	si, ri := 0, 0
+	for lane, t := range w.threads {
+		if t == nil {
+			continue
+		}
+		slab[si] = *t
+		nt := &slab[si]
+		si++
+		copy(regs[ri:ri+len(t.regs)], t.regs)
+		nt.regs = regs[ri : ri+len(t.regs) : ri+len(t.regs)]
+		ri += len(t.regs)
+		w.threads[lane] = nt
+	}
+	cowWarpsMaterialized.Add(1)
+	cowResidentBytesCopied.Add(int64(nRegs) * 4)
+	cowMaterializeCtr.Inc()
+}
+
+// materializeSmem gives b a private copy of its shared memory before the
+// first write (STS or shared-memory injection).
+func (c *core) materializeSmem(b *cta) {
+	if !b.sharedSmem {
+		return
+	}
+	b.sharedSmem = false
+	sm := c.pool.carveSmem(len(b.smem))
+	copy(sm, b.smem)
+	b.smem = sm
+	cowSmemMaterialized.Add(1)
+	cowResidentBytesCopied.Add(int64(len(sm)))
+	cowMaterializeCtr.Inc()
+}
+
+// SetDeepClone switches this GPU to the legacy eager deep-clone fork
+// protocol: restores and captures copy every page, line and thread
+// whether or not it diverged, and no state is shared between a vessel and
+// its snapshot. Campaigns run it as the differential baseline for the COW
+// engine; outcomes are bit-identical either way.
+func (g *GPU) SetDeepClone(v bool) { g.deepClone = v }
+
+// DeepCloneEnabled reports whether the legacy eager fork protocol is on.
+func (g *GPU) DeepCloneEnabled() bool { return g.deepClone }

@@ -313,6 +313,11 @@ func (c *core) wordWrite(l1 *cache.Cache, addr uint32, v uint32, mode cache.Mode
 // sharedAccess performs LDS/STS against the CTA's shared memory.
 func (c *core) sharedAccess(w *warp, in *isa.Instr, eff uint32) int {
 	g := c.gpu
+	if in.Op != isa.OpLDS && w.cta.sharedSmem {
+		// An STS writes the CTA's shared memory: a COW fork CTA still
+		// aliasing the snapshot's bank gets its private copy first.
+		c.materializeSmem(w.cta)
+	}
 	smem := w.cta.smem
 	for lane := 0; lane < 32; lane++ {
 		if eff&(1<<uint(lane)) == 0 {

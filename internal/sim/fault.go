@@ -68,6 +68,9 @@ func (g *GPU) injectRegFile(spec *FaultSpec, rec *InjectionRecord, rng *rand.Ran
 		}
 		i := rng.Intn(len(warps))
 		w := warps[i]
+		// Flipping register bits writes thread state: a COW fork warp
+		// still sharing the snapshot's slab gets its private copy first.
+		w.cta.core.materializeWarp(w)
 		for _, t := range w.threads {
 			if t == nil || !t.valid || t.exited {
 				continue
@@ -88,13 +91,28 @@ func (g *GPU) injectRegFile(spec *FaultSpec, rec *InjectionRecord, rng *rand.Ran
 		return
 	}
 	i := rng.Intn(len(threads))
+	w := warps[i]
+	// Resolve the thread's lane before materializing: the collected
+	// pointer goes stale the moment the warp's slab becomes private.
+	lane := -1
+	for l, t := range w.threads {
+		if t == threads[i] {
+			lane = l
+			break
+		}
+	}
+	w.cta.core.materializeWarp(w)
+	t := threads[i]
+	if lane >= 0 {
+		t = w.threads[lane]
+	}
 	for _, pos := range positions {
-		flip(threads[i], pos)
+		flip(t, pos)
 	}
 	rec.Applied = true
 	rec.Core = cores[i]
-	rec.Warp = warps[i].slot
-	rec.Thread = threads[i].gtid
+	rec.Warp = w.slot
+	rec.Thread = t.gtid
 	rec.Detail = fmt.Sprintf("regfile flip x%d", len(positions))
 }
 
@@ -189,6 +207,11 @@ func (g *GPU) injectShared(spec *FaultSpec, rec *InjectionRecord, rng *rand.Rand
 	perm := rng.Perm(len(ctas))[:n]
 	for _, pi := range perm {
 		b := ctas[pi]
+		if b.sharedSmem {
+			// The flip writes shared memory a COW fork may still share
+			// with its snapshot: materialize the private bank first.
+			b.core.materializeSmem(b)
+		}
 		for _, pos := range positions {
 			byteOff := pos / 8
 			if byteOff < int64(len(b.smem)) {

@@ -89,6 +89,11 @@ type GPU struct {
 	violation  error
 	kernelStat *KernelStats
 
+	// deepClone forces the legacy eager fork protocol: no dirty-page
+	// tracking, no shared slabs — every restore and capture copies the
+	// complete state. The differential baseline for the COW engine.
+	deepClone bool
+
 	// mid-launch bookkeeping, held on the GPU (not the Launch frame) so a
 	// snapshot captures it and a fork can resume the launch epilogue.
 	launchStart uint64

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"gpufi/internal/cache"
 	"gpufi/internal/isa"
+	"gpufi/internal/mem"
 )
 
 // This file implements the snapshot-and-fork engine: a deep copy of the
@@ -134,10 +136,11 @@ func (g *GPU) capture() *Snapshot {
 	s := &Snapshot{Cycle: g.cycle}
 	if sc := g.snapScratch; sc != nil && sc.cfg == g.cfg && sc.mem != nil && len(sc.cores) == len(g.cores) {
 		g.snapScratch = nil
-		sc.copyStateFrom(g)
+		sc.captureStateFrom(g)
 		s.gpu = sc
 	} else {
 		s.gpu = cloneGPU(g)
+		s.gpu.adoptCaptureBaseline(g)
 	}
 	if g.record != nil {
 		n := len(g.record.calls)
@@ -226,29 +229,152 @@ func (g *GPU) restore(s *Snapshot) {
 		g.paramBase, g.progBase = c.paramBase, c.progBase
 		g.kernelStat = c.kernelStat
 		g.launchStart, g.launchCores, g.launchInstr = c.launchStart, c.launchCores, c.launchInstr
+		g.adoptRestoreBaseline(src)
 	} else {
-		g.copyStateFrom(src)
+		g.restoreStateFrom(src)
 	}
 	g.violation = nil
 }
 
-// copyStateFrom deep-copies all simulated state from src into g, reusing
-// g's same-shaped memories, caches and slices. Both restore (snapshot into
-// a reforked vessel) and capture (live GPU into a recycled snapshot
-// template) funnel through here; it is the allocation-free heart of the
-// fork engine.
-func (g *GPU) copyStateFrom(src *GPU) {
-	g.mem.CopyFrom(src.mem)
+// adoptCaptureBaseline establishes the COW capture baseline after a fresh
+// full clone of the live GPU into a new snapshot template: the live side
+// starts tracking its writes and the template records the sync point, so
+// the next capture into recycled storage moves only the delta. A no-op
+// under the deep-clone protocol.
+func (t *GPU) adoptCaptureBaseline(live *GPU) {
+	if live.deepClone {
+		return
+	}
+	live.mem.StartTracking()
+	t.mem.SetSyncedTo(live.mem)
+	live.l2.StartTracking()
+	t.l2.SetSyncedTo(live.l2)
+	for i, lc := range live.cores {
+		tc := t.cores[i]
+		captureCacheBaseline(tc.l1d, lc.l1d)
+		captureCacheBaseline(tc.l1t, lc.l1t)
+		captureCacheBaseline(tc.l1c, lc.l1c)
+		captureCacheBaseline(tc.l1i, lc.l1i)
+	}
+}
+
+func captureCacheBaseline(tpl, live *cache.Cache) {
+	if tpl == nil || live == nil {
+		return
+	}
+	live.StartTracking()
+	tpl.SetSyncedTo(live)
+}
+
+// adoptRestoreBaseline establishes the COW restore baseline after a fresh
+// full clone of a snapshot into a new fork vessel: the vessel starts
+// tracking its own writes against the snapshot it now mirrors, so its
+// next Refork restore from the same template moves only what the
+// experiment dirtied. A no-op under the deep-clone protocol.
+func (g *GPU) adoptRestoreBaseline(src *GPU) {
+	if g.deepClone {
+		return
+	}
+	g.mem.SetSyncedTo(src.mem)
+	g.l2.SetSyncedTo(src.l2)
+	for i, sc := range src.cores {
+		vc := g.cores[i]
+		restoreCacheBaseline(vc.l1d, sc.l1d)
+		restoreCacheBaseline(vc.l1t, sc.l1t)
+		restoreCacheBaseline(vc.l1c, sc.l1c)
+		restoreCacheBaseline(vc.l1i, sc.l1i)
+	}
+}
+
+func restoreCacheBaseline(vessel, snap *cache.Cache) {
+	if vessel == nil || snap == nil {
+		return
+	}
+	vessel.SetSyncedTo(snap)
+}
+
+// cowAgg accumulates what one restore or capture moved across all state
+// legs (device memory, L2, every L1), for the COW counters.
+type cowAgg struct {
+	unitsCopied, unitsTotal int64
+	bytesCopied, bytesTotal int64
+	full                    bool
+}
+
+func (a *cowAgg) mem(st mem.SyncStats) {
+	a.unitsCopied += int64(st.UnitsCopied)
+	a.unitsTotal += int64(st.UnitsTotal)
+	a.bytesCopied += st.BytesCopied
+	a.bytesTotal += st.BytesTotal
+	if st.Full {
+		a.full = true
+	}
+}
+
+func (a *cowAgg) cache(st cache.SyncStats) {
+	a.unitsCopied += int64(st.UnitsCopied)
+	a.unitsTotal += int64(st.UnitsTotal)
+	a.bytesCopied += st.BytesCopied
+	a.bytesTotal += st.BytesTotal
+	if st.Full {
+		a.full = true
+	}
+}
+
+// restoreStateFrom rebuilds a fork vessel's state from a snapshot,
+// copying only pages, cache lines and resident structures that can have
+// diverged when the vessel's provenance allows it (see internal/mem and
+// internal/cache for the sync protocol). With deep-clone forced, every
+// leg takes the full copy — the differential baseline.
+func (g *GPU) restoreStateFrom(src *GPU) {
+	full := g.deepClone
+	var agg cowAgg
+	agg.mem(g.mem.RestoreFrom(src.mem, full))
 	g.dram.mem, g.dram.latency = g.mem, src.dram.latency
-	if err := g.l2.CopyFrom(src.l2, g.dram); err != nil {
+	if st, err := g.l2.RestoreFrom(src.l2, g.dram, full); err != nil {
 		// Geometry drifted (a poisoned vessel left inconsistent storage):
 		// self-heal by rebuilding from the source instead of panicking.
 		g.l2 = src.l2.Clone(g.dram)
+		restoreCacheBaseline(g.l2, src.l2)
+		agg.full = true
+	} else {
+		agg.cache(st)
 	}
 	g.bankFree = append(g.bankFree[:0], src.bankFree...)
 	for i, sc := range src.cores {
-		g.cores[i].copyFrom(sc, g)
+		g.cores[i].restoreFrom(sc, g, full, &agg)
 	}
+	g.copyMetaFrom(src)
+	observeCOWRestore(&agg)
+}
+
+// captureStateFrom recaptures the live GPU into a recycled snapshot
+// template, moving only the state the prefix run dirtied since the
+// previous capture. Resident SIMT state is always deep-copied: the live
+// GPU keeps executing after the capture, so nothing may be shared with it.
+func (t *GPU) captureStateFrom(src *GPU) {
+	full := src.deepClone
+	var agg cowAgg
+	agg.mem(t.mem.CaptureFrom(src.mem, full))
+	t.dram.mem, t.dram.latency = t.mem, src.dram.latency
+	if st, err := t.l2.CaptureFrom(src.l2, t.dram, full); err != nil {
+		t.l2 = src.l2.Clone(t.dram)
+		captureCacheBaseline(t.l2, src.l2)
+		agg.full = true
+	} else {
+		agg.cache(st)
+	}
+	t.bankFree = append(t.bankFree[:0], src.bankFree...)
+	for i, sc := range src.cores {
+		t.cores[i].captureFrom(sc, t, full, &agg)
+	}
+	t.copyMetaFrom(src)
+	observeCOWCapture(&agg)
+}
+
+// copyMetaFrom copies the scalar and host-level launch state shared by
+// restore and capture: cycle, statistics, the in-flight launch frame.
+func (g *GPU) copyMetaFrom(src *GPU) {
 	g.cycle = src.cycle
 	g.kernels = make(map[string]*KernelStats, len(src.kernels))
 	for name, ks := range src.kernels {
@@ -415,10 +541,8 @@ func (c *core) clone(g *GPU) *core {
 	return nc
 }
 
-// copyFrom makes c a deep copy of src for the given GPU, reusing c's cache
-// storage (the expensive part) and rebuilding the resident CTAs, warps and
-// threads, which a finished fork has already released anyway.
-func (c *core) copyFrom(src *core, g *GPU) {
+// copyScalarsFrom copies a core's scalar occupancy and scheduler state.
+func (c *core) copyScalarsFrom(src *core, g *GPU) {
 	c.id = src.id
 	c.gpu = g
 	c.corruptInstr = src.corruptInstr
@@ -427,47 +551,90 @@ func (c *core) copyFrom(src *core, g *GPU) {
 	c.usedRegs = src.usedRegs
 	c.usedSmem = src.usedSmem
 	c.rr = src.rr
-	// A CopyFrom geometry mismatch means this vessel's cache storage has
-	// drifted from the snapshot's (a poisoned fork): self-heal with a
-	// fresh Clone instead of panicking.
-	if c.l1d != nil && src.l1d != nil {
-		if err := c.l1d.CopyFrom(src.l1d, g.l2); err != nil {
-			c.l1d = src.l1d.Clone(g.l2)
-		}
-	} else if src.l1d != nil {
-		c.l1d = src.l1d.Clone(g.l2)
+}
+
+// restoreFrom makes c (a fork vessel's core) a copy of src (the snapshot
+// core's), reusing its cache storage via delta restores and rebuilding
+// resident state copy-on-write. A RestoreFrom geometry mismatch means the
+// vessel's cache storage drifted (a poisoned fork): self-heal with a
+// fresh Clone instead of panicking.
+func (c *core) restoreFrom(src *core, g *GPU, full bool, agg *cowAgg) {
+	c.copyScalarsFrom(src, g)
+	restoreL1(&c.l1d, src.l1d, g.l2, full, agg)
+	restoreL1(&c.l1t, src.l1t, g.l2, full, agg)
+	restoreL1(&c.l1c, src.l1c, g.l2, full, agg)
+	restoreL1(&c.l1i, src.l1i, g.l2, full, agg)
+	if full {
+		c.ctas, c.warps = nil, nil
+		src.cloneResidentInto(c)
 	} else {
-		c.l1d = nil
+		src.cowResidentInto(c)
 	}
-	if c.l1t != nil && src.l1t != nil {
-		if err := c.l1t.CopyFrom(src.l1t, g.l2); err != nil {
-			c.l1t = src.l1t.Clone(g.l2)
-		}
-	} else if src.l1t != nil {
-		c.l1t = src.l1t.Clone(g.l2)
-	} else {
-		c.l1t = nil
-	}
-	if c.l1c != nil && src.l1c != nil {
-		if err := c.l1c.CopyFrom(src.l1c, g.l2); err != nil {
-			c.l1c = src.l1c.Clone(g.l2)
-		}
-	} else if src.l1c != nil {
-		c.l1c = src.l1c.Clone(g.l2)
-	} else {
-		c.l1c = nil
-	}
-	if c.l1i != nil && src.l1i != nil {
-		if err := c.l1i.CopyFrom(src.l1i, g.l2); err != nil {
-			c.l1i = src.l1i.Clone(g.l2)
-		}
-	} else if src.l1i != nil {
-		c.l1i = src.l1i.Clone(g.l2)
-	} else {
-		c.l1i = nil
-	}
+}
+
+// captureFrom makes c (a recycled snapshot template's core) a copy of src
+// (the live core's) via delta captures. Resident state is deep-copied —
+// the live core keeps executing.
+func (c *core) captureFrom(src *core, g *GPU, full bool, agg *cowAgg) {
+	c.copyScalarsFrom(src, g)
+	captureL1(&c.l1d, src.l1d, g.l2, full, agg)
+	captureL1(&c.l1t, src.l1t, g.l2, full, agg)
+	captureL1(&c.l1c, src.l1c, g.l2, full, agg)
+	captureL1(&c.l1i, src.l1i, g.l2, full, agg)
 	c.ctas, c.warps = nil, nil
 	src.cloneResidentInto(c)
+}
+
+// restoreL1 delta-restores one L1 from its snapshot counterpart, handling
+// nil legs, shape drift (fresh Clone + new baseline) and the deep-clone
+// protocol.
+func restoreL1(dst **cache.Cache, src *cache.Cache, l2 cache.Backing, full bool, agg *cowAgg) {
+	switch {
+	case src == nil:
+		*dst = nil
+	case *dst == nil:
+		*dst = src.Clone(l2)
+		if !full {
+			restoreCacheBaseline(*dst, src)
+		}
+		agg.full = true
+	default:
+		st, err := (*dst).RestoreFrom(src, l2, full)
+		if err != nil {
+			*dst = src.Clone(l2)
+			if !full {
+				restoreCacheBaseline(*dst, src)
+			}
+			agg.full = true
+			return
+		}
+		agg.cache(st)
+	}
+}
+
+// captureL1 delta-captures one live L1 into its template counterpart.
+func captureL1(dst **cache.Cache, src *cache.Cache, l2 cache.Backing, full bool, agg *cowAgg) {
+	switch {
+	case src == nil:
+		*dst = nil
+	case *dst == nil:
+		*dst = src.Clone(l2)
+		if !full {
+			captureCacheBaseline(*dst, src)
+		}
+		agg.full = true
+	default:
+		st, err := (*dst).CaptureFrom(src, l2, full)
+		if err != nil {
+			*dst = src.Clone(l2)
+			if !full {
+				captureCacheBaseline(*dst, src)
+			}
+			agg.full = true
+			return
+		}
+		agg.cache(st)
+	}
 }
 
 // cloneResidentInto deep-copies c's resident CTAs, warps and threads into
