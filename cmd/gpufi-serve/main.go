@@ -10,6 +10,9 @@
 // backoff before being failed; a worker that dies is restarted by its
 // supervisor.
 //
+// The API is versioned under /v1; the pre-versioning routes remain as
+// deprecated aliases (Deprecation + Link headers point at the successor).
+//
 // SIGINT or SIGTERM drains gracefully: intake stops (readyz flips to
 // 503), queued and running campaigns finish, then the server exits. A
 // second signal — or the -drain-timeout deadline — cancels the in-flight
@@ -17,16 +20,35 @@
 //
 //	gpufi-serve -addr :8080 -data gpufi-data
 //
-//	curl -X POST localhost:8080/campaigns -d '{"app":"VA","gpu":"RTX2060",
+//	curl -X POST localhost:8080/v1/campaigns -d '{"app":"VA","gpu":"RTX2060",
 //	    "kernel":"va_add","structure":"regfile","runs":3000,"seed":42}'
-//	curl localhost:8080/campaigns/<id>          # status + live counts
-//	curl -N localhost:8080/campaigns/<id>/events  # SSE progress
-//	curl localhost:8080/campaigns/<id>/log      # JSONL journal
-//	curl localhost:8080/campaigns/<id>/trace    # propagation traces ("trace":true specs)
-//	curl -X DELETE localhost:8080/campaigns/<id>
-//	curl localhost:8080/metrics                 # flat JSON counters
-//	curl 'localhost:8080/metrics?format=prom'   # Prometheus text exposition
+//	curl localhost:8080/v1/campaigns/<id>           # status + live counts
+//	curl 'localhost:8080/v1/campaigns?limit=50'     # paginated listing
+//	curl -N localhost:8080/v1/campaigns/<id>/events # SSE progress
+//	curl localhost:8080/v1/campaigns/<id>/log       # JSONL journal
+//	curl localhost:8080/v1/campaigns/<id>/trace     # propagation traces ("trace":true specs)
+//	curl -X DELETE localhost:8080/v1/campaigns/<id>
+//	curl localhost:8080/metrics                     # flat JSON counters
+//	curl 'localhost:8080/metrics?format=prom'       # Prometheus text exposition
 //	curl localhost:8080/healthz localhost:8080/readyz
+//
+// # Distributed mode
+//
+// -mode selects the node's role:
+//
+//   - local (default): campaigns run in this process, as before.
+//   - coordinator: campaigns are partitioned into shards along
+//     snapshot-cluster boundaries and leased to worker nodes over
+//     POST /v1/shards/claim; workers stream journal batches back and the
+//     coordinator merges them into the store. The journal, resume, and
+//     cancellation semantics are identical to local mode.
+//   - worker: no store, no API — the process claims shards from
+//     -coordinator, runs them with the local engine, and streams results
+//     back until killed. Workers are stateless and disposable: a killed
+//     worker's lease expires and its shard is re-issued.
+//
+//	gpufi-serve -mode coordinator -addr :8080 -data gpufi-data
+//	gpufi-serve -mode worker -coordinator http://host:8080 -worker-name w1
 //
 // With -debug-addr the net/http/pprof endpoints are served on a separate
 // listener for CPU/heap profiling of a live service.
@@ -46,6 +68,7 @@ import (
 	"time"
 
 	"gpufi/internal/service"
+	"gpufi/internal/shard"
 	"gpufi/internal/store"
 )
 
@@ -61,19 +84,17 @@ func main() {
 		retries = flag.Int("max-retries", 3, "re-runs of a job whose attempt panicked (negative = none)")
 		drainTO = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight campaigns on SIGINT/SIGTERM")
 		debug   = flag.String("debug-addr", "", "serve net/http/pprof profiling on this address (e.g. localhost:6060; empty = off)")
+
+		mode       = flag.String("mode", "local", "node role: local, coordinator, or worker")
+		coordURL   = flag.String("coordinator", "", "coordinator base URL (worker mode), e.g. http://host:8080")
+		workerName = flag.String("worker-name", "", "worker identity in coordinator logs (default: hostname)")
+		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "shard lease TTL before a silent worker's shard is re-issued (coordinator mode)")
+		nShards    = flag.Int("shards-per-campaign", 8, "max shards a campaign is split into (coordinator mode)")
+		shardBatch = flag.Int("shard-batch", 64, "journal records per batch POST (worker mode)")
 	)
 	flag.Parse()
 
-	st, err := store.Open(*dataDir)
-	if err != nil {
-		log.Fatal(err)
-	}
-	st.BatchSize = *batch
-
-	srv := service.New(st, service.Options{
-		Workers: *workers, QueueDepth: *queue, MaxRetries: *retries,
-		Logger: slog.New(slog.NewTextHandler(os.Stderr, nil)),
-	})
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	// The pprof endpoints run on their own listener so profiling is never
 	// exposed on the public API address by accident.
@@ -91,6 +112,32 @@ func main() {
 			}
 		}()
 	}
+
+	if *mode == "worker" {
+		runWorker(*coordURL, *workerName, *shardBatch, logger)
+		return
+	}
+	if *mode != "local" && *mode != "coordinator" {
+		log.Fatalf("unknown -mode %q (want local, coordinator, or worker)", *mode)
+	}
+
+	st, err := store.Open(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.BatchSize = *batch
+
+	opts := service.Options{
+		Workers: *workers, QueueDepth: *queue, MaxRetries: *retries,
+		Logger: logger,
+	}
+	if *mode == "coordinator" {
+		opts.Coordinator = shard.NewCoordinator(st, shard.Options{
+			LeaseTTL: *leaseTTL, ShardsPerCampaign: *nShards, Logger: logger,
+		})
+	}
+	srv := service.New(st, opts)
+
 	// The pool runs under the background context: shutdown goes through the
 	// drain below, not through cancelling every campaign the instant a
 	// signal lands.
@@ -126,9 +173,34 @@ func main() {
 		hs.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("serving campaigns on %s (store: %s, %d workers)", *addr, *dataDir, *workers)
+	log.Printf("serving campaigns on %s (mode: %s, store: %s, %d workers)", *addr, *mode, *dataDir, *workers)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	srv.Close()
+}
+
+// runWorker runs the process as a stateless shard worker: claim, execute,
+// stream back, repeat, until SIGINT/SIGTERM.
+func runWorker(coordURL, name string, batchSize int, logger *slog.Logger) {
+	if coordURL == "" {
+		log.Fatal("-mode worker requires -coordinator URL")
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+		if name == "" {
+			name = "worker"
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := &shard.Worker{
+		Base: coordURL, Name: name, BatchSize: batchSize, Logger: logger,
+		Client: &http.Client{Timeout: 30 * time.Second},
+	}
+	log.Printf("worker %s pulling shards from %s", name, coordURL)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+	log.Print("worker stopped")
 }

@@ -281,35 +281,12 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := cfg.Validate(); err != nil {
+	plan, err := planCampaign(cfg, prof)
+	if err != nil {
 		return nil, err
 	}
-	ks := prof.Kernels[cfg.Kernel]
-	if ks == nil {
-		return nil, fmt.Errorf("core: kernel %q not in profile (have %v)", cfg.Kernel, prof.KernelOrder)
-	}
-	windows := ks.Windows
-	if cfg.Invocation > 0 {
-		if cfg.Invocation > len(ks.Windows) {
-			return nil, fmt.Errorf("core: kernel %q has %d invocations, requested #%d",
-				cfg.Kernel, len(ks.Windows), cfg.Invocation)
-		}
-		windows = ks.Windows[cfg.Invocation-1 : cfg.Invocation]
-	}
-	skip := make(map[int]bool, len(cfg.Completed))
-	for _, i := range cfg.Completed {
-		if i >= 0 && i < cfg.Runs {
-			skip[i] = true
-		}
-	}
-	pending := make([]int, 0, cfg.Runs-len(skip))
-	for i := 0; i < cfg.Runs; i++ {
-		if !skip[i] {
-			pending = append(pending, i)
-		}
-	}
-	sizeBits := StructSizeBits(cfg.GPU, cfg.Structure, ks.RegsPerThread, ks.SmemPerCTA, ks.LocalPerThr)
-	if sizeBits == 0 {
+	pending := plan.pending
+	if plan.absent {
 		// Structure not present for this kernel/card: every fault is
 		// trivially masked (e.g. shared memory in a kernel that uses none).
 		// The experiments are still materialized so journals and logs
@@ -345,51 +322,6 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 		}
 		return res, nil
 	}
-	newGen := func(st sim.Structure, seed int64) (*MaskGen, error) {
-		bits := StructSizeBits(cfg.GPU, st, ks.RegsPerThread, ks.SmemPerCTA, ks.LocalPerThr)
-		if bits == 0 {
-			return nil, nil // structure absent: contributes nothing
-		}
-		g, err := NewMaskGen(st, windows, bits, cfg.Bits, seed)
-		if err != nil {
-			return nil, err
-		}
-		g.SetWarpWide(cfg.WarpWide)
-		g.SetBlocks(cfg.Blocks)
-		if st == sim.StructL1D || st == sim.StructL1T {
-			g.SetCoreMask(ks.UsedCores)
-		}
-		return g, nil
-	}
-	gen, err := newGen(cfg.Structure, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	var extraGens []*MaskGen
-	for i, st := range cfg.Simultaneous {
-		g, err := newGen(st, cfg.Seed+int64(i+1)*7919)
-		if err != nil {
-			return nil, err
-		}
-		if g != nil {
-			extraGens = append(extraGens, g)
-		}
-	}
-
-	// Derive every experiment's fault specs up front, serially: this is
-	// what pins the outcome to the seed regardless of worker count or
-	// scheduling, and the fork engine needs all injection cycles to plan
-	// its snapshot clusters.
-	specs := make([]*sim.FaultSpec, cfg.Runs)
-	extras := make([][]*sim.FaultSpec, cfg.Runs)
-	for i := range specs {
-		specs[i] = gen.Spec(i)
-		for _, eg := range extraGens {
-			es := eg.Spec(i)
-			es.Cycle = specs[i].Cycle // simultaneous: same injection instant
-			extras[i] = append(extras[i], es)
-		}
-	}
 
 	if len(pending) == 0 {
 		// Everything was already completed in an earlier run: nothing to
@@ -402,9 +334,9 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 	}
 
 	if cfg.LegacyReplay {
-		return runReplay(ctx, cfg, prof, pending, specs, extras)
+		return runReplay(ctx, cfg, prof, pending, plan.specs, plan.extras)
 	}
-	return runForked(ctx, cfg, prof, windows, pending, specs, extras)
+	return runForked(ctx, cfg, prof, plan.windows, pending, plan.specs, plan.extras)
 }
 
 // runReplay is the legacy engine: every experiment is a fresh simulation

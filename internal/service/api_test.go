@@ -1,0 +1,235 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpufi/internal/store"
+)
+
+// This file covers the /v1 API redesign satellites: the versioned prefix
+// with deprecated legacy aliases, the uniform error envelope, cursor
+// pagination on the campaign listing, and the shard control plane's
+// behavior on a non-coordinator node.
+
+func newAPIServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, Options{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// decodeEnvelope asserts a response is the uniform error envelope and
+// returns its fields.
+func decodeEnvelope(t *testing.T, resp *http.Response) (code, message, requestID string) {
+	t.Helper()
+	defer resp.Body.Close()
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error body is not the envelope: %v", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("incomplete envelope: %+v", env.Error)
+	}
+	return env.Error.Code, env.Error.Message, env.Error.RequestID
+}
+
+// TestErrorEnvelope checks every error class answers the same JSON shape,
+// with the request id echoing what the client sent.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newAPIServer(t)
+
+	// 404 with a propagated request id.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/campaigns/nope", nil)
+	req.Header.Set("X-Request-ID", "envelope-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, rid := decodeEnvelope(t, resp)
+	if resp.StatusCode != 404 || code != "not_found" || rid != "envelope-test-1" {
+		t.Errorf("404: status=%d code=%q request_id=%q", resp.StatusCode, code, rid)
+	}
+
+	// 400 on a malformed spec.
+	resp, err = http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, rid := decodeEnvelope(t, resp); resp.StatusCode != 400 || code != "invalid_request" || rid == "" {
+		t.Errorf("400: status=%d code=%q request_id=%q", resp.StatusCode, code, rid)
+	}
+
+	// 503 from the shard control plane on a non-coordinator node.
+	resp, err = http.Post(ts.URL+"/v1/shards/claim", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := decodeEnvelope(t, resp); resp.StatusCode != 503 || code != "not_coordinator" {
+		t.Errorf("shard claim on local node: status=%d code=%q", resp.StatusCode, code)
+	}
+
+	// The legacy prefix uses the same envelope.
+	resp, err = http.Get(ts.URL + "/campaigns/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := decodeEnvelope(t, resp); resp.StatusCode != 404 || code != "not_found" {
+		t.Errorf("legacy 404: status=%d code=%q", resp.StatusCode, code)
+	}
+}
+
+// TestDeprecatedAliases checks the legacy unversioned routes still work
+// but are marked deprecated with a pointer to their /v1 successor, while
+// /v1 and the ops endpoints are not.
+func TestDeprecatedAliases(t *testing.T) {
+	_, ts := newAPIServer(t)
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	legacy := get("/campaigns")
+	if legacy.StatusCode != 200 {
+		t.Fatalf("legacy GET /campaigns: %d", legacy.StatusCode)
+	}
+	if legacy.Header.Get("Deprecation") != "true" {
+		t.Error("legacy route missing Deprecation header")
+	}
+	if link := legacy.Header.Get("Link"); link != `</v1/campaigns>; rel="successor-version"` {
+		t.Errorf("legacy route Link = %q", link)
+	}
+
+	v1 := get("/v1/campaigns")
+	if v1.StatusCode != 200 || v1.Header.Get("Deprecation") != "" {
+		t.Errorf("GET /v1/campaigns: status=%d deprecation=%q", v1.StatusCode, v1.Header.Get("Deprecation"))
+	}
+	for _, path := range []string{"/metrics", "/healthz"} {
+		if resp := get(path); resp.Header.Get("Deprecation") != "" {
+			t.Errorf("ops endpoint %s must not be deprecated", path)
+		}
+	}
+}
+
+// TestListPagination seeds a store with more campaigns than one page and
+// walks the cursor: pages are ascending by id, disjoint, exhaustive, and
+// sized by limit; the legacy route still returns the whole array.
+func TestListPagination(t *testing.T) {
+	srv, ts := newAPIServer(t)
+	total := 25
+	for i := 0; i < total; i++ {
+		id := fmt.Sprintf("page-%03d", i)
+		c, err := srv.st.Create(id, store.Spec{
+			App: "VA", GPU: "RTX2060", Kernel: "va_add", Structure: "regfile",
+			Runs: 5, Seed: int64(i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+
+	type page struct {
+		Campaigns []struct {
+			ID string `json:"id"`
+		} `json:"campaigns"`
+		NextCursor string `json:"next_cursor"`
+	}
+	fetch := func(limit int, cursor string) page {
+		t.Helper()
+		url := fmt.Sprintf("%s/v1/campaigns?limit=%d", ts.URL, limit)
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("list: %d", resp.StatusCode)
+		}
+		var p page
+		if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	var seen []string
+	cursor := ""
+	pages := 0
+	for {
+		p := fetch(10, cursor)
+		pages++
+		if len(p.Campaigns) > 10 {
+			t.Fatalf("page of %d exceeds limit 10", len(p.Campaigns))
+		}
+		for _, c := range p.Campaigns {
+			if len(seen) > 0 && c.ID <= seen[len(seen)-1] {
+				t.Fatalf("ordering violated: %s after %s", c.ID, seen[len(seen)-1])
+			}
+			seen = append(seen, c.ID)
+		}
+		if p.NextCursor == "" {
+			break
+		}
+		cursor = p.NextCursor
+	}
+	if len(seen) != total || pages != 3 {
+		t.Fatalf("walked %d campaigns in %d pages (want %d in 3)", len(seen), pages, total)
+	}
+
+	// Default limit fits everything here: one page, no cursor.
+	resp, err := http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p page
+	json.NewDecoder(resp.Body).Decode(&p)
+	resp.Body.Close()
+	if len(p.Campaigns) != total || p.NextCursor != "" {
+		t.Fatalf("default page: %d campaigns, cursor %q", len(p.Campaigns), p.NextCursor)
+	}
+
+	// Bad limit is an enveloped 400.
+	resp, err = http.Get(ts.URL + "/v1/campaigns?limit=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := decodeEnvelope(t, resp); resp.StatusCode != 400 || code != "invalid_request" {
+		t.Errorf("bad limit: status=%d code=%q", resp.StatusCode, code)
+	}
+
+	// Legacy listing: the whole array, unpaginated.
+	resp, err = http.Get(ts.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []json.RawMessage
+	json.NewDecoder(resp.Body).Decode(&arr)
+	resp.Body.Close()
+	if len(arr) != total {
+		t.Fatalf("legacy list: %d entries (want %d)", len(arr), total)
+	}
+}

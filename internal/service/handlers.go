@@ -6,41 +6,93 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"gpufi/internal/avf"
 	"gpufi/internal/obs"
+	"gpufi/internal/shard"
 	"gpufi/internal/store"
 )
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API. All campaign and shard routes
+// live under the versioned /v1 prefix:
 //
-//	POST   /campaigns             submit a campaign (Spec JSON, optional "id")
-//	GET    /campaigns             list known campaigns
-//	GET    /campaigns/{id}        status + live counts
-//	GET    /campaigns/{id}/events SSE progress stream
-//	GET    /campaigns/{id}/log    the raw JSONL journal
-//	GET    /campaigns/{id}/trace  the propagation traces (campaigns run with trace)
-//	DELETE /campaigns/{id}        cancel (queued or running)
-//	GET    /metrics               service counters (?format=prom for Prometheus text)
-//	GET    /healthz               liveness (200 while the process serves)
-//	GET    /readyz                readiness (503 while starting/draining)
+//	POST   /v1/campaigns              submit a campaign (Spec JSON, optional "id")
+//	GET    /v1/campaigns              paginated listing (?limit=&cursor=)
+//	GET    /v1/campaigns/{id}         status + live counts
+//	GET    /v1/campaigns/{id}/events  SSE progress stream
+//	GET    /v1/campaigns/{id}/log     the raw JSONL journal
+//	GET    /v1/campaigns/{id}/trace   the propagation traces (campaigns run with trace)
+//	DELETE /v1/campaigns/{id}         cancel (queued or running); revokes shard leases
 //
-// Every route runs behind the observability middleware: X-Request-ID
-// assignment/propagation and one structured log line per request.
+// Shard control plane (coordinator mode; 503 otherwise):
+//
+//	POST   /v1/shards/claim           claim a shard lease (204 when none pending)
+//	GET    /v1/shards                 shard statuses
+//	POST   /v1/shards/{id}/heartbeat  extend a lease
+//	POST   /v1/shards/{id}/journal    merge a journal batch
+//
+// Unversioned operational endpoints (probes and scrapes are
+// infrastructure contracts, not API surface — they stay unversioned and
+// are NOT deprecated):
+//
+//	GET    /metrics                   service counters (?format=prom for Prometheus text)
+//	GET    /healthz                   liveness (200 while the process serves)
+//	GET    /readyz                    readiness (503 while starting/draining)
+//
+// The pre-versioning /campaigns... routes remain as deprecated aliases:
+// same handlers, same semantics, plus a "Deprecation: true" header and a
+// Link to the /v1 successor. The legacy GET /campaigns keeps its original
+// unpaginated array shape; pagination is a /v1 behavior.
+//
+// Every error response (on both prefixes) is the uniform envelope
+//
+//	{"error": {"code": "...", "message": "...", "request_id": "..."}}
+//
+// where request_id echoes the X-Request-ID the observability middleware
+// assigned, so a failing client call is greppable in the server log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /campaigns", s.handleSubmit)
-	mux.HandleFunc("GET /campaigns", s.handleList)
-	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /campaigns/{id}/log", s.handleLog)
-	mux.HandleFunc("GET /campaigns/{id}/trace", s.handleTrace)
-	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
+
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleListV1)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/log", s.handleLog)
+	mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleTrace)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+
+	mux.HandleFunc("POST /v1/shards/claim", s.handleShardClaim)
+	mux.HandleFunc("GET /v1/shards", s.handleShardList)
+	mux.HandleFunc("POST /v1/shards/{id}/heartbeat", s.handleShardHeartbeat)
+	mux.HandleFunc("POST /v1/shards/{id}/journal", s.handleShardJournal)
+
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+
+	mux.HandleFunc("POST /campaigns", deprecated(s.handleSubmit))
+	mux.HandleFunc("GET /campaigns", deprecated(s.handleListLegacy))
+	mux.HandleFunc("GET /campaigns/{id}", deprecated(s.handleStatus))
+	mux.HandleFunc("GET /campaigns/{id}/events", deprecated(s.handleEvents))
+	mux.HandleFunc("GET /campaigns/{id}/log", deprecated(s.handleLog))
+	mux.HandleFunc("GET /campaigns/{id}/trace", deprecated(s.handleTrace))
+	mux.HandleFunc("DELETE /campaigns/{id}", deprecated(s.handleCancel))
+
 	return s.withObservability(mux)
+}
+
+// deprecated marks a legacy unversioned route: the handler is unchanged,
+// but every response carries a Deprecation header and a Link to the /v1
+// route that replaces it.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+		h(w, r)
+	}
 }
 
 // status is the wire form of a job's state.
@@ -77,13 +129,76 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// errBody is the uniform error envelope every route answers with.
+type errBody struct {
+	Error errDetail `json:"error"`
+}
+
+type errDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id"`
+}
+
+// defaultKind maps a status code to the envelope code used when the
+// httpError did not carry a more specific one.
+func defaultKind(code int) string {
+	switch code {
+	case http.StatusBadRequest:
+		return "invalid_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// writeErr renders any handler error as the uniform envelope, echoing the
+// request id assigned by the observability middleware.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	code, kind, msg := http.StatusInternalServerError, "", err.Error()
 	var he *httpError
 	if errors.As(err, &he) {
-		writeJSON(w, he.code, map[string]string{"error": he.msg})
-		return
+		code, kind, msg = he.code, he.kind, he.msg
 	}
-	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	if kind == "" {
+		kind = defaultKind(code)
+	}
+	writeJSON(w, code, errBody{Error: errDetail{
+		Code: kind, Message: msg, RequestID: requestID(r),
+	}})
+}
+
+// shardErr maps the shard package's typed protocol errors to enveloped
+// HTTP errors, so workers can branch on the code field.
+func shardErr(err error) error {
+	switch {
+	case errors.Is(err, shard.ErrUnknownShard):
+		return &httpError{code: 404, kind: "shard_unknown", msg: err.Error()}
+	case errors.Is(err, shard.ErrLeaseRevoked):
+		return &httpError{code: 409, kind: "lease_revoked", msg: err.Error()}
+	case errors.Is(err, shard.ErrCampaignClosed):
+		return &httpError{code: 409, kind: "campaign_closed", msg: err.Error()}
+	case errors.Is(err, shard.ErrBadBatch):
+		return &httpError{code: 400, kind: "invalid_batch", msg: err.Error()}
+	default:
+		return err
+	}
+}
+
+// coordinator returns the attached shard coordinator, or an httpError if
+// this node does not run one (worker and local nodes answer 503: the
+// request is valid, just aimed at the wrong node).
+func (s *Server) coordinator() (*shard.Coordinator, error) {
+	if co := s.opts.Coordinator; co != nil {
+		return co, nil
+	}
+	return nil, &httpError{code: 503, kind: "not_coordinator",
+		msg: "this node is not a shard coordinator"}
 }
 
 // submitRequest is the POST body: a Spec plus an optional explicit id.
@@ -97,12 +212,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, &httpError{code: 400, msg: fmt.Sprintf("bad campaign spec: %v", err)})
+		writeErr(w, r, &httpError{code: 400, msg: fmt.Sprintf("bad campaign spec: %v", err)})
 		return
 	}
 	j, err := s.submit(req.ID, req.Spec)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	s.mu.Lock()
@@ -111,9 +226,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	// Jobs known to this process, plus anything on disk from earlier
-	// lifetimes.
+// allStatuses merges on-disk campaigns with this process's jobs into one
+// id-keyed map.
+func (s *Server) allStatuses() map[string]status {
 	out := map[string]status{}
 	if ids, err := s.st.List(); err == nil {
 		for _, id := range ids {
@@ -127,9 +242,67 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		out[id] = s.statusLocked(j)
 	}
 	s.mu.Unlock()
-	list := make([]status, 0, len(out))
-	for _, st := range out {
-		list = append(list, st)
+	return out
+}
+
+// listPage is the paginated GET /v1/campaigns response.
+type listPage struct {
+	Campaigns  []status `json:"campaigns"`
+	NextCursor string   `json:"next_cursor,omitempty"`
+}
+
+// handleListV1 lists campaigns with cursor pagination: ids are ordered
+// lexicographically (ascending — a stable total order over restarts), a
+// page holds at most limit entries (default 100, max 1000), and
+// next_cursor is the last id of a truncated page; pass it back as
+// ?cursor= to resume strictly after it.
+func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			writeErr(w, r, &httpError{code: 400, msg: fmt.Sprintf("bad limit %q: must be a positive integer", q)})
+			return
+		}
+		if n > 1000 {
+			n = 1000
+		}
+		limit = n
+	}
+	cursor := r.URL.Query().Get("cursor")
+
+	all := s.allStatuses()
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		if cursor == "" || id > cursor {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	page := listPage{Campaigns: []status{}}
+	for _, id := range ids {
+		if len(page.Campaigns) == limit {
+			page.NextCursor = page.Campaigns[limit-1].ID
+			break
+		}
+		page.Campaigns = append(page.Campaigns, all[id])
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleListLegacy keeps the pre-/v1 response shape: the full unpaginated
+// array. Sorted by id so the deprecated route is at least deterministic.
+func (s *Server) handleListLegacy(w http.ResponseWriter, r *http.Request) {
+	all := s.allStatuses()
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	list := make([]status, 0, len(ids))
+	for _, id := range ids {
+		list = append(list, all[id])
 	}
 	writeJSON(w, http.StatusOK, list)
 }
@@ -170,10 +343,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st, err := s.storedStatus(id)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
-			writeErr(w, &httpError{code: 404, msg: fmt.Sprintf("unknown campaign %s", id)})
+			writeErr(w, r, &httpError{code: 404, msg: fmt.Sprintf("unknown campaign %s", id)})
 			return
 		}
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -183,7 +356,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, &httpError{code: 500, msg: "streaming unsupported"})
+		writeErr(w, r, &httpError{code: 500, msg: "streaming unsupported"})
 		return
 	}
 	s.mu.Lock()
@@ -248,10 +421,10 @@ func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	f, err := s.st.OpenLog(id)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
-			writeErr(w, &httpError{code: 404, msg: fmt.Sprintf("no journal for campaign %s", id)})
+			writeErr(w, r, &httpError{code: 404, msg: fmt.Sprintf("no journal for campaign %s", id)})
 			return
 		}
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	defer f.Close()
@@ -263,7 +436,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	state, err := s.cancelJob(id)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": state})
@@ -274,15 +447,102 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	f, err := s.st.OpenTraces(id)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
-			writeErr(w, &httpError{code: 404, msg: fmt.Sprintf("no traces for campaign %s", id)})
+			writeErr(w, r, &httpError{code: 404, msg: fmt.Sprintf("no traces for campaign %s", id)})
 			return
 		}
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	defer f.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	io.Copy(w, f)
+}
+
+// handleShardClaim leases a pending shard to the calling worker. 204 with
+// no body when nothing is claimable — the worker polls again.
+func (s *Server) handleShardClaim(w http.ResponseWriter, r *http.Request) {
+	co, err := s.coordinator()
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	var req shard.ClaimRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil && err != io.EOF {
+		writeErr(w, r, &httpError{code: 400, msg: fmt.Sprintf("bad claim request: %v", err)})
+		return
+	}
+	sh, err := co.Claim(req.Worker)
+	if errors.Is(err, shard.ErrNoWork) {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err != nil {
+		writeErr(w, r, shardErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, sh)
+}
+
+func (s *Server) handleShardHeartbeat(w http.ResponseWriter, r *http.Request) {
+	co, err := s.coordinator()
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	var req shard.HeartbeatRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, r, &httpError{code: 400, msg: fmt.Sprintf("bad heartbeat: %v", err)})
+		return
+	}
+	res, err := co.Heartbeat(r.PathValue("id"), req.Lease)
+	if err != nil {
+		writeErr(w, r, shardErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleShardJournal merges one worker batch. The body limit is generous:
+// a batch carries full experiment records, and traced campaigns attach
+// propagation traces.
+func (s *Server) handleShardJournal(w http.ResponseWriter, r *http.Request) {
+	co, err := s.coordinator()
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	var b shard.Batch
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&b); err != nil {
+		writeErr(w, r, &httpError{code: 400, kind: "invalid_batch", msg: fmt.Sprintf("bad journal batch: %v", err)})
+		return
+	}
+	if b.Shard == "" {
+		b.Shard = r.PathValue("id")
+	}
+	if b.Shard != r.PathValue("id") {
+		writeErr(w, r, &httpError{code: 400, kind: "invalid_batch",
+			msg: fmt.Sprintf("batch names shard %s, posted to %s", b.Shard, r.PathValue("id"))})
+		return
+	}
+	res, err := co.Ingest(b)
+	if err != nil {
+		writeErr(w, r, shardErr(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleShardList(w http.ResponseWriter, r *http.Request) {
+	co, err := s.coordinator()
+	if err != nil {
+		writeErr(w, r, err)
+		return
+	}
+	sts := co.Statuses()
+	if sts == nil {
+		sts = []shard.Status{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"shards": sts})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -295,7 +555,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.Default().WriteProm(w)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	writeJSON(w, http.StatusOK, s.snapshotMetrics())
 }
 
 // handleHealthz is the liveness probe: the process is up and its HTTP

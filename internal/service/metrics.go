@@ -79,6 +79,46 @@ func (m *metrics) init() {
 		func() float64 { return float64(core.EngineStats().ClassifyNanos) / 1e9 })
 }
 
+// registerShardMetrics mirrors the attached coordinator's counters into
+// the per-server registry, so a prom scrape of a coordinator node covers
+// the distributed control plane too. Called once from New when Options
+// carries a Coordinator.
+func (s *Server) registerShardMetrics() {
+	co := s.opts.Coordinator
+	r := s.metrics.reg
+	r.GaugeFunc("gpufi_shards_planned", "Shards planned across all coordinated campaigns.",
+		func() float64 { return float64(co.Stats().ShardsPlanned) })
+	r.GaugeFunc("gpufi_shards_completed", "Shards fully merged.",
+		func() float64 { return float64(co.Stats().ShardsCompleted) })
+	r.GaugeFunc("gpufi_shards_reissued", "Shards re-issued after a lease expiry.",
+		func() float64 { return float64(co.Stats().ShardsReissued) })
+	r.GaugeFunc("gpufi_shard_batches", "Journal batches received from workers.",
+		func() float64 { return float64(co.Stats().Batches) })
+	r.GaugeFunc("gpufi_shard_records_merged", "Journal records merged into campaign stores.",
+		func() float64 { return float64(co.Stats().RecordsMerged) })
+	r.GaugeFunc("gpufi_shard_records_duplicate", "Journal records deduplicated as already merged.",
+		func() float64 { return float64(co.Stats().RecordsDuped) })
+	r.GaugeFunc("gpufi_shard_lease_expiries", "Leases that expired without completing their shard.",
+		func() float64 { return float64(co.Stats().LeaseExpiries) })
+}
+
+// snapshotMetrics renders the flat JSON /metrics object, extending the
+// base snapshot with shard counters on coordinator nodes.
+func (s *Server) snapshotMetrics() map[string]any {
+	snap := s.metrics.snapshot()
+	if co := s.opts.Coordinator; co != nil {
+		cs := co.Stats()
+		snap["shards_planned"] = cs.ShardsPlanned
+		snap["shards_completed"] = cs.ShardsCompleted
+		snap["shards_reissued"] = cs.ShardsReissued
+		snap["shard_batches"] = cs.Batches
+		snap["shard_records_merged"] = cs.RecordsMerged
+		snap["shard_records_duplicate"] = cs.RecordsDuped
+		snap["shard_lease_expiries"] = cs.LeaseExpiries
+	}
+	return snap
+}
+
 // snapshot renders the counters as the flat JSON /metrics object. The key
 // set is unchanged from pre-registry releases so existing scrapers keep
 // working; every value now reads from the same registry instruments the

@@ -1,11 +1,22 @@
 package service
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
 	"time"
 )
+
+// requestIDKey carries the request's X-Request-ID through the request
+// context, so the error envelope can echo it from any handler depth.
+type requestIDKey struct{}
+
+// requestID returns the id the observability middleware assigned to r.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
 
 // statusWriter records the response code for the request log while
 // delegating everything else to the underlying ResponseWriter. It must
@@ -55,6 +66,7 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			id = newRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)

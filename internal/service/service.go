@@ -19,6 +19,7 @@ import (
 
 	"gpufi/internal/avf"
 	"gpufi/internal/core"
+	"gpufi/internal/shard"
 	"gpufi/internal/store"
 )
 
@@ -44,6 +45,13 @@ type Options struct {
 	// transitions, retries, HTTP requests with their X-Request-ID). Nil
 	// discards logs, keeping library consumers and tests quiet.
 	Logger *slog.Logger
+	// Coordinator, when non-nil, switches the service into coordinator
+	// mode: instead of running campaigns in-process, each job is sharded
+	// and leased to worker nodes over the /v1/shards endpoints, and the
+	// coordinator merges their journal batches into the store. The queue,
+	// retry, SSE, and resume machinery is unchanged — a coordinated
+	// campaign is just a job whose runner is distributed.
+	Coordinator *shard.Coordinator
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +156,9 @@ func New(st *store.Store, opts Options) *Server {
 	s := &Server{st: st, opts: opts.withDefaults(), jobs: make(map[string]*job)}
 	s.cond = sync.NewCond(&s.mu)
 	s.metrics.init()
+	if s.opts.Coordinator != nil {
+		s.registerShardMetrics()
+	}
 	return s
 }
 
@@ -383,9 +394,11 @@ func (s *Server) runJob(ctx context.Context, j *job, attempt int) (res *core.Cam
 	if hook := testJobHook; hook != nil {
 		hook(j.id, attempt)
 	}
-	return s.st.Run(ctx, j.id, j.spec, nil, func(exp core.Experiment) {
-		s.onExperiment(j, exp)
-	})
+	onExp := func(exp core.Experiment) { s.onExperiment(j, exp) }
+	if co := s.opts.Coordinator; co != nil {
+		return co.Run(ctx, j.id, j.spec, onExp)
+	}
+	return s.st.Run(ctx, j.id, j.spec, nil, onExp)
 }
 
 // retryOrFail decides what happens to a job whose attempt panicked: it
@@ -613,6 +626,12 @@ func (s *Server) cancelJob(id string) (string, error) {
 		cancel := j.cancel
 		fin := j.finished
 		s.mu.Unlock()
+		if co := s.opts.Coordinator; co != nil {
+			// Close the campaign to claims and journal batches NOW, not
+			// when the runner observes its context: a worker racing the
+			// DELETE must get a typed 409, never resurrect the campaign.
+			co.Revoke(id)
+		}
 		if cancel != nil {
 			cancel()
 		}
@@ -661,9 +680,13 @@ func isCancel(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// httpError carries a status code through the handler plumbing.
+// httpError carries a status code (and optionally a machine-readable
+// error kind for the envelope's "code" field) through the handler
+// plumbing. An empty kind falls back to a default derived from the
+// status code in writeErr.
 type httpError struct {
 	code int
+	kind string
 	msg  string
 }
 

@@ -1,0 +1,542 @@
+package shard
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpufi/internal/avf"
+	"gpufi/internal/core"
+	"gpufi/internal/store"
+)
+
+// Options tunes the coordinator.
+type Options struct {
+	// LeaseTTL is how long a claimed shard stays leased without a
+	// heartbeat before it is re-issued to another worker. Default 15s.
+	LeaseTTL time.Duration
+	// ShardsPerCampaign caps how many shards a campaign is split into
+	// (the planner may produce fewer when there are fewer snapshot
+	// clusters). Default 8.
+	ShardsPerCampaign int
+	// Logger receives shard lifecycle logs. Nil discards.
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.ShardsPerCampaign <= 0 {
+		o.ShardsPerCampaign = 8
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return o
+}
+
+// Stats is a snapshot of the coordinator's lifetime counters.
+type Stats struct {
+	ShardsPlanned   int64
+	ShardsCompleted int64
+	ShardsReissued  int64
+	Batches         int64
+	RecordsMerged   int64
+	RecordsDuped    int64
+	LeaseExpiries   int64
+}
+
+// Coordinator plans campaigns into shards, leases them to workers, and
+// merges the journal batches workers stream back into the durable store.
+// One coordinator drives many campaigns concurrently; each campaign's
+// Run call owns the store handle and blocks until the distributed workers
+// complete it (or ctx cancels it).
+type Coordinator struct {
+	st   *store.Store
+	opts Options
+	now  func() time.Time // injectable clock for lease-expiry tests
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignRun
+	order     []string // claim scan order: oldest campaign first
+
+	shardsPlanned   atomic.Int64
+	shardsCompleted atomic.Int64
+	shardsReissued  atomic.Int64
+	batches         atomic.Int64
+	recordsMerged   atomic.Int64
+	recordsDuped    atomic.Int64
+	leaseExpiries   atomic.Int64
+}
+
+// campaignRun is one campaign being coordinated: the open store handle,
+// the shard table, and the merge state.
+type campaignRun struct {
+	id       string
+	spec     store.Spec
+	app, gpu string // canonical profile names (may differ from spec aliases)
+	c        *store.Campaign
+	shards map[string]*shardState
+	sorder []string // shard issue order (cycle order)
+
+	merged       map[int]bool // experiment indices journaled (incl. prior)
+	mergedTraces map[int]bool
+	total        int
+	newExps      []core.Experiment // merged this coordinator lifetime
+	onExp        func(core.Experiment)
+
+	closed bool   // no more claims/batches; reason says why
+	reason string // "done" | "cancelled" | "failed"
+	res    *core.CampaignResult
+	err    error
+	done   chan struct{} // closed exactly once, on any terminal state
+}
+
+// shardState is the coordinator-side view of one shard.
+type shardState struct {
+	shard    Shard // Lease fields empty; filled per claim
+	indexSet map[int]bool
+	leases   map[string]bool // every token ever issued for this shard
+	curLease string
+	worker   string
+	expiry   time.Time
+	done     bool
+	reissues int
+}
+
+// NewCoordinator builds a coordinator over st.
+func NewCoordinator(st *store.Store, opts Options) *Coordinator {
+	return &Coordinator{
+		st: st, opts: opts.withDefaults(), now: time.Now,
+		campaigns: make(map[string]*campaignRun),
+	}
+}
+
+// Stats snapshots the lifetime counters.
+func (co *Coordinator) Stats() Stats {
+	return Stats{
+		ShardsPlanned:   co.shardsPlanned.Load(),
+		ShardsCompleted: co.shardsCompleted.Load(),
+		ShardsReissued:  co.shardsReissued.Load(),
+		Batches:         co.batches.Load(),
+		RecordsMerged:   co.recordsMerged.Load(),
+		RecordsDuped:    co.recordsDuped.Load(),
+		LeaseExpiries:   co.leaseExpiries.Load(),
+	}
+}
+
+// Run coordinates one campaign to completion: open (or resume) the store
+// campaign, plan shards over the pending indices, publish them to the
+// claim queue, and block until workers have journaled every experiment —
+// then write the completion marker and return the merged result, exactly
+// as a local store.Run would have. Cancellation closes the campaign to
+// further batches (late ones get ErrCampaignClosed), keeps the journal
+// resumable, and returns the partial merged result with ctx's error.
+func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
+	onExp func(core.Experiment)) (*core.CampaignResult, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, err
+	}
+	if id == "" {
+		id = spec.ID()
+	}
+	var c *store.Campaign
+	if co.st.Exists(id) {
+		c, err = co.st.Resume(id)
+		if err == nil && !store.SameSpec(c.Spec, spec) {
+			err = fmt.Errorf("store: campaign %s exists with a different spec; choose another id", id)
+		}
+	} else {
+		c, err = co.st.Create(id, spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.Done {
+		return c.MergedResult(nil), nil
+	}
+	if spec.Trace {
+		if err := c.EnableTraces(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+
+	// The profile is the coordinator's only simulation work: one
+	// fault-free run, enough to plan snapshot clusters. Workers re-derive
+	// the same profile deterministically on their side.
+	prof, err := core.ProfileApp(ctx, cfg.App, cfg.GPU)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	cfg.Completed = c.CompletedIDs()
+	parts, err := core.PlanShards(cfg, prof, co.opts.ShardsPerCampaign)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	run := &campaignRun{
+		id: id, spec: c.Spec, app: prof.App, gpu: prof.GPU,
+		c: c, total: c.Spec.Runs, onExp: onExp,
+		shards: make(map[string]*shardState),
+		merged: make(map[int]bool), mergedTraces: make(map[int]bool),
+		done: make(chan struct{}),
+	}
+	for _, i := range cfg.Completed {
+		run.merged[i] = true
+		run.mergedTraces[i] = true
+	}
+	for k, idxs := range parts {
+		sid := fmt.Sprintf("%s:%d", id, k)
+		set := make(map[int]bool, len(idxs))
+		for _, i := range idxs {
+			set[i] = true
+		}
+		run.shards[sid] = &shardState{
+			shard: Shard{
+				ID: sid, Campaign: id, Spec: c.Spec,
+				Indices: idxs, Clusters: 1, // clusters per shard not exposed by the planner
+			},
+			indexSet: set,
+			leases:   make(map[string]bool),
+		}
+		run.sorder = append(run.sorder, sid)
+	}
+	co.shardsPlanned.Add(int64(len(parts)))
+
+	co.mu.Lock()
+	if prev, ok := co.campaigns[id]; ok && !prev.closed {
+		co.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("shard: campaign %s is already being coordinated", id)
+	}
+	co.campaigns[id] = run
+	co.order = append(co.order, id)
+	if len(parts) == 0 {
+		// Nothing pending (fully journaled campaign resumed): finalize now.
+		co.finalizeLocked(run, prof.App, prof.GPU)
+	}
+	co.mu.Unlock()
+	co.opts.Logger.Info("campaign sharded", "id", id, "shards", len(parts),
+		"pending", run.total-len(cfg.Completed))
+
+	select {
+	case <-run.done:
+	case <-ctx.Done():
+		co.mu.Lock()
+		if !run.closed {
+			run.closed = true
+			run.reason = "cancelled"
+			partial := &core.CampaignResult{App: prof.App, GPU: prof.GPU,
+				Exps: append([]core.Experiment(nil), run.newExps...)}
+			run.res = run.c.MergedResult(partial)
+			run.err = ctx.Err()
+			run.c.Close()
+			close(run.done)
+			co.opts.Logger.Info("campaign coordination cancelled", "id", id,
+				"merged", len(run.merged), "total", run.total)
+		}
+		co.mu.Unlock()
+	}
+	co.mu.Lock()
+	res, runErr := run.res, run.err
+	co.mu.Unlock()
+	return res, runErr
+}
+
+// Revoke closes a campaign to further claims and journal batches without
+// waiting for its Run to observe cancellation: outstanding leases die and
+// late batches get ErrCampaignClosed. The service calls it on DELETE so
+// the 409 is immediate rather than racing the context teardown.
+func (co *Coordinator) Revoke(id string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	run, ok := co.campaigns[id]
+	if !ok || run.closed {
+		return
+	}
+	run.closed = true
+	run.reason = "cancelled"
+	run.res = run.c.MergedResult(&core.CampaignResult{
+		App: run.app, GPU: run.gpu,
+		Exps: append([]core.Experiment(nil), run.newExps...)})
+	run.err = context.Canceled
+	run.c.Close()
+	close(run.done)
+	co.opts.Logger.Info("campaign revoked", "id", id)
+}
+
+// Claim hands the oldest claimable shard to a worker: a shard never
+// leased, or one whose lease expired (its worker is presumed dead; the
+// shard is re-issued under a fresh token).
+func (co *Coordinator) Claim(worker string) (*Shard, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.now()
+	for _, id := range co.order {
+		run := co.campaigns[id]
+		if run == nil || run.closed {
+			continue
+		}
+		for _, sid := range run.sorder {
+			ss := run.shards[sid]
+			if ss.done {
+				continue
+			}
+			if ss.curLease != "" && now.Before(ss.expiry) {
+				continue
+			}
+			if ss.curLease != "" {
+				co.leaseExpiries.Add(1)
+				co.shardsReissued.Add(1)
+				ss.reissues++
+				co.opts.Logger.Warn("lease expired; re-issuing shard",
+					"shard", sid, "dead_worker", ss.worker, "to", worker)
+			}
+			lease := newLease()
+			ss.leases[lease] = true
+			ss.curLease = lease
+			ss.worker = worker
+			ss.expiry = now.Add(co.opts.LeaseTTL)
+			sh := ss.shard // copy
+			sh.Lease = lease
+			sh.LeaseTTLMS = co.opts.LeaseTTL.Milliseconds()
+			co.opts.Logger.Info("shard claimed", "shard", sid, "worker", worker,
+				"indices", len(sh.Indices), "reissues", ss.reissues)
+			return &sh, nil
+		}
+	}
+	return nil, ErrNoWork
+}
+
+// Heartbeat extends a live lease. A token that is not the shard's current
+// lease gets ErrLeaseRevoked — the signal for a straggling worker to
+// abandon the shard (someone else owns it now).
+func (co *Coordinator) Heartbeat(shardID, lease string) (*HeartbeatResult, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	run, ss, err := co.findLocked(shardID)
+	if err != nil {
+		return nil, err
+	}
+	if run.closed {
+		return nil, fmt.Errorf("%w: campaign %s is %s", ErrCampaignClosed, run.id, run.reason)
+	}
+	if ss.done {
+		return nil, fmt.Errorf("%w: shard %s is complete", ErrCampaignClosed, shardID)
+	}
+	if ss.curLease != lease {
+		return nil, fmt.Errorf("%w: shard %s", ErrLeaseRevoked, shardID)
+	}
+	ss.expiry = co.now().Add(co.opts.LeaseTTL)
+	return &HeartbeatResult{Lease: lease, ExpiresInMS: co.opts.LeaseTTL.Milliseconds()}, nil
+}
+
+// Ingest merges one journal batch into the campaign's store. Records for
+// indices already journaled — a batch replayed after a worker death and
+// shard re-issue, or a straggler whose lease expired — are deduplicated
+// idempotently; the simulator's determinism guarantees the duplicate
+// would have carried the same bytes anyway. Batches against a closed
+// (cancelled/deleted/finished) campaign are refused with
+// ErrCampaignClosed so they cannot resurrect it.
+func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.batches.Add(1)
+	run, ss, err := co.findLocked(b.Shard)
+	if err != nil {
+		return nil, err
+	}
+	if b.Campaign != "" && b.Campaign != run.id {
+		return nil, fmt.Errorf("%w: batch names campaign %s, shard belongs to %s",
+			ErrBadBatch, b.Campaign, run.id)
+	}
+	if run.closed {
+		return nil, fmt.Errorf("%w: campaign %s is %s", ErrCampaignClosed, run.id, run.reason)
+	}
+	if !ss.leases[b.Lease] {
+		return nil, fmt.Errorf("%w: shard %s does not recognize this lease", ErrLeaseRevoked, b.Shard)
+	}
+
+	res := &BatchResult{}
+	for _, rec := range b.Records {
+		switch rec.Kind {
+		case KindExp:
+			if rec.Exp == nil {
+				return res, fmt.Errorf("%w: exp record without payload", ErrBadBatch)
+			}
+			exp := *rec.Exp
+			if !ss.indexSet[exp.ID] {
+				return res, fmt.Errorf("%w: experiment %d is not in shard %s", ErrBadBatch, exp.ID, b.Shard)
+			}
+			o, err := avf.ParseOutcome(exp.Effect)
+			if err != nil {
+				return res, fmt.Errorf("%w: experiment %d: %v", ErrBadBatch, exp.ID, err)
+			}
+			exp.Outcome = o
+			if run.merged[exp.ID] {
+				res.Duplicates++
+				co.recordsDuped.Add(1)
+				continue
+			}
+			// Same order as the local engine's collector: the quarantine
+			// record is written (synced) ahead of the batched outcome
+			// record, so resume semantics match a single-process run.
+			if exp.Quarantined {
+				if err := run.c.Quarantine(exp); err != nil {
+					return res, err
+				}
+			}
+			if err := run.c.Append(exp); err != nil {
+				return res, err
+			}
+			run.merged[exp.ID] = true
+			run.newExps = append(run.newExps, exp)
+			res.Accepted++
+			co.recordsMerged.Add(1)
+			if run.onExp != nil {
+				run.onExp(exp)
+			}
+		case KindTrace:
+			if rec.Trace == nil {
+				return res, fmt.Errorf("%w: trace record without payload", ErrBadBatch)
+			}
+			if !ss.indexSet[rec.Trace.ID] {
+				return res, fmt.Errorf("%w: trace %d is not in shard %s", ErrBadBatch, rec.Trace.ID, b.Shard)
+			}
+			if run.mergedTraces[rec.Trace.ID] {
+				res.Duplicates++
+				co.recordsDuped.Add(1)
+				continue
+			}
+			if err := run.c.AppendTrace(*rec.Trace); err != nil {
+				return res, err
+			}
+			run.mergedTraces[rec.Trace.ID] = true
+			res.Accepted++
+			co.recordsMerged.Add(1)
+		default:
+			return res, fmt.Errorf("%w: unknown record kind %q", ErrBadBatch, rec.Kind)
+		}
+	}
+
+	if !ss.done && allMerged(ss, run.merged) {
+		ss.done = true
+		co.shardsCompleted.Add(1)
+		co.opts.Logger.Info("shard complete", "shard", b.Shard, "worker", ss.worker)
+	}
+	res.ShardDone = ss.done
+	if len(run.merged) == run.total {
+		co.finalizeLocked(run, run.app, run.gpu)
+		if run.err != nil {
+			return res, run.err
+		}
+		res.CampaignDone = true
+	}
+	return res, nil
+}
+
+// finalizeLocked completes a fully merged campaign: sync, done marker,
+// terminal state. Caller holds co.mu.
+func (co *Coordinator) finalizeLocked(run *campaignRun, app, gpu string) {
+	if run.closed {
+		return
+	}
+	merged := run.c.MergedResult(&core.CampaignResult{
+		App: app, GPU: gpu, Exps: append([]core.Experiment(nil), run.newExps...)})
+	run.closed = true
+	if err := co.st.ClearCancelled(run.id); err != nil {
+		run.reason, run.err = "failed", err
+	} else if err := run.c.Finish(merged); err != nil {
+		run.reason, run.err = "failed", err
+	} else {
+		run.reason = "done"
+	}
+	run.res = merged
+	close(run.done)
+	co.opts.Logger.Info("campaign merged", "id", run.id, "state", run.reason,
+		"experiments", len(merged.Exps))
+}
+
+// findLocked resolves a shard id to its campaign and shard state.
+func (co *Coordinator) findLocked(shardID string) (*campaignRun, *shardState, error) {
+	for _, run := range co.campaigns {
+		if ss, ok := run.shards[shardID]; ok {
+			return run, ss, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("%w: %s", ErrUnknownShard, shardID)
+}
+
+// Statuses snapshots every tracked shard, ordered by campaign then shard.
+func (co *Coordinator) Statuses() []Status {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var out []Status
+	ids := append([]string(nil), co.order...)
+	sort.Strings(ids)
+	now := co.now()
+	for _, id := range ids {
+		run := co.campaigns[id]
+		if run == nil {
+			continue
+		}
+		for _, sid := range run.sorder {
+			ss := run.shards[sid]
+			st := Status{
+				ID: sid, Campaign: id, Indices: len(ss.shard.Indices),
+				Worker: ss.worker, Reissues: ss.reissues,
+			}
+			for i := range ss.indexSet {
+				if run.merged[i] {
+					st.Merged++
+				}
+			}
+			switch {
+			case ss.done:
+				st.State = "done"
+			case ss.curLease != "" && now.Before(ss.expiry):
+				st.State = "leased"
+			default:
+				st.State = "pending"
+				st.Worker = ""
+			}
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// allMerged reports whether every index of the shard is journaled.
+func allMerged(ss *shardState, merged map[int]bool) bool {
+	for i := range ss.indexSet {
+		if !merged[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newLease returns a random 128-bit lease token.
+func newLease() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("shard: lease entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,144 @@
+// Package shard turns a gpuFI campaign into distributed work: a
+// coordinator partitions a campaign's pending experiments into shards
+// along snapshot-cluster boundaries (each cluster is one prefix run plus
+// its forks — the fork engine's natural unit), leases shards to stateless
+// worker nodes over HTTP, and merges the journal batches they stream back
+// into the existing crash-safe campaign store.
+//
+// The protocol is built so a worker can die at any point:
+//
+//   - A claim hands out a shard with a lease token and a TTL; the worker
+//     keeps the lease alive with heartbeats. A lease that expires makes
+//     the shard claimable again, by anyone.
+//   - Journal batches are idempotent: every record is keyed by
+//     (campaign, cluster, experiment index), and the simulator is
+//     deterministic in the campaign seed, so a batch replayed by a dead
+//     worker's successor — or by the dead worker itself, limping back —
+//     merges to the exact same journal bytes and is deduplicated.
+//   - The coordinator journals through the same store.Campaign codec the
+//     local engine uses, so a sharded, worker-killed, re-issued campaign
+//     is byte-identical (per experiment record) to a single-process run,
+//     and a coordinator restart resumes from the journal like any other
+//     interrupted campaign.
+package shard
+
+import (
+	"errors"
+
+	"gpufi/internal/core"
+	"gpufi/internal/store"
+)
+
+// Typed protocol errors. The HTTP layer (internal/service) maps them to
+// the API's uniform error envelope; the worker maps envelope codes back.
+var (
+	// ErrNoWork reports a claim when no shard is pending — not a failure,
+	// the worker polls again.
+	ErrNoWork = errors.New("shard: no shard available")
+
+	// ErrUnknownShard reports a shard id the coordinator does not track —
+	// a typo, or a shard from a previous coordinator lifetime.
+	ErrUnknownShard = errors.New("shard: unknown shard")
+
+	// ErrLeaseRevoked reports a lease token the coordinator never issued
+	// for the shard. (A lease that merely EXPIRED still ingests batches —
+	// determinism plus dedup make late results harmless — but its
+	// heartbeats fail once the shard is re-issued, telling the straggler
+	// to stop.)
+	ErrLeaseRevoked = errors.New("shard: lease revoked")
+
+	// ErrCampaignClosed reports a batch or claim against a campaign that
+	// was cancelled, deleted, or already finished: late journal batches
+	// must not resurrect it.
+	ErrCampaignClosed = errors.New("shard: campaign closed")
+
+	// ErrBadBatch reports a malformed batch: a record for an index outside
+	// the shard, an unparsable outcome, or a missing payload.
+	ErrBadBatch = errors.New("shard: bad batch")
+)
+
+// Shard is the unit of distributed work: one campaign's experiments for a
+// contiguous run of snapshot clusters. The worker reconstructs the full
+// campaign from Spec (specs are derived from the seed, identically on
+// every node) and executes only Indices, skipping the rest via the
+// engine's Completed list.
+type Shard struct {
+	ID       string     `json:"id"`
+	Campaign string     `json:"campaign"`
+	Spec     store.Spec `json:"spec"`
+	Indices  []int      `json:"indices"`
+	Clusters int        `json:"clusters"` // snapshot clusters covered, for sizing
+
+	// Lease is the token authorizing journal batches and heartbeats for
+	// this issue of the shard; LeaseTTLMS is how long it lives without a
+	// heartbeat.
+	Lease      string `json:"lease"`
+	LeaseTTLMS int64  `json:"lease_ttl_ms"`
+}
+
+// Record kinds on the journal-batch wire.
+const (
+	KindExp   = "exp"   // one finished experiment (journal record)
+	KindTrace = "trace" // one propagation trace (traced campaigns)
+)
+
+// Record is one journal-stream element. An experiment record carries the
+// full core.Experiment — the coordinator re-encodes it through the store
+// codec, which is byte-deterministic, so wire transport preserves journal
+// identity. A quarantined experiment (Exp.Quarantined) additionally
+// yields a write-ahead quarantine record on the coordinator, in the same
+// order the local engine would have written it.
+type Record struct {
+	Kind  string                `json:"kind"`
+	Exp   *core.Experiment      `json:"exp,omitempty"`
+	Trace *core.ExperimentTrace `json:"trace,omitempty"`
+}
+
+// Batch is one journal POST from a worker: an ordered slice of records
+// for one shard under one lease. Seq increments per POST (diagnostics
+// only — idempotence comes from per-index dedup, not sequencing). Final
+// marks the worker's last batch for the shard; the coordinator then
+// checks the shard for completeness.
+type Batch struct {
+	Campaign string   `json:"campaign"`
+	Shard    string   `json:"shard"`
+	Lease    string   `json:"lease"`
+	Seq      int      `json:"seq"`
+	Final    bool     `json:"final,omitempty"`
+	Records  []Record `json:"records"`
+}
+
+// BatchResult is the coordinator's answer to a journal batch.
+type BatchResult struct {
+	Accepted     int  `json:"accepted"`
+	Duplicates   int  `json:"duplicates"`
+	ShardDone    bool `json:"shard_done"`
+	CampaignDone bool `json:"campaign_done"`
+}
+
+// ClaimRequest names the worker asking for a shard (diagnostics only).
+type ClaimRequest struct {
+	Worker string `json:"worker,omitempty"`
+}
+
+// HeartbeatRequest extends a lease.
+type HeartbeatRequest struct {
+	Lease string `json:"lease"`
+}
+
+// HeartbeatResult acknowledges a lease extension.
+type HeartbeatResult struct {
+	Lease       string `json:"lease"`
+	ExpiresInMS int64  `json:"expires_in_ms"`
+}
+
+// Status is one shard's observable state, for GET /v1/shards.
+type Status struct {
+	ID       string `json:"id"`
+	Campaign string `json:"campaign"`
+	State    string `json:"state"` // pending | leased | done
+	Worker   string `json:"worker,omitempty"`
+	Indices  int    `json:"indices"`
+	Merged   int    `json:"merged"`
+	Reissues int    `json:"reissues,omitempty"`
+}

@@ -1,0 +1,357 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"gpufi/internal/core"
+	"gpufi/internal/store"
+)
+
+// Worker is a stateless shard-execution node: it claims shards from a
+// coordinator over HTTP, runs them with the local campaign engine, and
+// streams journal batches back. It keeps no durable state — everything it
+// needs rides in the Shard (the spec reconstructs the campaign, the seed
+// reconstructs the faults), so a worker can be killed at any instant and
+// replaced by any other.
+type Worker struct {
+	// Base is the coordinator's base URL, e.g. "http://10.0.0.1:8080".
+	Base string
+	// Name identifies the worker in coordinator logs and shard statuses.
+	Name string
+	// Client is the HTTP client; nil uses a default with sane timeouts.
+	Client *http.Client
+	// BatchSize is how many journal records accumulate before a POST.
+	// Default 64.
+	BatchSize int
+	// Poll is how long to wait after ErrNoWork before claiming again.
+	// Default 500ms.
+	Poll time.Duration
+	// Logger receives worker logs. Nil discards.
+	Logger *slog.Logger
+
+	// AfterBatch, when set, runs after every successful journal POST —
+	// a test hook for killing a worker at a precise protocol point.
+	AfterBatch func(shardID string, seq int)
+
+	mu       sync.Mutex
+	profiles map[string]*core.Profile // fault-free profile cache per app/gpu point
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) logger() *slog.Logger {
+	if w.Logger != nil {
+		return w.Logger
+	}
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// Run claims and executes shards until ctx is cancelled. Claim errors and
+// shard failures are logged and retried — a worker outlives any single
+// coordinator hiccup; the lease protocol makes abandoning a shard safe.
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	log := w.logger()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sh, err := w.claim(ctx)
+		switch {
+		case errors.Is(err, ErrNoWork):
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			log.Warn("claim failed", "err", err)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
+		}
+		log.Info("shard claimed", "shard", sh.ID, "experiments", len(sh.Indices))
+		if err := w.runShard(ctx, sh); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Abandon the shard: its lease will expire and the coordinator
+			// will re-issue it. Determinism + dedup make this safe.
+			log.Warn("shard abandoned", "shard", sh.ID, "err", err)
+		} else {
+			log.Info("shard complete", "shard", sh.ID)
+		}
+	}
+}
+
+// profile returns the fault-free profile for the shard's app/GPU point,
+// cached: every shard of a campaign (and every campaign over the same
+// benchmark) shares one golden run per worker process.
+func (w *Worker) profile(ctx context.Context, spec store.Spec, cfg *core.CampaignConfig) (*core.Profile, error) {
+	key := fmt.Sprintf("%s|%v|%s|%v|%v|%v",
+		spec.App, spec.Scale, spec.GPU, spec.ECC, spec.Lenient, spec.L2Queue)
+	w.mu.Lock()
+	prof := w.profiles[key]
+	w.mu.Unlock()
+	if prof != nil {
+		return prof, nil
+	}
+	prof, err := core.ProfileApp(ctx, cfg.App, cfg.GPU)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if w.profiles == nil {
+		w.profiles = make(map[string]*core.Profile)
+	}
+	w.profiles[key] = prof
+	w.mu.Unlock()
+	return prof, nil
+}
+
+// runShard executes one leased shard: heartbeats keep the lease alive
+// while the engine runs the shard's indices (everything else is marked
+// Completed), and finished experiments stream back in journal batches.
+func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
+	cfg, err := sh.Spec.Config()
+	if err != nil {
+		return fmt.Errorf("shard %s: bad spec: %w", sh.ID, err)
+	}
+	prof, err := w.profile(ctx, sh.Spec, cfg)
+	if err != nil {
+		return fmt.Errorf("shard %s: profile: %w", sh.ID, err)
+	}
+
+	// Run ONLY the shard's indices: everything else is "already done"
+	// from this engine invocation's point of view.
+	mine := make(map[int]bool, len(sh.Indices))
+	for _, i := range sh.Indices {
+		mine[i] = true
+	}
+	cfg.Completed = cfg.Completed[:0]
+	for i := 0; i < cfg.Runs; i++ {
+		if !mine[i] {
+			cfg.Completed = append(cfg.Completed, i)
+		}
+	}
+
+	shardCtx, cancel := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	// Cancel BEFORE waiting: the heartbeat loop only wakes on its ticker
+	// or the context, so waiting first would stall shard turnaround by up
+	// to a third of the lease TTL.
+	defer func() { cancel(); <-hbDone }()
+
+	// Heartbeat loop: one third of the TTL, so two beats can be lost
+	// before the lease expires. A heartbeat rejection means the lease was
+	// revoked (or the campaign closed) — stop burning cycles on the shard.
+	ttl := time.Duration(sh.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+				if err := w.heartbeat(shardCtx, sh); err != nil && shardCtx.Err() == nil {
+					w.logger().Warn("heartbeat failed; abandoning shard",
+						"shard", sh.ID, "err", err)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	batchSize := w.BatchSize
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	var (
+		recMu sync.Mutex
+		recs  []Record
+		seq   int
+	)
+	flush := func(final bool) error {
+		recMu.Lock()
+		out := recs
+		recs = nil
+		seq++
+		s := seq
+		recMu.Unlock()
+		if len(out) == 0 && !final {
+			return nil
+		}
+		res, err := w.postBatch(shardCtx, sh, Batch{
+			Campaign: sh.Campaign, Shard: sh.ID, Lease: sh.Lease,
+			Seq: s, Final: final, Records: out,
+		})
+		if err != nil {
+			return err
+		}
+		if w.AfterBatch != nil {
+			w.AfterBatch(sh.ID, s)
+		}
+		if res.Duplicates > 0 {
+			w.logger().Info("coordinator deduplicated records",
+				"shard", sh.ID, "duplicates", res.Duplicates)
+		}
+		return nil
+	}
+	add := func(r Record) error {
+		recMu.Lock()
+		recs = append(recs, r)
+		n := len(recs)
+		recMu.Unlock()
+		if n >= batchSize {
+			return flush(false)
+		}
+		return nil
+	}
+
+	// The engine's collector serializes these callbacks, so add/flush see
+	// experiments in completion order — the same order a local store run
+	// journals them.
+	cfg.Journal = func(exp core.Experiment) error {
+		e := exp
+		return add(Record{Kind: KindExp, Exp: &e})
+	}
+	if sh.Spec.Trace {
+		cfg.TraceSink = func(tr core.ExperimentTrace) error {
+			t := tr
+			return add(Record{Kind: KindTrace, Trace: &t})
+		}
+	}
+
+	if _, err := core.RunCampaign(shardCtx, cfg, prof); err != nil {
+		return fmt.Errorf("shard %s: engine: %w", sh.ID, err)
+	}
+	return flush(true)
+}
+
+// claim asks the coordinator for a shard. ErrNoWork when none is pending.
+func (w *Worker) claim(ctx context.Context) (*Shard, error) {
+	var sh Shard
+	status, err := w.post(ctx, "/v1/shards/claim", ClaimRequest{Worker: w.Name}, &sh)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, ErrNoWork
+	}
+	return &sh, nil
+}
+
+// heartbeat extends the shard's lease.
+func (w *Worker) heartbeat(ctx context.Context, sh *Shard) error {
+	path := "/v1/shards/" + url.PathEscape(sh.ID) + "/heartbeat"
+	_, err := w.post(ctx, path, HeartbeatRequest{Lease: sh.Lease}, &HeartbeatResult{})
+	return err
+}
+
+// postBatch sends one journal batch.
+func (w *Worker) postBatch(ctx context.Context, sh *Shard, b Batch) (*BatchResult, error) {
+	var res BatchResult
+	path := "/v1/shards/" + url.PathEscape(sh.ID) + "/journal"
+	if _, err := w.post(ctx, path, b, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// errorEnvelope is the API's uniform error shape.
+type errorEnvelope struct {
+	Error struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id"`
+	} `json:"error"`
+}
+
+// post sends a JSON body and decodes a JSON reply (unless 204). Non-2xx
+// replies decode the error envelope and map its code back to the typed
+// protocol errors, so the worker's control flow matches an in-process
+// coordinator's.
+func (w *Worker) post(ctx context.Context, path string, body, out any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return resp.StatusCode, nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var env errorEnvelope
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			base := codeErr(env.Error.Code)
+			return resp.StatusCode, fmt.Errorf("%w: %s (http %d)", base, env.Error.Message, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("shard: %s: http %d: %s", path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("shard: decode %s reply: %v", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// codeErr maps an envelope error code to the typed protocol error.
+func codeErr(code string) error {
+	switch code {
+	case "lease_revoked":
+		return ErrLeaseRevoked
+	case "campaign_closed":
+		return ErrCampaignClosed
+	case "shard_unknown":
+		return ErrUnknownShard
+	case "invalid_batch":
+		return ErrBadBatch
+	default:
+		return fmt.Errorf("shard: coordinator error %s", code)
+	}
+}

@@ -275,6 +275,22 @@ func (c *Campaign) AppendTrace(tr core.ExperimentTrace) error {
 	return c.traces.Append(tr)
 }
 
+// EnableTraces opens the campaign's trace file for appending, so
+// AppendTrace works. Store.Run does this itself for traced specs; callers
+// that drive the journal directly (the shard coordinator) call it once
+// after Create/Resume. Idempotent.
+func (c *Campaign) EnableTraces() error {
+	if c.traces != nil {
+		return nil
+	}
+	tw, err := c.st.openTraceWriter(c.ID)
+	if err != nil {
+		return err
+	}
+	c.traces = tw
+	return nil
+}
+
 // Close syncs and closes the journal and trace file (keeping the campaign
 // resumable if it has not been Finished).
 func (c *Campaign) Close() error {
@@ -682,7 +698,7 @@ func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profil
 	var err error
 	if s.Exists(id) {
 		c, err = s.Resume(id)
-		if err == nil && !sameSpec(c.Spec, spec) {
+		if err == nil && !SameSpec(c.Spec, spec) {
 			err = fmt.Errorf("store: campaign %s exists with a different spec; choose another id", id)
 		}
 	} else {
@@ -692,7 +708,7 @@ func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profil
 		return nil, err
 	}
 	if c.Done {
-		return c.mergedResult(nil), nil
+		return c.MergedResult(nil), nil
 	}
 	defer c.Close()
 
@@ -722,7 +738,7 @@ func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profil
 	if runErr != nil && res == nil {
 		return nil, runErr
 	}
-	merged := c.mergedResult(res)
+	merged := c.MergedResult(res)
 	if runErr != nil {
 		// Cancellation (or any abort): sync what finished and keep the
 		// campaign resumable.
@@ -740,20 +756,20 @@ func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profil
 	return merged, nil
 }
 
-// sameSpec reports whether two specs describe the same campaign point, so
-// Run can detect an id collision with a different campaign. The JSON
-// encoding is the comparison domain — it is also what the config record
-// stores, so empty and nil slices coincide.
-func sameSpec(a, b Spec) bool {
+// SameSpec reports whether two specs describe the same campaign point, so
+// Run (and the shard coordinator) can detect an id collision with a
+// different campaign. The JSON encoding is the comparison domain — it is
+// also what the config record stores, so empty and nil slices coincide.
+func SameSpec(a, b Spec) bool {
 	ra, errA := json.Marshal(a.normalize())
 	rb, errB := json.Marshal(b.normalize())
 	return errA == nil && errB == nil && bytes.Equal(ra, rb)
 }
 
-// mergedResult merges the journaled prior experiments with a fresh
+// MergedResult merges the journaled prior experiments with a fresh
 // engine result (which covers only the newly run indices) into one
 // CampaignResult ordered by experiment id.
-func (c *Campaign) mergedResult(res *core.CampaignResult) *core.CampaignResult {
+func (c *Campaign) MergedResult(res *core.CampaignResult) *core.CampaignResult {
 	merged := &core.CampaignResult{
 		App: c.Spec.App, GPU: c.Spec.GPU, Kernel: c.Spec.Kernel,
 		Structure: c.Spec.Structure, Bits: c.Spec.Bits, Runs: c.Spec.Runs, Seed: c.Spec.Seed,
