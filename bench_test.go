@@ -435,7 +435,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 // window, where replaying the fault-free prefix hurts most) on the
 // snapshot-and-fork engine and on the legacy full-replay engine. Each
 // iteration verifies the two produce bit-identical Counts and reports the
-// wall-clock speedup; the fork engine's acceptance bar is 3x.
+// wall-clock speedup, gated against benchmarks/baseline.json in CI.
 func BenchmarkCampaignForkVsReplay(b *testing.B) {
 	app, err := gpufi.AppByName("BP")
 	if err != nil {
@@ -497,9 +497,9 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 	overhead := float64(tracedTime)/float64(forkTime) - 1
 	b.ReportMetric(overhead*100, "trace-overhead-%")
 
-	// Observability artifact and regression gate: BENCH_OBS_JSON dumps the
-	// tracing-overhead numbers for upload; BENCH_OBS_ENFORCE turns the 10%
-	// overhead budget into a hard failure (set by the CI bench step).
+	// Observability artifact: BENCH_OBS_JSON dumps the tracing-overhead
+	// numbers for upload. The regression gate lives in benchmarks/compare,
+	// which checks trace_overhead_ratio against the committed baseline.
 	if path := os.Getenv("BENCH_OBS_JSON"); path != "" {
 		out := map[string]any{
 			"benchmark":              "BenchmarkCampaignForkVsReplay",
@@ -518,10 +518,6 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if os.Getenv("BENCH_OBS_ENFORCE") != "" && overhead > 0.10 {
-		b.Fatalf("tracing overhead %.1f%% exceeds the 10%% budget on the traced path", overhead*100)
-	}
-
 	// CI smoke artifact: when BENCH_CAMPAIGN_JSON names a file, dump the
 	// raw numbers as machine-readable JSON so runs can be compared across
 	// commits without scraping benchmark output.
@@ -554,7 +550,7 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 // then reports the wall-clock ratio and — the number the COW work
 // actually targets — the per-experiment fork+recycle cost (vessel restore
 // plus snapshot capture nanoseconds, metered via EngineStats deltas).
-// The acceptance bar is a 2x lower fork+recycle cost under COW.
+// The ratio is gated against benchmarks/baseline.json in CI.
 func BenchmarkCOWForkVsDeepClone(b *testing.B) {
 	app, err := gpufi.AppByName("BP")
 	if err != nil {
@@ -629,9 +625,10 @@ func BenchmarkCOWForkVsDeepClone(b *testing.B) {
 	b.ReportMetric(float64(deepWall)/float64(cowWall), "wall-speedup-x")
 	b.ReportMetric(cowStats.COWDirtyRatio, "dirty-ratio")
 
-	// Machine-readable artifact + regression gate: BENCH_FORK_JSON dumps
-	// the numbers for upload, BENCH_FORK_ENFORCE turns the 2x
-	// per-experiment fork+recycle bar into a hard failure (CI bench step).
+	// Machine-readable artifact: BENCH_FORK_JSON dumps the numbers for
+	// upload. The regression gate lives in benchmarks/compare, which
+	// checks fork_recycle_speedup and wall_speedup against the committed
+	// baseline.
 	if path := os.Getenv("BENCH_FORK_JSON"); path != "" {
 		out := map[string]any{
 			"benchmark":             "BenchmarkCOWForkVsDeepClone",
@@ -658,10 +655,6 @@ func BenchmarkCOWForkVsDeepClone(b *testing.B) {
 		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
-	}
-	if os.Getenv("BENCH_FORK_ENFORCE") != "" && syncRatio < 2.0 {
-		b.Fatalf("COW fork+recycle only %.2fx cheaper than deep clone, want >= 2x "+
-			"(cow %.0f ns/exp, deep %.0f ns/exp)", syncRatio, perExpCow, perExpDeep)
 	}
 }
 

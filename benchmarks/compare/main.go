@@ -1,0 +1,153 @@
+// Command compare gates the CI benchmark steps against the committed
+// baseline in benchmarks/baseline.json. It replaces the old hard-coded
+// BENCH_OBS_ENFORCE / BENCH_FORK_ENFORCE thresholds: every gated metric
+// lives in the baseline file with a direction, and a run fails when a
+// metric regresses past the tolerance (default 15%).
+//
+// Only dimensionless ratios are gated (engine speedups, overhead ratios):
+// they are stable across runner hardware, unlike raw nanoseconds, which
+// the benchmark JSON artifacts still carry for human cross-commit
+// comparison.
+//
+// Usage:
+//
+//	go run ./benchmarks/compare -baseline benchmarks/baseline.json BENCH_*.json
+//	go run ./benchmarks/compare -baseline benchmarks/baseline.json -promote BENCH_*.json
+//
+// -promote rewrites the baseline's values from the current run (directions
+// and tolerance are preserved); benchmarks/promote.sh wraps it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// Baseline is the committed benchmark contract.
+type Baseline struct {
+	// Tolerance is the fractional regression allowed before the gate
+	// fails (0.15 = 15%).
+	Tolerance float64 `json:"tolerance"`
+	// Metrics maps a metric name (a key in one of the benchmark JSON
+	// artifacts) to its expected value and direction.
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// Metric is one gated benchmark number.
+type Metric struct {
+	// Value is the promoted baseline measurement.
+	Value float64 `json:"value"`
+	// Direction is "higher" (bigger is better: speedups) or "lower"
+	// (smaller is better: overhead ratios).
+	Direction string `json:"direction"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchmarks/compare: ")
+	basePath := flag.String("baseline", "benchmarks/baseline.json", "committed baseline file")
+	promote := flag.Bool("promote", false, "rewrite the baseline's values from the current artifacts")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: compare [-promote] [-baseline file] BENCH_*.json...")
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("%s: %v", *basePath, err)
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.15
+	}
+
+	// Pool every metric of every artifact; later files win on key clashes
+	// (the artifacts' key sets are disjoint in practice).
+	current := map[string]float64{}
+	for _, path := range flag.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		for k, v := range m {
+			if f, ok := v.(float64); ok {
+				current[k] = f
+			}
+		}
+	}
+
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *promote {
+		for _, name := range names {
+			got, ok := current[name]
+			if !ok {
+				log.Fatalf("metric %q not present in the given artifacts; run every benchmark before promoting", name)
+			}
+			m := base.Metrics[name]
+			fmt.Printf("%-22s %.4f -> %.4f\n", name, m.Value, got)
+			m.Value = got
+			base.Metrics[name] = m
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*basePath, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("promoted %d metric(s) into %s\n", len(names), *basePath)
+		return
+	}
+
+	failed := 0
+	for _, name := range names {
+		m := base.Metrics[name]
+		got, ok := current[name]
+		if !ok {
+			log.Printf("FAIL %s: metric missing from the benchmark artifacts", name)
+			failed++
+			continue
+		}
+		var bad bool
+		var bound float64
+		switch m.Direction {
+		case "higher":
+			bound = m.Value * (1 - base.Tolerance)
+			bad = got < bound
+		case "lower":
+			bound = m.Value * (1 + base.Tolerance)
+			bad = got > bound
+		default:
+			log.Fatalf("metric %q: unknown direction %q (want \"higher\" or \"lower\")", name, m.Direction)
+		}
+		status := "ok  "
+		if bad {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-22s baseline %.4f, got %.4f (%s is better, bound %.4f)\n",
+			status, name, m.Value, got, m.Direction, bound)
+	}
+	if failed > 0 {
+		log.Fatalf("%d metric(s) regressed more than %.0f%% from %s; "+
+			"if intentional, re-baseline with benchmarks/promote.sh",
+			failed, base.Tolerance*100, *basePath)
+	}
+	fmt.Println("all benchmark metrics within tolerance")
+}

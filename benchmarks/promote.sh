@@ -1,0 +1,12 @@
+#!/bin/sh
+# Promotes the most recent benchmarks/run.sh artifacts into the committed
+# baseline (benchmarks/baseline.json). Run this after a deliberate
+# performance change, review the printed deltas, and commit the baseline
+# together with the change that caused them.
+set -e
+cd "$(dirname "$0")/.."
+if [ ! -f benchmarks/current/BENCH_campaign.json ]; then
+  echo "no current artifacts; run benchmarks/run.sh first" >&2
+  exit 1
+fi
+go run ./benchmarks/compare -promote benchmarks/current/BENCH_*.json

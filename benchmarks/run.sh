@@ -1,0 +1,19 @@
+#!/bin/sh
+# Runs the gated benchmarks once and leaves their JSON artifacts in
+# benchmarks/current/. Compare against the committed baseline with:
+#
+#   go run ./benchmarks/compare benchmarks/current/BENCH_*.json
+#
+# or promote a deliberate change with benchmarks/promote.sh.
+set -e
+cd "$(dirname "$0")/.."
+mkdir -p benchmarks/current
+
+BENCH_CAMPAIGN_JSON=benchmarks/current/BENCH_campaign.json \
+BENCH_OBS_JSON=benchmarks/current/BENCH_obs.json \
+  go test -run '^$' -bench BenchmarkCampaignForkVsReplay -benchtime=1x .
+
+BENCH_FORK_JSON=benchmarks/current/BENCH_fork.json \
+  go test -run '^$' -bench BenchmarkCOWForkVsDeepClone -benchtime=1x .
+
+echo "artifacts in benchmarks/current/"

@@ -152,6 +152,12 @@ func WithLegacyReplay() CampaignOption { return func(c *Campaign) { c.cfg.Legacy
 // baseline for the COW engine and for benchmarking.
 func WithDeepClone() CampaignOption { return func(c *Campaign) { c.cfg.DeepClone = true } }
 
+// WithPlan enables adaptive early stopping: the campaign treats its run
+// count as a ceiling and stops once the rule's confidence interval is
+// satisfied (CampaignResult.Plan reports the saving). A nil rule or zero
+// TargetCI keeps the fixed-N behavior.
+func WithPlan(r *PlanRule) CampaignOption { return func(c *Campaign) { c.cfg.Plan = r } }
+
 // WithProfile supplies a precomputed fault-free profile, so several
 // campaign points against the same app/GPU share one golden run.
 func WithProfile(prof *AppProfile) CampaignOption { return func(c *Campaign) { c.prof = prof } }

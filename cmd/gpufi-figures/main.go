@@ -142,7 +142,7 @@ func (d *driver) table4() {
 	// share separates dead-value faults from overwritten/consumed ones.
 	tb := &report.Table{
 		Title:  "Table IV — supported injection targets (one demo campaign each, VA/RTX2060)",
-		Header: []string{"structure", "runs", "masked", "failures", "masked never-read", "note"},
+		Header: []string{"structure", "runs", "masked", "failures", "FR 99% CI", "masked never-read", "note"},
 	}
 	app, _ := gpufi.AppByName("VA")
 	gpu := gpufi.RTX2060()
@@ -176,8 +176,10 @@ func (d *driver) table4() {
 		case gpufi.StructLocal:
 			note = "VA uses no local memory: all masked by construction"
 		}
+		lo, hi := gpufi.Wilson(res.Counts.Failures(), res.Counts.Total(), 0.99)
 		tb.AddRow(st.String(), fmt.Sprint(res.Counts.Total()),
-			fmt.Sprint(res.Counts.Masked), fmt.Sprint(res.Counts.Failures()), nrCell, note)
+			fmt.Sprint(res.Counts.Masked), fmt.Sprint(res.Counts.Failures()),
+			fmt.Sprintf("[%.3f, %.3f]", lo, hi), nrCell, note)
 	}
 	d.emit("table4", tb)
 }

@@ -95,6 +95,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	strict := flag.Bool("strict", false, "exit non-zero when torn-tail salvage dropped records")
 	why := flag.Bool("why", false, "append the fault-propagation breakdown (campaigns journaled with tracing)")
+	ci := flag.Bool("ci", false, "append Wilson confidence intervals per outcome proportion")
+	conf := flag.Float64("confidence", 0.99, "confidence level for -ci intervals")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal(`usage: gpufi-report [-csv] [-strict] [-why] log.jsonl... ("-" reads stdin)`)
@@ -126,27 +128,44 @@ func main() {
 		log.Fatal("no campaigns found in the given logs")
 	}
 
+	header := []string{"app", "gpu", "kernel", "structure", "bits", "runs",
+		"Masked", "SDC", "Crash", "Timeout", "Perf", "FR", "99% margin"}
+	if *ci {
+		pct := fmt.Sprintf("%g%%", *conf*100)
+		header = append(header, "SDC "+pct+" CI", "Crash "+pct+" CI", "FR "+pct+" CI")
+	}
 	tb := &report.Table{
-		Title: fmt.Sprintf("%d campaign(s)", len(all)),
-		Header: []string{"app", "gpu", "kernel", "structure", "bits", "runs",
-			"Masked", "SDC", "Crash", "Timeout", "Perf", "FR", "99% margin"},
+		Title:  fmt.Sprintf("%d campaign(s)", len(all)),
+		Header: header,
+	}
+	// row renders one tally, with the -ci interval columns appended when
+	// asked: the Wilson interval on each outcome's proportion, so a report
+	// reader sees not just the point estimate but how tight it is.
+	row := func(c gpufi.Counts) []string {
+		cells := []string{
+			fmt.Sprint(c.Masked), fmt.Sprint(c.SDC), fmt.Sprint(c.Crash),
+			fmt.Sprint(c.Timeout), fmt.Sprint(c.Performance),
+			fmt.Sprintf("%.4f", c.FailureRatio()),
+			fmt.Sprintf("±%.4f", gpufi.Margin(c.Failures(), c.Total(), 0.99)),
+		}
+		if *ci {
+			interval := func(k int) string {
+				lo, hi := gpufi.Wilson(k, c.Total(), *conf)
+				return fmt.Sprintf("[%.4f, %.4f]", lo, hi)
+			}
+			cells = append(cells, interval(c.SDC), interval(c.Crash), interval(c.Failures()))
+		}
+		return cells
 	}
 	var total gpufi.Counts
 	for _, r := range all {
 		c := r.Counts
-		tb.AddRow(r.App, r.GPU, r.Kernel, r.Structure,
-			fmt.Sprint(r.Bits), fmt.Sprint(c.Total()),
-			fmt.Sprint(c.Masked), fmt.Sprint(c.SDC), fmt.Sprint(c.Crash),
-			fmt.Sprint(c.Timeout), fmt.Sprint(c.Performance),
-			fmt.Sprintf("%.4f", c.FailureRatio()),
-			fmt.Sprintf("±%.4f", gpufi.Margin(c.Failures(), c.Total(), 0.99)))
+		cells := append([]string{r.App, r.GPU, r.Kernel, r.Structure,
+			fmt.Sprint(r.Bits), fmt.Sprint(c.Total())}, row(c)...)
+		tb.AddRow(cells...)
 		total.Merge(c)
 	}
-	tb.AddRow("ALL", "", "", "", "", fmt.Sprint(total.Total()),
-		fmt.Sprint(total.Masked), fmt.Sprint(total.SDC), fmt.Sprint(total.Crash),
-		fmt.Sprint(total.Timeout), fmt.Sprint(total.Performance),
-		fmt.Sprintf("%.4f", total.FailureRatio()),
-		fmt.Sprintf("±%.4f", gpufi.Margin(total.Failures(), total.Total(), 0.99)))
+	tb.AddRow(append([]string{"ALL", "", "", "", "", fmt.Sprint(total.Total())}, row(total)...)...)
 
 	var err error
 	if *csvOut {

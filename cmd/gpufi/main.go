@@ -59,6 +59,7 @@ func main() {
 		storeDir  = flag.String("store", "", "journal campaigns durably into this directory (crash-safe)")
 		resume    = flag.Bool("resume", false, "with -store: continue interrupted campaigns, skipping journaled experiments")
 		expTO     = flag.Duration("exp-timeout", 0, "wall-clock deadline per experiment (0 = none); expiry classifies as quarantined Timeout")
+		targetCI  = flag.Float64("target-ci", 0, "adaptive early stop: halt each campaign point once its 99% interval half-width is at most this (0 = fixed -n runs)")
 	)
 	flag.Parse()
 	if *resume && *storeDir == "" {
@@ -162,9 +163,10 @@ func main() {
 	tb := &report.Table{
 		Title: fmt.Sprintf("%s / %s / %s, %d-bit faults, %d runs per kernel",
 			app.Name, gpu.Name, st, *bits, *runs),
-		Header: []string{"kernel", "Masked", "SDC", "Crash", "Timeout", "Performance", "FR (Eq.1)", "99% margin"},
+		Header: []string{"kernel", "Masked", "SDC", "Crash", "Timeout", "Performance", "FR (Eq.1)", "99% margin", "99% CI"},
 	}
 	var total gpufi.Counts
+	var planLines []string
 	cancelled := false
 	for _, k := range kernels {
 		var res *gpufi.CampaignResult
@@ -178,6 +180,7 @@ func main() {
 				Lenient: *lenient, ECC: *ecc, L2Queue: *l2queue,
 				ExpTimeoutMS: expTO.Milliseconds(),
 				Trace:        *tracePath != "",
+				TargetCI:     *targetCI,
 			}, prof, *progress)
 		} else {
 			opts := []gpufi.CampaignOption{
@@ -193,6 +196,9 @@ func main() {
 			}
 			if *legacy {
 				opts = append(opts, gpufi.WithLegacyReplay())
+			}
+			if *targetCI != 0 {
+				opts = append(opts, gpufi.WithPlan(&gpufi.PlanRule{TargetCI: *targetCI}))
 			}
 			if traceEnc != nil {
 				opts = append(opts, gpufi.WithTrace(func(t gpufi.ExperimentTrace) error {
@@ -244,8 +250,15 @@ func main() {
 			fmt.Sprint(c.Masked), fmt.Sprint(c.SDC), fmt.Sprint(c.Crash),
 			fmt.Sprint(c.Timeout), fmt.Sprint(c.Performance),
 			fmt.Sprintf("%.4f", c.FailureRatio()),
-			fmt.Sprintf("±%.4f", gpufi.Margin(c.Failures(), c.Total(), 0.99)))
+			fmt.Sprintf("±%.4f", gpufi.Margin(c.Failures(), c.Total(), 0.99)),
+			ciCell(c))
 		total.Merge(c)
+		if res.Plan != nil {
+			planLines = append(planLines, fmt.Sprintf(
+				"adaptive %s: simulated %d, analytic %d, skipped %d of %d (half-width %.4f, target %.4f)",
+				k, res.Plan.Simulated, res.Plan.Analytic, res.Plan.Skipped, *runs,
+				res.Plan.HalfWidth, res.Plan.TargetCI))
+		}
 		if cancelled {
 			fmt.Printf("interrupted: %s finished %d of %d experiments; partial results follow\n",
 				k, c.Total(), *runs)
@@ -260,10 +273,14 @@ func main() {
 			fmt.Sprint(total.Masked), fmt.Sprint(total.SDC), fmt.Sprint(total.Crash),
 			fmt.Sprint(total.Timeout), fmt.Sprint(total.Performance),
 			fmt.Sprintf("%.4f", total.FailureRatio()),
-			fmt.Sprintf("±%.4f", gpufi.Margin(total.Failures(), total.Total(), 0.99)))
+			fmt.Sprintf("±%.4f", gpufi.Margin(total.Failures(), total.Total(), 0.99)),
+			ciCell(total))
 	}
 	if err := tb.Render(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+	for _, line := range planLines {
+		fmt.Println(line)
 	}
 	if *logPath != "" {
 		fmt.Printf("\nexperiment log: %s\n", *logPath)
@@ -278,6 +295,13 @@ func main() {
 	if cancelled {
 		os.Exit(130)
 	}
+}
+
+// ciCell renders the 99% Wilson interval on the failure ratio as a table
+// cell.
+func ciCell(c gpufi.Counts) string {
+	lo, hi := gpufi.Wilson(c.Failures(), c.Total(), 0.99)
+	return fmt.Sprintf("[%.4f, %.4f]", lo, hi)
 }
 
 // runStored executes one campaign point through the durable store: the

@@ -36,6 +36,7 @@ import (
 	"gpufi/internal/config"
 	"gpufi/internal/core"
 	"gpufi/internal/isa"
+	"gpufi/internal/plan"
 	"gpufi/internal/sim"
 	"gpufi/internal/store"
 )
@@ -88,6 +89,14 @@ type (
 	// EngineCounters are the process-wide fork-engine, phase and
 	// copy-on-write counters (see EngineStats).
 	EngineCounters = core.EngineCounters
+	// PlanRule configures adaptive early stopping for a campaign point
+	// (see WithPlan and CampaignConfig.Plan).
+	PlanRule = plan.Rule
+	// PlanStatus is a snapshot of an adaptive campaign's interval estimate.
+	PlanStatus = plan.Status
+	// PlanReport is the adaptive planner's summary on a finished campaign
+	// (CampaignResult.Plan).
+	PlanReport = core.PlanReport
 )
 
 // Injectable structures (paper Table IV, plus the L1C/L1I extensions).
@@ -261,6 +270,12 @@ func Wilson(failures, total int, confidence float64) (lo, hi float64) {
 // error margin).
 func Margin(failures, total int, confidence float64) float64 {
 	return core.Margin(failures, total, confidence)
+}
+
+// Interval returns the confidence interval for k failures out of n under
+// the named method: "wilson" (default) or "clopper-pearson" (exact).
+func Interval(method string, k, n int, confidence float64) (lo, hi float64, err error) {
+	return plan.Interval(method, k, n, confidence)
 }
 
 // DfReg and DfSmem are the paper's derating factors.

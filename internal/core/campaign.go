@@ -12,6 +12,7 @@ import (
 	"gpufi/internal/bench"
 	"gpufi/internal/cache"
 	"gpufi/internal/config"
+	"gpufi/internal/plan"
 	"gpufi/internal/sim"
 )
 
@@ -154,6 +155,24 @@ type CampaignConfig struct {
 	// trace per finished experiment, serialized in completion order after
 	// Journal and before Progress. A non-nil error aborts the campaign.
 	TraceSink func(ExperimentTrace) error
+
+	// Plan, when enabled (TargetCI > 0), switches the campaign to the
+	// adaptive planner: an analytic never-read pre-pass folds provably
+	// masked sites in without simulation, the remainder runs in stratified
+	// rounds on the configured engine, and the campaign stops as soon as
+	// the running confidence interval is tighter than the target. Runs
+	// stays the hard ceiling; the seed-to-fault mapping is unchanged, the
+	// planner just stops running indices early. Nil or zero-valued leaves
+	// campaign behavior (and journal bytes) identical to pre-planner
+	// builds.
+	Plan *plan.Rule
+
+	// PlanPrior seeds the adaptive tracker with the outcome tally already
+	// journaled by an earlier run of this campaign (the counts behind
+	// Completed), so a resumed adaptive campaign decides to stop based on
+	// everything observed, not just this process's experiments. Ignored
+	// when Plan is disabled.
+	PlanPrior avf.Counts
 }
 
 // workerCount resolves the configured worker count.
@@ -190,6 +209,9 @@ func (c *CampaignConfig) Validate() error {
 	}
 	if c.ExpTimeout < 0 {
 		return fmt.Errorf("core: campaign ExpTimeout must not be negative, got %v", c.ExpTimeout)
+	}
+	if err := c.Plan.Validate(); err != nil {
+		return err
 	}
 	known := false
 	for _, k := range c.App.Kernels {
@@ -266,6 +288,11 @@ type CampaignResult struct {
 	Seed      int64        `json:"seed"`
 	Counts    avf.Counts   `json:"counts"`
 	Exps      []Experiment `json:"-"`
+
+	// Plan reports the adaptive planner's view of the finished point —
+	// interval, analytic-masked tally, experiments saved. Nil for fixed-N
+	// campaigns.
+	Plan *PlanReport `json:"plan,omitempty"`
 }
 
 // RunCampaign executes the campaign point: Runs experiments, each with one
@@ -281,12 +308,12 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	plan, err := planCampaign(cfg, prof)
+	cp, err := planCampaign(cfg, prof)
 	if err != nil {
 		return nil, err
 	}
-	pending := plan.pending
-	if plan.absent {
+	pending := cp.pending
+	if cp.absent {
 		// Structure not present for this kernel/card: every fault is
 		// trivially masked (e.g. shared memory in a kernel that uses none).
 		// The experiments are still materialized so journals and logs
@@ -333,10 +360,13 @@ func RunCampaign(ctx context.Context, cfg *CampaignConfig, prof *Profile) (*Camp
 		}, nil
 	}
 
-	if cfg.LegacyReplay {
-		return runReplay(ctx, cfg, prof, pending, plan.specs, plan.extras)
+	if cfg.Plan.Enabled() {
+		return runAdaptive(ctx, cfg, prof, cp)
 	}
-	return runForked(ctx, cfg, prof, plan.windows, pending, plan.specs, plan.extras)
+	if cfg.LegacyReplay {
+		return runReplay(ctx, cfg, prof, pending, cp.specs, cp.extras)
+	}
+	return runForked(ctx, cfg, prof, cp.windows, pending, cp.specs, cp.extras)
 }
 
 // runReplay is the legacy engine: every experiment is a fresh simulation

@@ -14,10 +14,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"gpufi/internal/config"
+	"gpufi/internal/plan"
 	"gpufi/internal/sim"
 )
 
@@ -184,23 +184,5 @@ func SampleSize(population float64, confidence, margin float64) int {
 	if population <= 0 {
 		return 0
 	}
-	t := normalQuantile(confidence)
-	p := 0.5
-	n := population / (1 + margin*margin*(population-1)/(t*t*p*(1-p)))
-	return int(math.Ceil(n))
-}
-
-// normalQuantile returns the two-sided normal quantile for common
-// confidence levels.
-func normalQuantile(confidence float64) float64 {
-	switch {
-	case confidence >= 0.999:
-		return 3.291
-	case confidence >= 0.99:
-		return 2.576
-	case confidence >= 0.95:
-		return 1.96
-	default:
-		return 1.645
-	}
+	return plan.SampleSize(population, confidence, margin)
 }

@@ -1,35 +1,20 @@
 package core
 
-import "math"
+import "gpufi/internal/plan"
 
 // Wilson returns the Wilson score confidence interval for an observed
 // failure proportion: lo and hi bound the true failure ratio at the given
 // confidence level. Campaigns report it alongside the point estimate so
 // the error margin of Eq. (1) is explicit (the paper quotes a <2% margin
-// at 99% confidence for its 3,000-run campaigns).
+// at 99% confidence for its 3,000-run campaigns). The estimator now lives
+// in internal/plan beside the adaptive stop rules; this delegation keeps
+// every historical caller bit-identical.
 func Wilson(failures, total int, confidence float64) (lo, hi float64) {
-	if total <= 0 {
-		return 0, 0
-	}
-	z := normalQuantile(confidence)
-	n := float64(total)
-	p := float64(failures) / n
-	denom := 1 + z*z/n
-	center := (p + z*z/(2*n)) / denom
-	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
-	lo, hi = center-half, center+half
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > 1 {
-		hi = 1
-	}
-	return lo, hi
+	return plan.Wilson(failures, total, confidence)
 }
 
 // Margin returns the half-width of the Wilson interval — the "error
 // margin" in the paper's statistical-significance statement.
 func Margin(failures, total int, confidence float64) float64 {
-	lo, hi := Wilson(failures, total, confidence)
-	return (hi - lo) / 2
+	return plan.Margin(failures, total, confidence)
 }

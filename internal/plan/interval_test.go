@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+func close(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.6f, want %.6f (±%g)", name, got, want, tol)
+	}
+}
+
+// TestWilsonReference checks the Wilson interval against published
+// reference values (Brown/Cai/DasGupta tables and direct evaluation of
+// the closed form), including the degenerate edges.
+func TestWilsonReference(t *testing.T) {
+	cases := []struct {
+		k, n       int
+		conf       float64
+		lo, hi     float64
+		tol        float64
+		name       string
+		exactEdges bool
+	}{
+		{k: 0, n: 0, conf: 0.95, lo: 0, hi: 0, tol: 0, name: "n=0", exactEdges: true},
+		{k: 0, n: 10, conf: 0.95, lo: 0, hi: 0.2775, tol: 1e-3, name: "p=0"},
+		{k: 10, n: 10, conf: 0.95, lo: 0.7225, hi: 1, tol: 1e-3, name: "p=1"},
+		{k: 5, n: 10, conf: 0.95, lo: 0.2366, hi: 0.7634, tol: 1e-3, name: "5/10@95"},
+		{k: 1, n: 10, conf: 0.95, lo: 0.0179, hi: 0.4042, tol: 1e-3, name: "1/10@95"},
+		{k: 30, n: 3000, conf: 0.99, lo: 0.0063, hi: 0.0157, tol: 1e-3, name: "paper-scale"},
+	}
+	for _, c := range cases {
+		lo, hi := Wilson(c.k, c.n, c.conf)
+		close(t, c.name+" lo", lo, c.lo, max(c.tol, 1e-12))
+		close(t, c.name+" hi", hi, c.hi, max(c.tol, 1e-12))
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%s: interval [%f,%f] not a sub-interval of [0,1]", c.name, lo, hi)
+		}
+	}
+	// p=0 pins the lower bound exactly (the clamp); p=1 is symmetric up
+	// to float rounding.
+	if lo, _ := Wilson(0, 50, 0.99); lo != 0 {
+		t.Errorf("p=0 lower bound = %g, want exactly 0", lo)
+	}
+	if _, hi := Wilson(50, 50, 0.99); math.Abs(hi-1) > 1e-12 {
+		t.Errorf("p=1 upper bound = %g, want 1", hi)
+	}
+}
+
+// TestClopperPearsonReference checks the exact interval against the
+// closed-form edge solutions and published mid-range values.
+func TestClopperPearsonReference(t *testing.T) {
+	// k=0 and k=n have closed forms: hi = 1-(alpha/2)^(1/n) and
+	// lo = (alpha/2)^(1/n). Check them for a spread of n.
+	for _, n := range []int{1, 5, 10, 100, 3000} {
+		for _, conf := range []float64{0.95, 0.99} {
+			alpha := 1 - conf
+			lo, hi := ClopperPearson(0, n, conf)
+			if lo != 0 {
+				t.Errorf("CP(0,%d): lo = %g, want 0", n, lo)
+			}
+			close(t, "CP k=0 hi", hi, 1-math.Pow(alpha/2, 1/float64(n)), 1e-9)
+
+			lo, hi = ClopperPearson(n, n, conf)
+			if hi != 1 {
+				t.Errorf("CP(%d,%d): hi = %g, want 1", n, n, hi)
+			}
+			close(t, "CP k=n lo", lo, math.Pow(alpha/2, 1/float64(n)), 1e-9)
+		}
+	}
+	cases := []struct {
+		k, n   int
+		conf   float64
+		lo, hi float64
+		name   string
+	}{
+		{5, 10, 0.95, 0.1871, 0.8129, "5/10@95"},
+		{1, 10, 0.95, 0.0025, 0.4450, "1/10@95"},
+		{2, 29, 0.95, 0.0085, 0.2280, "2/29@95"},
+		{30, 3000, 0.99, 0.0059, 0.0162, "paper-scale"},
+	}
+	for _, c := range cases {
+		lo, hi := ClopperPearson(c.k, c.n, c.conf)
+		close(t, c.name+" lo", lo, c.lo, 1e-3)
+		close(t, c.name+" hi", hi, c.hi, 1e-3)
+	}
+	// n=0 is empty.
+	if lo, hi := ClopperPearson(0, 0, 0.95); lo != 0 || hi != 0 {
+		t.Errorf("CP(0,0) = [%g,%g], want [0,0]", lo, hi)
+	}
+}
+
+// TestClopperPearsonCoverage verifies the property that makes the exact
+// interval exact: for any true p, the probability (under the binomial
+// distribution) that the realized interval contains p is at least the
+// nominal confidence.
+func TestClopperPearsonCoverage(t *testing.T) {
+	const n = 40
+	for _, conf := range []float64{0.95, 0.99} {
+		for _, p := range []float64{0.02, 0.1, 0.3, 0.5, 0.85} {
+			coverage := 0.0
+			for k := 0; k <= n; k++ {
+				lo, hi := ClopperPearson(k, n, conf)
+				if lo <= p && p <= hi {
+					coverage += binom(n, k) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+				}
+			}
+			if coverage < conf-1e-9 {
+				t.Errorf("coverage at p=%.2f conf=%.2f: %.4f < nominal", p, conf, coverage)
+			}
+		}
+	}
+}
+
+// TestRegIncBeta sanity-checks the special function against exact values:
+// I_x(1,1) = x, I_x(a,b) = 1 - I_{1-x}(b,a), and the binomial CDF
+// identity sum_{j=k}^{n} C(n,j) x^j (1-x)^{n-j} = I_x(k, n-k+1).
+func TestRegIncBeta(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		close(t, "I_x(1,1)", regIncBeta(x, 1, 1), x, 1e-12)
+	}
+	for _, c := range []struct{ x, a, b float64 }{
+		{0.3, 2, 5}, {0.7, 5, 2}, {0.5, 10, 10}, {0.01, 1, 30},
+	} {
+		sym := 1 - regIncBeta(1-c.x, c.b, c.a)
+		close(t, "symmetry", regIncBeta(c.x, c.a, c.b), sym, 1e-10)
+	}
+	// Binomial tail: P[X >= 3] for X ~ Bin(10, 0.4) = I_0.4(3, 8).
+	exact := 0.0
+	for j := 3; j <= 10; j++ {
+		exact += binom(10, j) * math.Pow(0.4, float64(j)) * math.Pow(0.6, float64(10-j))
+	}
+	close(t, "binomial tail", regIncBeta(0.4, 3, 8), exact, 1e-10)
+}
+
+func binom(n, k int) float64 {
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r *= float64(n-k+i) / float64(i)
+	}
+	return r
+}
+
+// TestHalfWidthMonotone is the property test: at a fixed observed
+// proportion, the interval half-width is monotonically non-increasing as
+// n grows, for both methods.
+func TestHalfWidthMonotone(t *testing.T) {
+	for _, method := range []string{MethodWilson, MethodClopperPearson} {
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 1} {
+			prev := math.Inf(1)
+			for n := 20; n <= 4000; n += 20 {
+				k := int(math.Round(p * float64(n)))
+				lo, hi, err := Interval(method, k, n, 0.99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w := (hi - lo) / 2
+				if w > prev+1e-9 {
+					t.Fatalf("%s p=%.2f: half-width grew from %.6f to %.6f at n=%d",
+						method, p, prev, w, n)
+				}
+				prev = w
+			}
+		}
+	}
+}
+
+// TestIntervalDispatch covers the method switch.
+func TestIntervalDispatch(t *testing.T) {
+	wl, wh := Wilson(3, 30, 0.99)
+	lo, hi, err := Interval("", 3, 30, 0.99)
+	if err != nil || lo != wl || hi != wh {
+		t.Errorf("default method: [%g,%g] err %v, want Wilson [%g,%g]", lo, hi, err, wl, wh)
+	}
+	cl, ch := ClopperPearson(3, 30, 0.99)
+	lo, hi, err = Interval(MethodClopperPearson, 3, 30, 0.99)
+	if err != nil || lo != cl || hi != ch {
+		t.Errorf("clopper-pearson: [%g,%g] err %v, want [%g,%g]", lo, hi, err, cl, ch)
+	}
+	if _, _, err := Interval("agresti", 1, 2, 0.95); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+// TestSampleSizeAgreesWithLegacy pins the Leveugle formula to the values
+// internal/core has always produced, so the delegation cannot drift.
+func TestSampleSizeAgreesWithLegacy(t *testing.T) {
+	if n := SampleSize(1<<20, 0.99, 0.02); n < 4000 || n > 4200 {
+		t.Errorf("SampleSize(1M, 99%%, 2%%) = %d, want ~4128", n)
+	}
+	if n := SampleSize(1000, 0.95, 0.05); n < 270 || n > 290 {
+		t.Errorf("SampleSize(1000, 95%%, 5%%) = %d, want ~278", n)
+	}
+}

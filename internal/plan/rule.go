@@ -1,0 +1,316 @@
+package plan
+
+import (
+	"fmt"
+
+	"gpufi/internal/avf"
+)
+
+// Rule configures adaptive early stopping for one campaign point. The
+// zero value (TargetCI 0) disables planning entirely — campaigns run
+// their full fixed N and journals stay byte-identical to pre-planner
+// behavior.
+type Rule struct {
+	// TargetCI is the target interval half-width: the campaign point
+	// stops once its confidence interval is at least this tight. 0
+	// disables adaptive stopping.
+	TargetCI float64 `json:"target_ci"`
+	// Confidence is the interval's confidence level. Default 0.99 (the
+	// paper's level).
+	Confidence float64 `json:"confidence,omitempty"`
+	// MinRuns is the floor before any stop decision: sequential interval
+	// checks on tiny samples stop absurdly early on lucky streaks.
+	// Default 100.
+	MinRuns int `json:"min_runs,omitempty"`
+	// MaxRuns caps the adaptive run count. 0 means the campaign's
+	// configured Runs (the planner never exceeds Runs either way).
+	MaxRuns int `json:"max_runs,omitempty"`
+	// PerOutcome requires every failing-outcome proportion (SDC, Crash,
+	// Timeout) to individually satisfy TargetCI, not just the aggregate
+	// failure ratio of Eq. (1).
+	PerOutcome bool `json:"per_outcome,omitempty"`
+	// Method selects the interval: "wilson" (default) or
+	// "clopper-pearson" (exact, conservative).
+	Method string `json:"method,omitempty"`
+}
+
+// Enabled reports whether r asks for adaptive stopping at all.
+func (r *Rule) Enabled() bool { return r != nil && r.TargetCI > 0 }
+
+// Validate rejects rules that cannot be evaluated.
+func (r *Rule) Validate() error {
+	if r == nil || r.TargetCI == 0 {
+		return nil
+	}
+	if r.TargetCI < 0 || r.TargetCI >= 0.5 {
+		return fmt.Errorf("plan: target_ci %g out of range (0, 0.5)", r.TargetCI)
+	}
+	if r.Confidence != 0 && (r.Confidence <= 0.5 || r.Confidence >= 1) {
+		return fmt.Errorf("plan: confidence %g out of range (0.5, 1)", r.Confidence)
+	}
+	if r.MinRuns < 0 {
+		return fmt.Errorf("plan: min_runs %d negative", r.MinRuns)
+	}
+	if r.MaxRuns < 0 {
+		return fmt.Errorf("plan: max_runs %d negative", r.MaxRuns)
+	}
+	if r.MaxRuns > 0 && r.MinRuns > r.MaxRuns {
+		return fmt.Errorf("plan: min_runs %d exceeds max_runs %d", r.MinRuns, r.MaxRuns)
+	}
+	if _, _, err := Interval(r.Method, 0, 1, 0.99); err != nil {
+		return err
+	}
+	return nil
+}
+
+// confidence returns the effective confidence level.
+func (r Rule) confidence() float64 {
+	if r.Confidence > 0 {
+		return r.Confidence
+	}
+	return 0.99
+}
+
+// minRuns returns the effective stop floor.
+func (r Rule) minRuns() int {
+	if r.MinRuns > 0 {
+		return r.MinRuns
+	}
+	return 100
+}
+
+// Tracker accumulates outcomes for one campaign point and answers the
+// sequential stop question. It is NOT synchronized: the engine collector
+// and the shard coordinator already serialize journal callbacks, and the
+// tracker rides inside that serialization.
+//
+// The tracker is a two-stratum estimator. Sites the analytic pre-pass
+// proves Masked (never architecturally read) are NOT ordinary
+// observations: they are exactly the zero-failure subset, and pooling
+// them into the binomial would bias the failure estimate toward zero —
+// a campaign with many never-read sites would "converge" on an interval
+// around 0 while the simulated stratum still fails at a high rate. The
+// sound decomposition is exact: with A analytic sites and S sites subject
+// to simulation out of N = A + S planned, the overall failure ratio is
+//
+//	p = (S/N) * p_S
+//
+// with p_S the simulated stratum's failure proportion. The tracker keeps
+// the binomial machinery on the simulated stratum only and scales its
+// interval by the known weight S/N, which both removes the bias and
+// captures the real benefit of analytic masking: the weight shrinks the
+// overall interval for free.
+type Tracker struct {
+	rule       Rule
+	counts     avf.Counts // simulated-stratum outcomes (incl. resumed prior)
+	analytic   int        // |A|: sites proven Masked analytically, exact
+	stratum    int        // |S|: planned sites subject to simulation
+	stratumSet bool
+}
+
+// NewTracker returns a tracker for one campaign point under rule r.
+func NewTracker(r Rule) *Tracker { return &Tracker{rule: r} }
+
+// Add records one simulated experiment outcome.
+func (t *Tracker) Add(o avf.Outcome) { t.counts.Add(o) }
+
+// AddAnalytic records n sites proven Masked by the analytic pre-pass.
+// They do not enter the binomial (see the type comment); they enlarge the
+// exact zero-failure stratum that scales it.
+func (t *Tracker) AddAnalytic(n int) { t.analytic += n }
+
+// SetStratum declares the planned size of the simulated stratum — how
+// many of the campaign's sites are NOT analytically masked. Callers that
+// use AddAnalytic must also call this, or the tracker falls back to the
+// conservative assumption that only the already-simulated count is in the
+// stratum.
+func (t *Tracker) SetStratum(s int) {
+	t.stratum = s
+	t.stratumSet = true
+}
+
+// AddCounts merges previously journaled simulated outcomes (a resumed
+// campaign's prior tally, with any analytic records subtracted) into the
+// estimate.
+func (t *Tracker) AddCounts(c avf.Counts) { t.counts.Merge(c) }
+
+// Counts returns the simulated-stratum tally. The campaign-wide tally is
+// this plus Analytic() extra Masked.
+func (t *Tracker) Counts() avf.Counts { return t.counts }
+
+// Observed returns the total outcomes known: simulated observations plus
+// analytically proven sites.
+func (t *Tracker) Observed() int { return t.counts.Total() + t.analytic }
+
+// Analytic returns how many known outcomes came from the analytic
+// pre-pass rather than simulation.
+func (t *Tracker) Analytic() int { return t.analytic }
+
+// weight returns S/N, the exact scale the simulated stratum's interval
+// carries in the overall estimate. 1 when nothing is analytically masked.
+func (t *Tracker) weight() float64 {
+	if t.analytic == 0 {
+		return 1
+	}
+	s := t.stratum
+	if !t.stratumSet || s < t.counts.Total() {
+		s = t.counts.Total()
+	}
+	return float64(s) / float64(t.analytic+s)
+}
+
+// interval returns the rule's interval for k out of n.
+func (t *Tracker) interval(k, n int) (lo, hi float64) {
+	lo, hi, err := Interval(t.rule.Method, k, n, t.rule.confidence())
+	if err != nil {
+		// Validate rejects unknown methods before a tracker exists; fall
+		// back to Wilson rather than panic mid-campaign.
+		lo, hi = Wilson(k, n, t.rule.confidence())
+	}
+	return lo, hi
+}
+
+// HalfWidth returns the current overall half-width the stop rule is
+// judged on: the simulated stratum's interval (aggregate failure ratio,
+// or under PerOutcome the widest among SDC/Crash/Timeout) scaled by the
+// stratum weight.
+func (t *Tracker) HalfWidth() float64 {
+	n := t.counts.Total()
+	if n == 0 {
+		if t.analytic > 0 && t.stratumSet {
+			if t.stratum == 0 {
+				// Every site is analytically masked: the ratio is exactly 0.
+				return 0
+			}
+			// No simulated evidence yet: the stratum interval is the vacuous
+			// [0,1], but the weight alone already bounds the overall width.
+			return t.weight() * 0.5
+		}
+		return 1
+	}
+	wid := func(k int) float64 {
+		lo, hi := t.interval(k, n)
+		return (hi - lo) / 2
+	}
+	w := 0.0
+	if !t.rule.PerOutcome {
+		w = wid(t.counts.Failures())
+	} else {
+		for _, k := range []int{t.counts.SDC, t.counts.Crash, t.counts.Timeout} {
+			if hw := wid(k); hw > w {
+				w = hw
+			}
+		}
+	}
+	return t.weight() * w
+}
+
+// Satisfied reports whether the stop rule holds: at least MinRuns
+// simulated observations and an overall interval at least as tight as
+// TargetCI. MaxRuns (on the simulated stratum) satisfies unconditionally
+// — the caller asked for a hard cap. Two analytic shortcuts skip the
+// MinRuns floor, which only guards sequential looks at simulated data:
+// a fully analytic point is exact, and a weight small enough to bound
+// even the vacuous stratum interval needs no simulation at all.
+func (t *Tracker) Satisfied() bool {
+	if !t.rule.Enabled() {
+		return false
+	}
+	n := t.counts.Total()
+	if t.rule.MaxRuns > 0 && n >= t.rule.MaxRuns {
+		return true
+	}
+	if t.analytic > 0 && t.stratumSet {
+		if t.stratum == 0 {
+			return true
+		}
+		if t.weight()*0.5 <= t.rule.TargetCI {
+			return true
+		}
+	}
+	if n < t.rule.minRuns() {
+		return false
+	}
+	return t.HalfWidth() <= t.rule.TargetCI
+}
+
+// SuggestNext sizes the next adaptive round: an estimate of the
+// additional simulated observations needed to satisfy the rule, clamped
+// to [1, remaining] (0 when remaining is 0 or the rule is already
+// satisfied). Rounds deliberately overshoot a little less than the naive
+// estimate suggests — the loop re-checks after every round anyway, and
+// small rounds keep the early-stop saving.
+func (t *Tracker) SuggestNext(remaining int) int {
+	if remaining <= 0 || t.Satisfied() {
+		return 0
+	}
+	n := t.counts.Total()
+	limit := remaining
+	if t.rule.MaxRuns > 0 && t.rule.MaxRuns-n < limit {
+		limit = t.rule.MaxRuns - n
+		if limit <= 0 {
+			return 0
+		}
+	}
+	p := t.counts.FailureRatio()
+	// The stratum only has to reach TargetCI / weight: analytic masking
+	// relaxes the effective target.
+	need := Needed(p, t.rule.TargetCI/t.weight(), t.rule.confidence()) - n
+	if floor := t.rule.minRuns() - n; need < floor {
+		need = floor
+	}
+	// Run at most half the estimated gap per round (floor 32): stop
+	// checks between rounds capture the saving when the estimate was
+	// pessimistic.
+	round := need/2 + 1
+	if round < 32 {
+		round = 32
+	}
+	if round > limit {
+		round = limit
+	}
+	return round
+}
+
+// Status is a snapshot of the tracker for reporting: campaign stats, SSE
+// events, /metrics, CLIs.
+type Status struct {
+	TargetCI   float64 `json:"target_ci"`
+	Confidence float64 `json:"confidence"`
+	Method     string  `json:"method"`
+	PerOutcome bool    `json:"per_outcome,omitempty"`
+	Observed   int     `json:"observed"`
+	Analytic   int     `json:"analytic"`
+	HalfWidth  float64 `json:"half_width"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Satisfied  bool    `json:"satisfied"`
+}
+
+// Status snapshots the tracker. Lo and Hi bound the overall failure
+// ratio: the simulated stratum's interval scaled by the stratum weight.
+func (t *Tracker) Status() Status {
+	method := t.rule.Method
+	if method == "" {
+		method = MethodWilson
+	}
+	s := Status{
+		TargetCI:   t.rule.TargetCI,
+		Confidence: t.rule.confidence(),
+		Method:     method,
+		PerOutcome: t.rule.PerOutcome,
+		Observed:   t.Observed(),
+		Analytic:   t.analytic,
+		HalfWidth:  t.HalfWidth(),
+		Satisfied:  t.Satisfied(),
+	}
+	w := t.weight()
+	if n := t.counts.Total(); n > 0 {
+		lo, hi := t.interval(t.counts.Failures(), n)
+		s.Lo, s.Hi = w*lo, w*hi
+	} else if t.analytic > 0 && t.stratumSet {
+		// Nothing simulated: the ratio is bounded by the weight alone.
+		s.Lo, s.Hi = 0, w
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package plan
+
+import "sort"
+
+// StratifiedOrder permutes the indices [0, len(cycles)) so that execution
+// order sweeps the injection-cycle range evenly from the first experiment
+// on: indices are bucketed into `strata` contiguous cycle quantiles and
+// emitted round-robin across buckets. An adaptive campaign that stops
+// after any prefix of this order has sampled all cycle regions almost
+// uniformly, so the early estimate is not biased toward early or late
+// pipeline phases the way a cycle-sorted execution order would be.
+//
+// The order is a pure function of the cycle slice — deterministic across
+// engines, worker counts, and resume, which the differential harness
+// relies on. Ties break by index.
+func StratifiedOrder(cycles []uint64, strata int) []int {
+	n := len(cycles)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if n <= 2 || strata <= 1 {
+		return order
+	}
+	if strata > n {
+		strata = n
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if cycles[order[a]] != cycles[order[b]] {
+			return cycles[order[a]] < cycles[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	// Contiguous quantile buckets over the sorted order, sized as evenly
+	// as integer division allows (the first n%strata buckets get one
+	// extra).
+	out := make([]int, 0, n)
+	starts := make([]int, strata)
+	sizes := make([]int, strata)
+	base, extra := n/strata, n%strata
+	pos := 0
+	for s := 0; s < strata; s++ {
+		starts[s] = pos
+		sizes[s] = base
+		if s < extra {
+			sizes[s]++
+		}
+		pos += sizes[s]
+	}
+	for round := 0; len(out) < n; round++ {
+		for s := 0; s < strata; s++ {
+			if round < sizes[s] {
+				out = append(out, order[starts[s]+round])
+			}
+		}
+	}
+	return out
+}

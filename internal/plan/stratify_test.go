@@ -1,0 +1,88 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStratifiedOrderPermutation: the result is always a permutation of
+// [0, n).
+func TestStratifiedOrderPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 100, 1001} {
+		cycles := make([]uint64, n)
+		for i := range cycles {
+			// Deterministic scatter without a live RNG.
+			cycles[i] = uint64((i*2654435761 + 17) % (3 * (n + 1)))
+		}
+		got := StratifiedOrder(cycles, 16)
+		if len(got) != n {
+			t.Fatalf("n=%d: len %d", n, len(got))
+		}
+		seen := make([]bool, n)
+		for _, i := range got {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("n=%d: not a permutation: %v", n, got)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+// TestStratifiedOrderDeterministic: pure function of the input.
+func TestStratifiedOrderDeterministic(t *testing.T) {
+	cycles := []uint64{900, 10, 10, 500, 501, 2, 880, 45, 46, 47, 300, 299}
+	a := StratifiedOrder(cycles, 4)
+	b := StratifiedOrder(cycles, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestStratifiedOrderCoverage: every prefix of the order spans the cycle
+// range — after one round-robin sweep, every stratum has contributed.
+func TestStratifiedOrderCoverage(t *testing.T) {
+	const n, strata = 400, 8
+	cycles := make([]uint64, n)
+	for i := range cycles {
+		cycles[i] = uint64(i) // already sorted: strata are clean ranges
+	}
+	got := StratifiedOrder(cycles, strata)
+	// The first `strata` picks must come one from each stratum of 50.
+	hit := map[int]bool{}
+	for _, idx := range got[:strata] {
+		hit[int(cycles[idx])/(n/strata)] = true
+	}
+	if len(hit) != strata {
+		t.Fatalf("first sweep covered %d of %d strata: %v", len(hit), strata, got[:strata])
+	}
+	// Any prefix is near-balanced: no stratum leads another by more than 1.
+	count := make([]int, strata)
+	for k, idx := range got {
+		count[int(cycles[idx])/(n/strata)]++
+		lo, hi := count[0], count[0]
+		for _, c := range count[1:] {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("prefix %d unbalanced: %v", k+1, count)
+		}
+	}
+}
+
+// TestStratifiedOrderSmall: degenerate inputs pass through untouched.
+func TestStratifiedOrderSmall(t *testing.T) {
+	if got := StratifiedOrder(nil, 8); len(got) != 0 {
+		t.Fatalf("nil cycles: %v", got)
+	}
+	if got := StratifiedOrder([]uint64{5}, 8); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("one cycle: %v", got)
+	}
+	if got := StratifiedOrder([]uint64{5, 6, 7}, 1); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("strata=1: %v", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gpufi/internal/avf"
+	"gpufi/internal/core"
 	"gpufi/internal/obs"
 	"gpufi/internal/shard"
 	"gpufi/internal/store"
@@ -110,17 +111,29 @@ type status struct {
 	Attempts  int        `json:"attempts,omitempty"`
 	Counts    avf.Counts `json:"counts"`
 	Error     string     `json:"error,omitempty"`
+
+	// Adaptive campaigns only: the pre-pass's analytically masked count,
+	// the running pooled interval half-width over the live tally, and — on
+	// terminal states — the planner's stratified report.
+	Analytic    int              `json:"analytic,omitempty"`
+	CIHalfWidth float64          `json:"ci_half_width,omitempty"`
+	Plan        *core.PlanReport `json:"plan,omitempty"`
 }
 
 // statusLocked snapshots a job; the caller holds s.mu.
 func (s *Server) statusLocked(j *job) status {
-	return status{
+	st := status{
 		ID: j.id, State: j.state,
 		App: j.spec.App, GPU: j.spec.GPU, Kernel: j.spec.Kernel, Structure: j.spec.Structure,
 		Runs: j.total, Seed: j.spec.Seed,
 		Completed: j.done, Resumed: j.resumed, Attempts: j.attempts,
 		Counts: j.counts, Error: j.errMsg,
+		Analytic: j.analytic, Plan: j.plan,
 	}
+	if j.rule != nil {
+		st.CIHalfWidth = pooledHalfWidth(j.counts, j.rule)
+	}
+	return st
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -181,6 +194,8 @@ func shardErr(err error) error {
 		return &httpError{code: 404, kind: "shard_unknown", msg: err.Error()}
 	case errors.Is(err, shard.ErrLeaseRevoked):
 		return &httpError{code: 409, kind: "lease_revoked", msg: err.Error()}
+	case errors.Is(err, shard.ErrCampaignSatisfied):
+		return &httpError{code: 409, kind: "campaign_satisfied", msg: err.Error()}
 	case errors.Is(err, shard.ErrCampaignClosed):
 		return &httpError{code: 409, kind: "campaign_closed", msg: err.Error()}
 	case errors.Is(err, shard.ErrBadBatch):

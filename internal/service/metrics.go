@@ -30,6 +30,9 @@ type metrics struct {
 	workerRestarts *obs.Counter // worker loops restarted by the supervisor
 	quarantined    *obs.Counter // experiments quarantined (panic or deadline)
 
+	planSatisfied *obs.Counter // jobs whose adaptive stop rule converged early
+	planSaved     *obs.Counter // experiments skipped by adaptive early stopping
+
 	queueWait  *obs.Histogram // seconds a job waited queued before a worker took it
 	jobSeconds *obs.Histogram // seconds per job attempt, pop to terminal state
 	progress   *obs.GaugeVec  // per-running-campaign completion ratio
@@ -50,6 +53,10 @@ func (m *metrics) init() {
 	m.workerRestarts = r.Counter("gpufi_worker_restarts_total", "Worker loops restarted by the supervisor.")
 	m.quarantined = r.Counter("gpufi_experiments_quarantined_total",
 		"Experiments quarantined by the sandbox (panic or wall-clock deadline).")
+	m.planSatisfied = r.Counter("gpufi_plan_campaigns_satisfied_total",
+		"Adaptive campaigns whose stop rule converged before the run ceiling.")
+	m.planSaved = r.Counter("gpufi_plan_experiments_saved_total",
+		"Experiments never simulated because an adaptive stop rule was satisfied first.")
 	m.queueWait = r.Histogram("gpufi_queue_wait_seconds",
 		"Seconds a job waited in the queue before a worker picked it up.", nil)
 	m.jobSeconds = r.Histogram("gpufi_job_seconds",
@@ -100,6 +107,10 @@ func (s *Server) registerShardMetrics() {
 		func() float64 { return float64(co.Stats().RecordsDuped) })
 	r.GaugeFunc("gpufi_shard_lease_expiries", "Leases that expired without completing their shard.",
 		func() float64 { return float64(co.Stats().LeaseExpiries) })
+	r.GaugeFunc("gpufi_shards_retired", "Shards retired early by a satisfied stop rule.",
+		func() float64 { return float64(co.Stats().ShardsRetired) })
+	r.GaugeFunc("gpufi_shard_experiments_saved", "Experiments never run because their campaign converged.",
+		func() float64 { return float64(co.Stats().ExperimentsSaved) })
 }
 
 // snapshotMetrics renders the flat JSON /metrics object, extending the
@@ -115,6 +126,8 @@ func (s *Server) snapshotMetrics() map[string]any {
 		snap["shard_records_merged"] = cs.RecordsMerged
 		snap["shard_records_duplicate"] = cs.RecordsDuped
 		snap["shard_lease_expiries"] = cs.LeaseExpiries
+		snap["shards_retired"] = cs.ShardsRetired
+		snap["shard_experiments_saved"] = cs.ExperimentsSaved
 	}
 	return snap
 }
@@ -137,28 +150,30 @@ func (m *metrics) snapshot() map[string]any {
 	}
 	expPanics, expDeadlines, discarded := core.SandboxStats()
 	return map[string]any{
-		"uptime_seconds":          uptime,
-		"jobs_queued":             m.queued.Load(),
-		"jobs_running":            m.running.Load(),
-		"jobs_done":               m.done.Load(),
-		"jobs_failed":             m.failed.Load(),
-		"jobs_cancelled":          m.cancelled.Load(),
-		"job_retries":             m.retries.Load(),
-		"worker_panics":           m.workerPanics.Load(),
-		"worker_restarts":         m.workerRestarts.Load(),
-		"experiments_total":       exps,
-		"experiments_per_sec":     rate,
-		"experiments_quarantined": m.quarantined.Load(),
-		"exp_panics":              expPanics,
-		"exp_deadlines":           expDeadlines,
-		"vessels_discarded":       discarded,
-		"forks_created":           es.ForksCreated,
-		"forks_reused":            es.ForksReused,
-		"fork_reuse_ratio":        reuseRatio,
-		"cow_bytes_copied":        es.COWBytesCopied,
-		"cow_bytes_avoided":       es.COWBytesAvoided,
-		"cow_dirty_ratio":         es.COWDirtyRatio,
-		"cow_full_restores":       es.COWFullRestores,
-		"warps_materialized":      es.WarpsMaterialized,
+		"uptime_seconds":           uptime,
+		"jobs_queued":              m.queued.Load(),
+		"jobs_running":             m.running.Load(),
+		"jobs_done":                m.done.Load(),
+		"jobs_failed":              m.failed.Load(),
+		"jobs_cancelled":           m.cancelled.Load(),
+		"job_retries":              m.retries.Load(),
+		"worker_panics":            m.workerPanics.Load(),
+		"worker_restarts":          m.workerRestarts.Load(),
+		"experiments_total":        exps,
+		"experiments_per_sec":      rate,
+		"experiments_quarantined":  m.quarantined.Load(),
+		"plan_campaigns_satisfied": m.planSatisfied.Load(),
+		"plan_experiments_saved":   m.planSaved.Load(),
+		"exp_panics":               expPanics,
+		"exp_deadlines":            expDeadlines,
+		"vessels_discarded":        discarded,
+		"forks_created":            es.ForksCreated,
+		"forks_reused":             es.ForksReused,
+		"fork_reuse_ratio":         reuseRatio,
+		"cow_bytes_copied":         es.COWBytesCopied,
+		"cow_bytes_avoided":        es.COWBytesAvoided,
+		"cow_dirty_ratio":          es.COWDirtyRatio,
+		"cow_full_restores":        es.COWFullRestores,
+		"warps_materialized":       es.WarpsMaterialized,
 	}
 }

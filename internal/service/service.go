@@ -19,6 +19,7 @@ import (
 
 	"gpufi/internal/avf"
 	"gpufi/internal/core"
+	"gpufi/internal/plan"
 	"gpufi/internal/shard"
 	"gpufi/internal/store"
 )
@@ -102,6 +103,13 @@ type job struct {
 	done     int  // experiments finished (including journaled prior ones)
 	resumed  bool // re-queued from the store at startup or by resubmit
 	attempts int  // run attempts so far (retries after a panic re-run the job)
+
+	// rule is the campaign's adaptive stop rule (nil for fixed-N jobs);
+	// analytic counts the records the pre-pass classified without
+	// simulation, and plan is the planner's terminal report.
+	rule     *plan.Rule
+	analytic int
+	plan     *core.PlanReport
 
 	enqueuedAt  time.Time // when the job (re)entered the queue
 	startedAt   time.Time // when a worker popped the current attempt
@@ -243,6 +251,7 @@ func (s *Server) Close() {
 func (s *Server) newJobLocked(id string, spec store.Spec) *job {
 	j := &job{
 		id: id, spec: spec, state: StateQueued, total: spec.Runs,
+		rule:       spec.PlanRule(),
 		enqueuedAt: time.Now(),
 		subs:       make(map[chan event]struct{}), finished: make(chan struct{}),
 	}
@@ -497,6 +506,9 @@ func (s *Server) onExperiment(j *job, exp core.Experiment) {
 	defer s.mu.Unlock()
 	j.counts.Add(exp.Outcome)
 	j.done++
+	if exp.Detail == core.AnalyticDetail {
+		j.analytic++
+	}
 	if exp.Quarantined {
 		// A sandboxed experiment (panic or wall-clock expiry) is worth a
 		// dedicated event: it is the signal that a fault specification is
@@ -520,7 +532,7 @@ func (s *Server) onExperiment(j *job, exp core.Experiment) {
 		perExp := time.Since(j.startedAt).Seconds() / float64(ran)
 		eta = perExp * float64(j.total-j.done)
 	}
-	s.broadcastLocked(j, event{name: "progress", data: map[string]any{
+	data := map[string]any{
 		"id":          j.id,
 		"exp":         exp.ID,
 		"effect":      exp.Effect,
@@ -528,7 +540,32 @@ func (s *Server) onExperiment(j *job, exp core.Experiment) {
 		"total":       j.total,
 		"ratio":       ratio,
 		"eta_seconds": eta,
-	}})
+	}
+	if j.rule != nil {
+		// Live convergence signal for adaptive campaigns: the running
+		// pooled interval half-width over everything journaled so far, and
+		// how much of it the analytic pre-pass contributed for free. The
+		// terminal "done" event carries the planner's authoritative
+		// stratified report.
+		data["ci_half_width"] = pooledHalfWidth(j.counts, j.rule)
+		data["analytic"] = j.analytic
+	}
+	s.broadcastLocked(j, event{name: "progress", data: data})
+}
+
+// pooledHalfWidth is the running confidence-interval half-width over a
+// job's live tally, at the stop rule's confidence level.
+func pooledHalfWidth(c avf.Counts, r *plan.Rule) float64 {
+	n := c.Total()
+	if n == 0 {
+		return 1
+	}
+	conf := r.Confidence
+	if conf == 0 {
+		conf = 0.99
+	}
+	lo, hi := plan.Wilson(c.Failures(), n, conf)
+	return (hi - lo) / 2
 }
 
 // finishJob moves a job to its terminal state and notifies everyone
@@ -548,6 +585,13 @@ func (s *Server) finishJob(base context.Context, j *job, res *core.CampaignResul
 		if res != nil {
 			j.counts = res.Counts
 			j.done = res.Counts.Total()
+			if res.Plan != nil {
+				j.plan = res.Plan
+				if res.Plan.Satisfied {
+					s.metrics.planSatisfied.Add(1)
+				}
+				s.metrics.planSaved.Add(int64(res.Plan.Skipped))
+			}
 		}
 		s.metrics.done.Add(1)
 	case isCancel(err):

@@ -1,0 +1,128 @@
+package shard_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestShardedAdaptiveConvergence drives an adaptive campaign through the
+// full distributed stack: the coordinator journals the analytic pre-pass,
+// plans shards over the simulatable remainder, feeds its tracker from
+// worker batches, and retires outstanding shards once the stop rule is
+// satisfied — with workers stopping cleanly on the typed
+// campaign_satisfied signal rather than erroring out.
+func TestShardedAdaptiveConvergence(t *testing.T) {
+	c := startCluster(t, t.TempDir(), 4, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w1 := startWorker(ctx, c, "w1", 5, nil)
+	w2 := startWorker(ctx, c, "w2", 5, nil)
+
+	const id = "adaptive-e2e"
+	const runs = 200
+	submit(t, c.ts.URL, map[string]any{
+		"id": id, "app": "VA", "gpu": "RTX2060", "kernel": "va_add",
+		"structure": "regfile", "runs": runs, "seed": 5,
+		"plan": map[string]any{
+			"target_ci": 0.12, "confidence": 0.95, "min_runs": 40,
+		},
+	})
+	waitDone(t, c.ts.URL, id, 2*time.Minute)
+
+	// The journal must hold fewer experiment records than the run ceiling:
+	// the whole point of the adaptive path is that converged campaigns
+	// leave the tail unsimulated.
+	recs, dups := journalRecords(t, c.st, id)
+	if dups != 0 {
+		t.Fatalf("journal has %d duplicate exp records", dups)
+	}
+	exps := len(recs) - 1 // minus the campaign header
+	if exps >= runs {
+		t.Fatalf("adaptive campaign journaled %d experiments, want fewer than the %d ceiling", exps, runs)
+	}
+	t.Logf("journaled %d of %d experiments", exps, runs)
+
+	// The /v1 status of the finished job must carry the planner's report.
+	var st struct {
+		State string `json:"state"`
+		Plan  *struct {
+			Satisfied bool    `json:"satisfied"`
+			Analytic  int     `json:"analytic"`
+			Observed  int     `json:"observed"`
+			HalfWidth float64 `json:"half_width"`
+			TargetCI  float64 `json:"target_ci"`
+			Simulated int     `json:"simulated"`
+			Skipped   int     `json:"skipped"`
+		} `json:"plan"`
+	}
+	resp, err := http.Get(c.ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Plan == nil {
+		t.Fatal("finished adaptive campaign status has no plan report")
+	}
+	if !st.Plan.Satisfied {
+		t.Fatalf("plan report not satisfied: %+v", st.Plan)
+	}
+	if st.Plan.Skipped == 0 {
+		t.Fatalf("plan report shows no skipped experiments: %+v", st.Plan)
+	}
+	if st.Plan.HalfWidth > st.Plan.TargetCI {
+		t.Fatalf("half-width %g above target %g", st.Plan.HalfWidth, st.Plan.TargetCI)
+	}
+	// Observed = simulated + analytic, and everything not observed was
+	// skipped by the early stop.
+	if st.Plan.Observed != st.Plan.Simulated+st.Plan.Analytic {
+		t.Fatalf("strata do not add up: observed %d != simulated %d + analytic %d",
+			st.Plan.Observed, st.Plan.Simulated, st.Plan.Analytic)
+	}
+	if st.Plan.Observed != runs-st.Plan.Skipped {
+		t.Fatalf("observed %d != runs %d - skipped %d", st.Plan.Observed, runs, st.Plan.Skipped)
+	}
+
+	// The coordinator's control-plane counters must record the saving.
+	cs := c.co.Stats()
+	if cs.ShardsRetired == 0 {
+		t.Error("coordinator retired no shards")
+	}
+	if cs.ExperimentsSaved == 0 {
+		t.Error("coordinator recorded no experiments saved")
+	}
+
+	// And the service /metrics view must surface both the job-level and
+	// shard-level planner counters.
+	var snap map[string]any
+	resp, err = http.Get(c.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v, _ := snap["plan_campaigns_satisfied"].(float64); v < 1 {
+		t.Errorf("plan_campaigns_satisfied = %v, want >= 1", snap["plan_campaigns_satisfied"])
+	}
+	if v, _ := snap["shard_experiments_saved"].(float64); v < 1 {
+		t.Errorf("shard_experiments_saved = %v, want >= 1", snap["shard_experiments_saved"])
+	}
+
+	// Workers must exit their shard loops cleanly (no error path): cancel
+	// the context and wait for both Run loops to return.
+	cancel()
+	for _, done := range []chan struct{}{w1, w2} {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("worker did not exit after cancel")
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"gpufi/internal/avf"
 	"gpufi/internal/core"
+	"gpufi/internal/plan"
 	"gpufi/internal/store"
 )
 
@@ -52,6 +53,12 @@ type Stats struct {
 	RecordsMerged   int64
 	RecordsDuped    int64
 	LeaseExpiries   int64
+
+	// ShardsRetired counts shards withdrawn because their campaign's
+	// adaptive stop rule converged before they merged; ExperimentsSaved is
+	// the experiments those campaigns never had to run.
+	ShardsRetired    int64
+	ExperimentsSaved int64
 }
 
 // Coordinator plans campaigns into shards, leases them to workers, and
@@ -68,13 +75,15 @@ type Coordinator struct {
 	campaigns map[string]*campaignRun
 	order     []string // claim scan order: oldest campaign first
 
-	shardsPlanned   atomic.Int64
-	shardsCompleted atomic.Int64
-	shardsReissued  atomic.Int64
-	batches         atomic.Int64
-	recordsMerged   atomic.Int64
-	recordsDuped    atomic.Int64
-	leaseExpiries   atomic.Int64
+	shardsPlanned    atomic.Int64
+	shardsCompleted  atomic.Int64
+	shardsReissued   atomic.Int64
+	batches          atomic.Int64
+	recordsMerged    atomic.Int64
+	recordsDuped     atomic.Int64
+	leaseExpiries    atomic.Int64
+	shardsRetired    atomic.Int64
+	experimentsSaved atomic.Int64
 }
 
 // campaignRun is one campaign being coordinated: the open store handle,
@@ -84,14 +93,21 @@ type campaignRun struct {
 	spec     store.Spec
 	app, gpu string // canonical profile names (may differ from spec aliases)
 	c        *store.Campaign
-	shards map[string]*shardState
-	sorder []string // shard issue order (cycle order)
+	shards   map[string]*shardState
+	sorder   []string // shard issue order (cycle order)
 
 	merged       map[int]bool // experiment indices journaled (incl. prior)
 	mergedTraces map[int]bool
 	total        int
 	newExps      []core.Experiment // merged this coordinator lifetime
 	onExp        func(core.Experiment)
+
+	// tracker is the adaptive campaign's stratified interval estimator
+	// (nil for fixed-N campaigns); simulated counts the simulated records
+	// merged this lifetime, and satisfied marks an early finalize.
+	tracker   *plan.Tracker
+	simulated int
+	satisfied bool
 
 	closed bool   // no more claims/batches; reason says why
 	reason string // "done" | "cancelled" | "failed"
@@ -109,6 +125,7 @@ type shardState struct {
 	worker   string
 	expiry   time.Time
 	done     bool
+	retired  bool // withdrawn by adaptive convergence, not merged
 	reissues int
 }
 
@@ -123,13 +140,15 @@ func NewCoordinator(st *store.Store, opts Options) *Coordinator {
 // Stats snapshots the lifetime counters.
 func (co *Coordinator) Stats() Stats {
 	return Stats{
-		ShardsPlanned:   co.shardsPlanned.Load(),
-		ShardsCompleted: co.shardsCompleted.Load(),
-		ShardsReissued:  co.shardsReissued.Load(),
-		Batches:         co.batches.Load(),
-		RecordsMerged:   co.recordsMerged.Load(),
-		RecordsDuped:    co.recordsDuped.Load(),
-		LeaseExpiries:   co.leaseExpiries.Load(),
+		ShardsPlanned:    co.shardsPlanned.Load(),
+		ShardsCompleted:  co.shardsCompleted.Load(),
+		ShardsReissued:   co.shardsReissued.Load(),
+		Batches:          co.batches.Load(),
+		RecordsMerged:    co.recordsMerged.Load(),
+		RecordsDuped:     co.recordsDuped.Load(),
+		LeaseExpiries:    co.leaseExpiries.Load(),
+		ShardsRetired:    co.shardsRetired.Load(),
+		ExperimentsSaved: co.experimentsSaved.Load(),
 	}
 }
 
@@ -184,6 +203,61 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 		return nil, err
 	}
 	cfg.Completed = c.CompletedIDs()
+
+	// Adaptive campaigns: the coordinator owns the stop rule. The analytic
+	// pre-pass runs once, here — its Masked records are journaled
+	// coordinator-side and their indices never enter a shard — and the
+	// stratified tracker is fed from every ingested batch, so the campaign
+	// is finalized (and its outstanding shards retired) the moment the
+	// interval converges. Workers run their shard's indices fixed-N; the
+	// coordinator is the only place the sequential interval is evaluated.
+	var (
+		tracker      *plan.Tracker
+		analyticExps []core.Experiment
+	)
+	if cfg.Plan.Enabled() {
+		tracker = plan.NewTracker(*cfg.Plan)
+		recs, err := core.PlanAnalytic(ctx, cfg, prof)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		prior := c.Counts
+		journaled := make(map[int]bool, len(cfg.Completed))
+		for _, i := range cfg.Completed {
+			journaled[i] = true
+		}
+		completedAnalytic := 0
+		for _, e := range recs {
+			if journaled[e.ID] {
+				completedAnalytic++
+				continue
+			}
+			if err := c.Append(e); err != nil {
+				c.Close()
+				return nil, err
+			}
+			if e.Trace != nil {
+				if err := c.AppendTrace(*e.Trace); err != nil {
+					c.Close()
+					return nil, err
+				}
+				e.Trace = nil
+			}
+			cfg.Completed = append(cfg.Completed, e.ID)
+			analyticExps = append(analyticExps, e)
+		}
+		tracker.AddAnalytic(len(recs))
+		tracker.SetStratum(c.Spec.Runs - len(recs))
+		// The journaled tally pools both strata; peel the analytic Masked
+		// records off so only simulated outcomes enter the binomial.
+		prior.Masked -= completedAnalytic
+		if prior.Masked < 0 {
+			prior.Masked = 0
+		}
+		tracker.AddCounts(prior)
+	}
+
 	parts, err := core.PlanShards(cfg, prof, co.opts.ShardsPerCampaign)
 	if err != nil {
 		c.Close()
@@ -193,13 +267,22 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 	run := &campaignRun{
 		id: id, spec: c.Spec, app: prof.App, gpu: prof.GPU,
 		c: c, total: c.Spec.Runs, onExp: onExp,
-		shards: make(map[string]*shardState),
-		merged: make(map[int]bool), mergedTraces: make(map[int]bool),
+		tracker: tracker,
+		shards:  make(map[string]*shardState),
+		merged:  make(map[int]bool), mergedTraces: make(map[int]bool),
 		done: make(chan struct{}),
 	}
 	for _, i := range cfg.Completed {
 		run.merged[i] = true
 		run.mergedTraces[i] = true
+	}
+	// The analytic records are this lifetime's merges too: they must reach
+	// the final result's Exps and the caller's progress hook.
+	run.newExps = append(run.newExps, analyticExps...)
+	if onExp != nil {
+		for _, e := range analyticExps {
+			onExp(e)
+		}
 	}
 	for k, idxs := range parts {
 		sid := fmt.Sprintf("%s:%d", id, k)
@@ -227,9 +310,15 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 	}
 	co.campaigns[id] = run
 	co.order = append(co.order, id)
-	if len(parts) == 0 {
-		// Nothing pending (fully journaled campaign resumed): finalize now.
+	switch {
+	case len(parts) == 0:
+		// Nothing pending (fully journaled campaign resumed, or the pre-pass
+		// covered every remaining index): finalize now.
 		co.finalizeLocked(run, prof.App, prof.GPU)
+	case tracker != nil && tracker.Satisfied():
+		// The resumed prior (plus the analytic stratum) already meets the
+		// rule: no shard ever gets claimed.
+		co.satisfyLocked(run)
 	}
 	co.mu.Unlock()
 	co.opts.Logger.Info("campaign sharded", "id", id, "shards", len(parts),
@@ -335,6 +424,9 @@ func (co *Coordinator) Heartbeat(shardID, lease string) (*HeartbeatResult, error
 		return nil, err
 	}
 	if run.closed {
+		if run.satisfied {
+			return nil, fmt.Errorf("%w: campaign %s converged", ErrCampaignSatisfied, run.id)
+		}
 		return nil, fmt.Errorf("%w: campaign %s is %s", ErrCampaignClosed, run.id, run.reason)
 	}
 	if ss.done {
@@ -367,6 +459,9 @@ func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
 			ErrBadBatch, b.Campaign, run.id)
 	}
 	if run.closed {
+		if run.satisfied {
+			return nil, fmt.Errorf("%w: campaign %s converged", ErrCampaignSatisfied, run.id)
+		}
 		return nil, fmt.Errorf("%w: campaign %s is %s", ErrCampaignClosed, run.id, run.reason)
 	}
 	if !ss.leases[b.Lease] {
@@ -409,6 +504,10 @@ func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
 			run.newExps = append(run.newExps, exp)
 			res.Accepted++
 			co.recordsMerged.Add(1)
+			if run.tracker != nil {
+				run.tracker.Add(exp.Outcome)
+				run.simulated++
+			}
 			if run.onExp != nil {
 				run.onExp(exp)
 			}
@@ -441,14 +540,49 @@ func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
 		co.opts.Logger.Info("shard complete", "shard", b.Shard, "worker", ss.worker)
 	}
 	res.ShardDone = ss.done
-	if len(run.merged) == run.total {
+	switch {
+	case len(run.merged) == run.total:
 		co.finalizeLocked(run, run.app, run.gpu)
 		if run.err != nil {
 			return res, run.err
 		}
 		res.CampaignDone = true
+	case run.tracker != nil && run.tracker.Satisfied():
+		co.satisfyLocked(run)
+		if run.err != nil {
+			return res, run.err
+		}
+		res.Satisfied = true
+		res.ShardDone = true
+		res.CampaignDone = true
 	}
 	return res, nil
+}
+
+// satisfyLocked finalizes a campaign whose adaptive stop rule converged
+// before every shard merged: outstanding shards are retired (their workers
+// learn on the next batch or heartbeat), the saving is recorded, and the
+// campaign completes exactly like a fully merged one — the done marker
+// carries the plan report with the skipped count. Caller holds co.mu.
+func (co *Coordinator) satisfyLocked(run *campaignRun) {
+	if run.closed {
+		return
+	}
+	run.satisfied = true
+	retired := 0
+	for _, sid := range run.sorder {
+		ss := run.shards[sid]
+		if !ss.done {
+			ss.done = true
+			ss.retired = true
+			retired++
+		}
+	}
+	co.shardsRetired.Add(int64(retired))
+	co.experimentsSaved.Add(int64(run.total - len(run.merged)))
+	co.opts.Logger.Info("campaign satisfied; retiring shards", "id", run.id,
+		"merged", len(run.merged), "total", run.total, "retired", retired)
+	co.finalizeLocked(run, run.app, run.gpu)
 }
 
 // finalizeLocked completes a fully merged campaign: sync, done marker,
@@ -459,6 +593,10 @@ func (co *Coordinator) finalizeLocked(run *campaignRun, app, gpu string) {
 	}
 	merged := run.c.MergedResult(&core.CampaignResult{
 		App: app, GPU: gpu, Exps: append([]core.Experiment(nil), run.newExps...)})
+	if run.tracker != nil {
+		merged.Plan = &core.PlanReport{Status: run.tracker.Status(),
+			Simulated: run.simulated, Skipped: run.total - len(run.merged)}
+	}
 	run.closed = true
 	if err := co.st.ClearCancelled(run.id); err != nil {
 		run.reason, run.err = "failed", err
@@ -508,6 +646,8 @@ func (co *Coordinator) Statuses() []Status {
 				}
 			}
 			switch {
+			case ss.retired:
+				st.State = "retired"
 			case ss.done:
 				st.State = "done"
 			case ss.curLease != "" && now.Before(ss.expiry):

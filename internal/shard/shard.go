@@ -55,6 +55,13 @@ var (
 	// ErrBadBatch reports a malformed batch: a record for an index outside
 	// the shard, an unparsable outcome, or a missing payload.
 	ErrBadBatch = errors.New("shard: bad batch")
+
+	// ErrCampaignSatisfied reports a batch or heartbeat against a campaign
+	// whose adaptive stop rule already converged: the coordinator finalized
+	// it early and retired the outstanding shards. Unlike ErrCampaignClosed
+	// this is a success signal — the worker stops the shard cleanly instead
+	// of abandoning it.
+	ErrCampaignSatisfied = errors.New("shard: campaign satisfied")
 )
 
 // Shard is the unit of distributed work: one campaign's experiments for a
@@ -114,6 +121,12 @@ type BatchResult struct {
 	Duplicates   int  `json:"duplicates"`
 	ShardDone    bool `json:"shard_done"`
 	CampaignDone bool `json:"campaign_done"`
+
+	// Satisfied reports that this batch pushed the campaign's adaptive
+	// confidence interval under its target: the campaign is finalized and
+	// every outstanding shard retired. The worker stops the shard's engine
+	// instead of running the remaining experiments.
+	Satisfied bool `json:"satisfied,omitempty"`
 }
 
 // ClaimRequest names the worker asking for a shard (diagnostics only).
@@ -136,7 +149,7 @@ type HeartbeatResult struct {
 type Status struct {
 	ID       string `json:"id"`
 	Campaign string `json:"campaign"`
-	State    string `json:"state"` // pending | leased | done
+	State    string `json:"state"` // pending | leased | done | retired
 	Worker   string `json:"worker,omitempty"`
 	Indices  int    `json:"indices"`
 	Merged   int    `json:"merged"`

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpufi/internal/core"
@@ -142,6 +143,11 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	if err != nil {
 		return fmt.Errorf("shard %s: bad spec: %w", sh.ID, err)
 	}
+	// The coordinator owns the adaptive stop rule: it ran the analytic
+	// pre-pass before planning shards and evaluates the interval on every
+	// ingested batch. The worker runs its indices fixed-N and stops when
+	// the coordinator says the campaign is satisfied.
+	cfg.Plan = nil
 	prof, err := w.profile(ctx, sh.Spec, cfg)
 	if err != nil {
 		return fmt.Errorf("shard %s: profile: %w", sh.ID, err)
@@ -161,6 +167,7 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	}
 
 	shardCtx, cancel := context.WithCancel(ctx)
+	var satisfied atomic.Bool // campaign converged: stop the shard cleanly
 	hbDone := make(chan struct{})
 	// Cancel BEFORE waiting: the heartbeat loop only wakes on its ticker
 	// or the context, so waiting first would stall shard turnaround by up
@@ -184,6 +191,13 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 				return
 			case <-t.C:
 				if err := w.heartbeat(shardCtx, sh); err != nil && shardCtx.Err() == nil {
+					if errors.Is(err, ErrCampaignSatisfied) {
+						w.logger().Info("campaign satisfied; stopping shard",
+							"shard", sh.ID)
+						satisfied.Store(true)
+						cancel()
+						return
+					}
 					w.logger().Warn("heartbeat failed; abandoning shard",
 						"shard", sh.ID, "err", err)
 					cancel()
@@ -217,7 +231,20 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 			Seq: s, Final: final, Records: out,
 		})
 		if err != nil {
+			// A late batch against a converged campaign is success: the
+			// coordinator finalized with the records it already had.
+			if errors.Is(err, ErrCampaignSatisfied) {
+				satisfied.Store(true)
+				cancel()
+				return nil
+			}
 			return err
+		}
+		if res.Satisfied {
+			// This batch converged the campaign: stop the engine, there is
+			// nothing left worth simulating.
+			satisfied.Store(true)
+			cancel()
 		}
 		if w.AfterBatch != nil {
 			w.AfterBatch(sh.ID, s)
@@ -254,7 +281,14 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	}
 
 	if _, err := core.RunCampaign(shardCtx, cfg, prof); err != nil {
+		if satisfied.Load() {
+			w.logger().Info("shard stopped early; campaign satisfied", "shard", sh.ID)
+			return nil
+		}
 		return fmt.Errorf("shard %s: engine: %w", sh.ID, err)
+	}
+	if satisfied.Load() {
+		return nil
 	}
 	return flush(true)
 }
@@ -351,6 +385,8 @@ func codeErr(code string) error {
 		return ErrUnknownShard
 	case "invalid_batch":
 		return ErrBadBatch
+	case "campaign_satisfied":
+		return ErrCampaignSatisfied
 	default:
 		return fmt.Errorf("shard: coordinator error %s", code)
 	}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestAccessLogVecadd: the fault-free access log records last-read cycles
+// for exactly the registers a kernel actually reads, and nothing for
+// registers it never touches.
+func TestAccessLogVecadd(t *testing.T) {
+	g := newTestGPU(t)
+	g.EnableAccessLog()
+	if !g.AccessLogging() {
+		t.Fatal("AccessLogging false after EnableAccessLog")
+	}
+	runVecadd(t, g, 200)
+	las := g.LaunchAccesses()
+	if len(las) != 1 {
+		t.Fatalf("launches logged: %d, want 1", len(las))
+	}
+	la := las[0]
+	if la.Kernel != "vecadd" {
+		t.Fatalf("kernel %q", la.Kernel)
+	}
+	if la.End <= la.Start {
+		t.Fatalf("window [%d,%d]", la.Start, la.End)
+	}
+	// vecadd reads R0 (address math), R1..R8; it never reads R20.
+	for _, r := range []int{0, 1, 5, 7, 8} {
+		if r >= len(la.RegLast) || la.RegLast[r] == 0 {
+			t.Errorf("R%d never recorded read", r)
+		}
+		if la.RegLast != nil && r < len(la.RegLast) && la.RegLast[r] > la.End {
+			t.Errorf("R%d last read %d beyond window end %d", r, la.RegLast[r], la.End)
+		}
+	}
+	if la.RegReadAfter(20, 0) {
+		t.Error("R20 reported read")
+	}
+	// Every recorded register is read somewhere within the window, so a
+	// fault after End+1 is analytically dead for all of them.
+	for r := range la.RegLast {
+		if la.RegReadAfter(r, la.End+1) {
+			t.Errorf("R%d read after launch end", r)
+		}
+	}
+	// No shared memory in vecadd.
+	if len(la.SmemLast) != 0 {
+		t.Errorf("smem reads recorded for smem-free kernel: %v", la.SmemLast)
+	}
+}
+
+// TestAccessLogSharedReduction: shared-memory word reads are recorded,
+// and the log is per-launch.
+func TestAccessLogSharedReduction(t *testing.T) {
+	src := `
+.kernel reduce
+.smem 256
+	S2R R0, %tid.x
+	S2R R1, %ctaid.x
+	S2R R2, %ntid.x
+	IMAD R3, R1, R2, R0
+	LDC R4, c[0]
+	LDC R5, c[4]
+	SHL R6, R3, 2
+	IADD R6, R4, R6
+	LDG R7, [R6]
+	SHL R8, R0, 2
+	STS [R8], R7
+	BAR
+	ISETP.NE P2, R0, 0
+@P2	EXIT
+	LDS R13, [0]
+	LDS R14, [4]
+	IADD R13, R13, R14
+	SHL R14, R1, 2
+	IADD R14, R5, R14
+	STG [R14], R13
+	EXIT
+`
+	g := newTestGPU(t)
+	g.EnableAccessLog()
+	p := mustAssemble(t, src)
+	n := 64
+	din, _ := g.Malloc(uint32(4 * n))
+	dout, _ := g.Malloc(uint32(4))
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(i)
+	}
+	g.MemcpyHtoD(din, u32sToBytes(in))
+	if _, err := g.Launch(p, Dim1(1), Dim1(n), din, dout); err != nil {
+		t.Fatal(err)
+	}
+	las := g.LaunchAccesses()
+	if len(las) != 1 {
+		t.Fatalf("launches logged: %d, want 1", len(las))
+	}
+	la := las[0]
+	// Words 0 and 1 are read by the thread-0 epilogue; word 2 is written
+	// (STS) but never read.
+	if !la.SmemWordReadAfter(0, la.Start) || !la.SmemWordReadAfter(1, la.Start) {
+		t.Errorf("smem words 0/1 not recorded read: %v", la.SmemLast)
+	}
+	if la.SmemWordReadAfter(2, 0) {
+		t.Errorf("smem word 2 reported read: %v", la.SmemLast)
+	}
+	// A second launch appends a fresh record with empty carryover.
+	if _, err := g.Launch(p, Dim1(1), Dim1(n), din, dout); err != nil {
+		t.Fatal(err)
+	}
+	las = g.LaunchAccesses()
+	if len(las) != 2 {
+		t.Fatalf("launches logged after relaunch: %d, want 2", len(las))
+	}
+	if las[1].Start < las[0].End {
+		t.Errorf("second launch window [%d,%d] overlaps first [%d,%d]",
+			las[1].Start, las[1].End, las[0].Start, las[0].End)
+	}
+}
+
+// TestAccessLogOffByDefault: campaigns must pay nothing — the log is
+// disabled unless explicitly enabled, and LaunchAccesses is nil.
+func TestAccessLogOffByDefault(t *testing.T) {
+	g := newTestGPU(t)
+	runVecadd(t, g, 64)
+	if g.AccessLogging() || g.LaunchAccesses() != nil {
+		t.Fatal("access log active without EnableAccessLog")
+	}
+}

@@ -25,6 +25,9 @@ func (c *core) execute(w *warp, in *isa.Instr, eff uint32) int {
 		}
 		return g.cfg.ALULatency
 	default:
+		if g.access != nil && eff != 0 {
+			c.noteALUReads(in)
+		}
 		for lane := 0; lane < 32; lane++ {
 			if eff&(1<<uint(lane)) == 0 {
 				continue
@@ -135,6 +138,13 @@ func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
 
 	case isa.OpLDS, isa.OpSTS:
 		return c.sharedAccess(w, in, eff)
+	}
+
+	if g.access != nil {
+		c.noteRegRead(in.SrcA) // address operand
+		if !in.Op.IsLoad() {
+			c.noteRegRead(in.SrcC) // store data operand
+		}
 	}
 
 	// Per-lane effective addresses.
@@ -318,6 +328,12 @@ func (c *core) sharedAccess(w *warp, in *isa.Instr, eff uint32) int {
 		// aliasing the snapshot's bank gets its private copy first.
 		c.materializeSmem(w.cta)
 	}
+	if g.access != nil && eff != 0 {
+		c.noteRegRead(in.SrcA) // address operand
+		if in.Op != isa.OpLDS {
+			c.noteRegRead(in.SrcC) // store data operand
+		}
+	}
 	smem := w.cta.smem
 	for lane := 0; lane < 32; lane++ {
 		if eff&(1<<uint(lane)) == 0 {
@@ -331,6 +347,9 @@ func (c *core) sharedAccess(w *warp, in *isa.Instr, eff uint32) int {
 			return 0
 		}
 		if in.Op == isa.OpLDS {
+			if g.access != nil {
+				c.noteSmemRead(addr)
+			}
 			v := uint32(smem[addr]) | uint32(smem[addr+1])<<8 |
 				uint32(smem[addr+2])<<16 | uint32(smem[addr+3])<<24
 			t.writeReg(in.Dst, v)

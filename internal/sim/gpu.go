@@ -63,6 +63,12 @@ type GPU struct {
 	// trace.go). Set per experiment via EnableTrace; cleared by Refork.
 	tracer *Tracer
 
+	// access, when non-nil, records the fault-free last-read cycle of
+	// every register and shared-memory word per launch (see access.go).
+	// Set via EnableAccessLog for the adaptive planner's analytic
+	// pre-pass; nil during campaigns.
+	access *accessLog
+
 	// Pending faults, sorted by cycle. The paper supports single or
 	// multiple faults in the same entry, different entries, and different
 	// hardware structures simultaneously — each pending spec is applied
@@ -420,6 +426,9 @@ func (g *GPU) launchSetup(p *isa.Program, grid, block Dim, args []uint32) (*Laun
 
 	g.launchStart = g.cycle
 	g.launchCores = make(map[int]bool)
+	if g.access != nil {
+		g.access.beginLaunch()
+	}
 
 	// Initial CTA placement, breadth-first across cores as the hardware
 	// GigaThread scheduler does (one CTA per SM per pass until full).
@@ -522,6 +531,9 @@ func (g *GPU) runLaunch() (*LaunchResult, error) {
 
 	end := g.cycle
 	ks.Windows = append(ks.Windows, CycleWindow{Start: g.launchStart, End: end})
+	if g.access != nil {
+		g.access.endLaunch(p.Name, g.launchStart, end)
+	}
 	ks.TotalCycles += end - g.launchStart
 	for id := range g.launchCores {
 		ks.UsedCores = appendUnique(ks.UsedCores, id)

@@ -8,6 +8,7 @@ import (
 	"gpufi/internal/bench"
 	"gpufi/internal/config"
 	"gpufi/internal/core"
+	"gpufi/internal/plan"
 	"gpufi/internal/sim"
 )
 
@@ -47,9 +48,21 @@ type Spec struct {
 	// experiment in traces.jsonl next to the journal). Tracing is purely
 	// observational: outcomes stay bit-identical with it on or off.
 	Trace bool `json:"trace,omitempty"`
+
+	// Plan configures adaptive early stopping: the campaign stops once its
+	// confidence interval is tighter than Plan.TargetCI, with Runs as the
+	// ceiling. Nil (or a zero TargetCI) keeps the fixed-N behavior and
+	// byte-identical journals.
+	Plan *plan.Rule `json:"plan,omitempty"`
+
+	// TargetCI is shorthand for Plan: a POST body can say just
+	// {"target_ci": 0.01} instead of a nested plan object. normalize folds
+	// it into Plan (ignored when Plan is set explicitly).
+	TargetCI float64 `json:"target_ci,omitempty"`
 }
 
-// normalize applies the defaults a zero value implies.
+// normalize applies the defaults a zero value implies and folds the
+// target_ci shorthand into the canonical plan block.
 func (s Spec) normalize() Spec {
 	if s.Scale == 0 {
 		s.Scale = 1
@@ -57,7 +70,17 @@ func (s Spec) normalize() Spec {
 	if s.Bits == 0 {
 		s.Bits = 1
 	}
+	if s.Plan == nil && s.TargetCI != 0 {
+		s.Plan = &plan.Rule{TargetCI: s.TargetCI}
+	}
+	s.TargetCI = 0
 	return s
+}
+
+// PlanRule returns the campaign's effective adaptive stop rule after
+// folding the target_ci shorthand — nil when the campaign is fixed-N.
+func (s Spec) PlanRule() *plan.Rule {
+	return s.normalize().Plan
 }
 
 // Config resolves the spec to a validated CampaignConfig: the application
@@ -88,6 +111,7 @@ func (s Spec) Config() (*core.CampaignConfig, error) {
 		LegacyReplay: s.LegacyReplay,
 		ExpTimeout:   time.Duration(s.ExpTimeoutMS) * time.Millisecond,
 		Trace:        s.Trace,
+		Plan:         s.Plan,
 	}
 	for _, name := range s.Simultaneous {
 		extra, err := sim.ParseStructure(name)

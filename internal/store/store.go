@@ -312,8 +312,9 @@ func (c *Campaign) Close() error {
 // restarting service can report without re-parsing the journal.
 type doneRecord struct {
 	Header
-	Counts     avf.Counts `json:"counts"`
-	FinishedAt time.Time  `json:"finished_at"`
+	Counts     avf.Counts       `json:"counts"`
+	Plan       *core.PlanReport `json:"plan,omitempty"`
+	FinishedAt time.Time        `json:"finished_at"`
 }
 
 // Finish marks the campaign complete: the journal is synced and closed
@@ -323,7 +324,7 @@ func (c *Campaign) Finish(res *core.CampaignResult) error {
 	if err := c.Close(); err != nil {
 		return err
 	}
-	rec := doneRecord{Header: HeaderOf(res), Counts: res.Counts, FinishedAt: time.Now().UTC()}
+	rec := doneRecord{Header: HeaderOf(res), Counts: res.Counts, Plan: res.Plan, FinishedAt: time.Now().UTC()}
 	raw, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: encode completion marker: %v", err)
@@ -717,6 +718,7 @@ func (s *Store) Run(ctx context.Context, id string, spec Spec, prof *core.Profil
 		return nil, err
 	}
 	cfg.Completed = c.CompletedIDs()
+	cfg.PlanPrior = c.Counts
 	cfg.Journal = c.Append
 	cfg.Quarantine = c.Quarantine
 	cfg.Progress = onExp
@@ -776,6 +778,7 @@ func (c *Campaign) MergedResult(res *core.CampaignResult) *core.CampaignResult {
 	}
 	if res != nil {
 		merged.App, merged.GPU = res.App, res.GPU // profile's canonical names
+		merged.Plan = res.Plan
 		merged.Exps = append(merged.Exps, res.Exps...)
 	}
 	merged.Exps = append(merged.Exps, c.Prior...)
