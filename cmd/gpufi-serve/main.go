@@ -47,6 +47,17 @@
 //     back until killed. Workers are stateless and disposable: a killed
 //     worker's lease expires and its shard is re-issued.
 //
+// Either side can die. A coordinator journals its shard plans and lease
+// grants to a per-campaign control WAL; restarted with the same -data
+// directory it resumes in-flight sharded campaigns, rebuilds the shard
+// table, and fences out pre-crash leases with monotonic epochs (stale
+// workers get a typed 409 and re-claim). While a campaign's state is
+// being rebuilt, shard requests answer 503 coordinator_recovering with a
+// Retry-After. A worker that loses its coordinator parks in jittered
+// exponential backoff (-backoff-base/-backoff-max) and resumes when the
+// coordinator returns, re-sending unacknowledged batches through the
+// idempotent merge path; mid-shard it gives up after -outage-budget.
+//
 //	gpufi-serve -mode coordinator -addr :8080 -data gpufi-data
 //	gpufi-serve -mode worker -coordinator http://host:8080 -worker-name w1
 //
@@ -91,6 +102,10 @@ func main() {
 		leaseTTL   = flag.Duration("lease-ttl", 15*time.Second, "shard lease TTL before a silent worker's shard is re-issued (coordinator mode)")
 		nShards    = flag.Int("shards-per-campaign", 8, "max shards a campaign is split into (coordinator mode)")
 		shardBatch = flag.Int("shard-batch", 64, "journal records per batch POST (worker mode)")
+
+		backoffBase  = flag.Duration("backoff-base", 100*time.Millisecond, "initial retry delay against an unreachable coordinator (worker mode)")
+		backoffMax   = flag.Duration("backoff-max", 5*time.Second, "retry delay ceiling during a coordinator outage (worker mode)")
+		outageBudget = flag.Duration("outage-budget", 2*time.Minute, "how long a worker mid-shard waits out a coordinator outage before abandoning the shard (worker mode)")
 	)
 	flag.Parse()
 
@@ -114,7 +129,7 @@ func main() {
 	}
 
 	if *mode == "worker" {
-		runWorker(*coordURL, *workerName, *shardBatch, logger)
+		runWorker(*coordURL, *workerName, *shardBatch, *backoffBase, *backoffMax, *outageBudget, logger)
 		return
 	}
 	if *mode != "local" && *mode != "coordinator" {
@@ -181,8 +196,9 @@ func main() {
 }
 
 // runWorker runs the process as a stateless shard worker: claim, execute,
-// stream back, repeat, until SIGINT/SIGTERM.
-func runWorker(coordURL, name string, batchSize int, logger *slog.Logger) {
+// stream back, repeat, until SIGINT/SIGTERM. A coordinator outage parks
+// the worker in jittered exponential backoff instead of killing it.
+func runWorker(coordURL, name string, batchSize int, backoffBase, backoffMax, outageBudget time.Duration, logger *slog.Logger) {
 	if coordURL == "" {
 		log.Fatal("-mode worker requires -coordinator URL")
 	}
@@ -196,6 +212,7 @@ func runWorker(coordURL, name string, batchSize int, logger *slog.Logger) {
 	defer stop()
 	w := &shard.Worker{
 		Base: coordURL, Name: name, BatchSize: batchSize, Logger: logger,
+		BackoffBase: backoffBase, BackoffMax: backoffMax, OutageBudget: outageBudget,
 		Client: &http.Client{Timeout: 30 * time.Second},
 	}
 	log.Printf("worker %s pulling shards from %s", name, coordURL)

@@ -28,11 +28,14 @@ import (
 //	GET    /v1/campaigns/{id}/trace   the propagation traces (campaigns run with trace)
 //	DELETE /v1/campaigns/{id}         cancel (queued or running); revokes shard leases
 //
-// Shard control plane (coordinator mode; 503 otherwise):
+// Shard control plane (coordinator mode; 503 otherwise). While a restarted
+// coordinator is still rebuilding a campaign's shard table from its control
+// WAL, these routes answer a typed 503 coordinator_recovering with a
+// Retry-After header instead of 404/204, so parked workers keep waiting:
 //
 //	POST   /v1/shards/claim           claim a shard lease (204 when none pending)
 //	GET    /v1/shards                 shard statuses
-//	POST   /v1/shards/{id}/heartbeat  extend a lease
+//	POST   /v1/shards/{id}/heartbeat  extend a lease (409 lease_fenced after a re-issue)
 //	POST   /v1/shards/{id}/journal    merge a journal batch
 //
 // Unversioned operational endpoints (probes and scrapes are
@@ -171,15 +174,22 @@ func defaultKind(code int) string {
 }
 
 // writeErr renders any handler error as the uniform envelope, echoing the
-// request id assigned by the observability middleware.
+// request id assigned by the observability middleware. An httpError with a
+// retryAfter hint additionally emits a Retry-After header (the
+// coordinator_recovering 503 carries one so parked workers and load
+// balancers know the outage is expected to be short).
 func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	code, kind, msg := http.StatusInternalServerError, "", err.Error()
+	retryAfter := 0
 	var he *httpError
 	if errors.As(err, &he) {
-		code, kind, msg = he.code, he.kind, he.msg
+		code, kind, msg, retryAfter = he.code, he.kind, he.msg, he.retryAfter
 	}
 	if kind == "" {
 		kind = defaultKind(code)
+	}
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	}
 	writeJSON(w, code, errBody{Error: errDetail{
 		Code: kind, Message: msg, RequestID: requestID(r),
@@ -190,8 +200,13 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 // HTTP errors, so workers can branch on the code field.
 func shardErr(err error) error {
 	switch {
+	case errors.Is(err, shard.ErrRecovering):
+		return &httpError{code: 503, kind: "coordinator_recovering", msg: err.Error(),
+			retryAfter: 1}
 	case errors.Is(err, shard.ErrUnknownShard):
 		return &httpError{code: 404, kind: "shard_unknown", msg: err.Error()}
+	case errors.Is(err, shard.ErrLeaseFenced):
+		return &httpError{code: 409, kind: "lease_fenced", msg: err.Error()}
 	case errors.Is(err, shard.ErrLeaseRevoked):
 		return &httpError{code: 409, kind: "lease_revoked", msg: err.Error()}
 	case errors.Is(err, shard.ErrCampaignSatisfied):

@@ -111,6 +111,12 @@ func (s *Server) registerShardMetrics() {
 		func() float64 { return float64(co.Stats().ShardsRetired) })
 	r.GaugeFunc("gpufi_shard_experiments_saved", "Experiments never run because their campaign converged.",
 		func() float64 { return float64(co.Stats().ExperimentsSaved) })
+	r.GaugeFunc("gpufi_shard_wal_records", "Control-plane WAL records appended by this coordinator.",
+		func() float64 { return float64(co.Stats().WALRecords) })
+	r.GaugeFunc("gpufi_shard_wal_rebuilds", "Campaigns whose shard table was rebuilt from the control WAL.",
+		func() float64 { return float64(co.Stats().WALRebuilds) })
+	r.GaugeFunc("gpufi_shard_leases_fenced", "Stale-epoch heartbeats and batches refused after a re-issue.",
+		func() float64 { return float64(co.Stats().LeasesFenced) })
 }
 
 // snapshotMetrics renders the flat JSON /metrics object, extending the
@@ -128,6 +134,9 @@ func (s *Server) snapshotMetrics() map[string]any {
 		snap["shard_lease_expiries"] = cs.LeaseExpiries
 		snap["shards_retired"] = cs.ShardsRetired
 		snap["shard_experiments_saved"] = cs.ExperimentsSaved
+		snap["shard_wal_records"] = cs.WALRecords
+		snap["shard_wal_rebuilds"] = cs.WALRebuilds
+		snap["shard_leases_fenced"] = cs.LeasesFenced
 	}
 	return snap
 }

@@ -211,6 +211,12 @@ func (s *Server) Start(ctx context.Context) ([]string, error) {
 		s.queue = append(s.queue, j) // recovery bypasses the queue bound
 		s.cond.Signal()
 		s.mu.Unlock()
+		// Coordinator mode: until this campaign's Run rebuilds its shard
+		// table from the control WAL, workers holding pre-restart leases
+		// must hear "recovering, retry" — not "unknown shard, abandon".
+		if co := s.opts.Coordinator; co != nil {
+			co.MarkRecovering(id)
+		}
 		resumed = append(resumed, id)
 	}
 
@@ -732,6 +738,11 @@ type httpError struct {
 	code int
 	kind string
 	msg  string
+
+	// retryAfter, in seconds, emits a Retry-After header when positive —
+	// the coordinator_recovering 503 uses it to tell workers the outage
+	// is expected to be brief.
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +61,14 @@ type Stats struct {
 	// the experiments those campaigns never had to run.
 	ShardsRetired    int64
 	ExperimentsSaved int64
+
+	// WALRecords counts control-plane WAL records this coordinator
+	// appended; WALRebuilds counts campaigns whose shard table was rebuilt
+	// from a durable WAL plan after a restart; LeasesFenced counts
+	// stale-epoch heartbeats and batches refused after a shard re-issue.
+	WALRecords   int64
+	WALRebuilds  int64
+	LeasesFenced int64
 }
 
 // Coordinator plans campaigns into shards, leases them to workers, and
@@ -66,14 +76,22 @@ type Stats struct {
 // One coordinator drives many campaigns concurrently; each campaign's
 // Run call owns the store handle and blocks until the distributed workers
 // complete it (or ctx cancels it).
+//
+// Every control-plane transition is journaled to the campaign's control
+// WAL: plans and grants synchronously (they carry the fencing epochs),
+// renewals and merges batched (the journal is the source of truth for
+// merged indices; losing their tail costs nothing). A restarted
+// coordinator rebuilds its full in-memory state from WAL + journal.
 type Coordinator struct {
 	st   *store.Store
 	opts Options
 	now  func() time.Time // injectable clock for lease-expiry tests
 
-	mu        sync.Mutex
-	campaigns map[string]*campaignRun
-	order     []string // claim scan order: oldest campaign first
+	mu         sync.Mutex
+	campaigns  map[string]*campaignRun
+	order      []string        // claim scan order: oldest campaign first
+	recovering map[string]bool // campaigns mid-rebuild: answer ErrRecovering, not ErrUnknownShard
+	dead       bool            // Crash() was called: refuse new registrations
 
 	shardsPlanned    atomic.Int64
 	shardsCompleted  atomic.Int64
@@ -84,15 +102,20 @@ type Coordinator struct {
 	leaseExpiries    atomic.Int64
 	shardsRetired    atomic.Int64
 	experimentsSaved atomic.Int64
+	walRecords       atomic.Int64
+	walRebuilds      atomic.Int64
+	leasesFenced     atomic.Int64
 }
 
 // campaignRun is one campaign being coordinated: the open store handle,
-// the shard table, and the merge state.
+// the control WAL, the shard table, and the merge state.
 type campaignRun struct {
 	id       string
 	spec     store.Spec
 	app, gpu string // canonical profile names (may differ from spec aliases)
 	c        *store.Campaign
+	wal      *store.ControlWAL
+	gen      int // plan generation the shard table belongs to
 	shards   map[string]*shardState
 	sorder   []string // shard issue order (cycle order)
 
@@ -104,7 +127,9 @@ type campaignRun struct {
 
 	// tracker is the adaptive campaign's stratified interval estimator
 	// (nil for fixed-N campaigns); simulated counts the simulated records
-	// merged this lifetime, and satisfied marks an early finalize.
+	// merged across the campaign's whole life — seeded from the journal
+	// tally on a resume so the final report's strata add up — and
+	// satisfied marks an early finalize.
 	tracker   *plan.Tracker
 	simulated int
 	satisfied bool
@@ -118,9 +143,10 @@ type campaignRun struct {
 
 // shardState is the coordinator-side view of one shard.
 type shardState struct {
-	shard    Shard // Lease fields empty; filled per claim
+	shard    Shard           // Lease fields empty; filled per claim
 	indexSet map[int]bool
-	leases   map[string]bool // every token ever issued for this shard
+	leases   map[string]int64 // token -> epoch it was granted at
+	epoch    int64            // current issue number; only this epoch may write
 	curLease string
 	worker   string
 	expiry   time.Time
@@ -133,7 +159,8 @@ type shardState struct {
 func NewCoordinator(st *store.Store, opts Options) *Coordinator {
 	return &Coordinator{
 		st: st, opts: opts.withDefaults(), now: time.Now,
-		campaigns: make(map[string]*campaignRun),
+		campaigns:  make(map[string]*campaignRun),
+		recovering: make(map[string]bool),
 	}
 }
 
@@ -149,28 +176,93 @@ func (co *Coordinator) Stats() Stats {
 		LeaseExpiries:    co.leaseExpiries.Load(),
 		ShardsRetired:    co.shardsRetired.Load(),
 		ExperimentsSaved: co.experimentsSaved.Load(),
+		WALRecords:       co.walRecords.Load(),
+		WALRebuilds:      co.walRebuilds.Load(),
+		LeasesFenced:     co.leasesFenced.Load(),
 	}
 }
 
+// MarkRecovering flags a campaign as mid-rebuild: between a coordinator
+// restart and the campaign's shard table coming back, control-plane calls
+// that would otherwise read as "no work" or "unknown shard" answer
+// ErrRecovering, so a parked worker keeps waiting instead of abandoning a
+// shard that is about to exist again. The service marks every resumed
+// sharded campaign on boot; Run clears the flag on every exit from its
+// preparation phase, success or error.
+func (co *Coordinator) MarkRecovering(id string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.recovering[id] = true
+}
+
+func (co *Coordinator) clearRecovering(id string) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	delete(co.recovering, id)
+}
+
 // Run coordinates one campaign to completion: open (or resume) the store
-// campaign, plan shards over the pending indices, publish them to the
-// claim queue, and block until workers have journaled every experiment —
-// then write the completion marker and return the merged result, exactly
-// as a local store.Run would have. Cancellation closes the campaign to
-// further batches (late ones get ErrCampaignClosed), keeps the journal
-// resumable, and returns the partial merged result with ctx's error.
+// campaign, rebuild the shard table from the control WAL (or plan afresh
+// over the pending indices), publish the shards to the claim queue, and
+// block until workers have journaled every experiment — then write the
+// completion marker and return the merged result, exactly as a local
+// store.Run would have. Cancellation closes the campaign to further
+// batches (late ones get ErrCampaignClosed), keeps the journal resumable,
+// and returns the partial merged result with ctx's error.
 func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 	onExp func(core.Experiment)) (*core.CampaignResult, error) {
 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg, err := spec.Config()
+	if id == "" {
+		id = spec.ID()
+	}
+	run, early, err := co.prepare(ctx, id, spec, onExp)
 	if err != nil {
 		return nil, err
 	}
-	if id == "" {
-		id = spec.ID()
+	if early != nil {
+		return early, nil
+	}
+
+	select {
+	case <-run.done:
+	case <-ctx.Done():
+		co.mu.Lock()
+		if !run.closed {
+			run.closed = true
+			run.reason = "cancelled"
+			partial := &core.CampaignResult{App: run.app, GPU: run.gpu,
+				Exps: append([]core.Experiment(nil), run.newExps...)}
+			run.res = run.c.MergedResult(partial)
+			run.err = ctx.Err()
+			run.c.Close()
+			co.closeWALLocked(run)
+			close(run.done)
+			co.opts.Logger.Info("campaign coordination cancelled", "id", id,
+				"merged", len(run.merged), "total", run.total)
+		}
+		co.mu.Unlock()
+	}
+	co.mu.Lock()
+	res, runErr := run.res, run.err
+	co.mu.Unlock()
+	return res, runErr
+}
+
+// prepare opens (or resumes) the campaign, rebuilds or re-plans its shard
+// table, and registers the run with the claim queue. It clears the
+// campaign's recovering flag on every exit path — success or error — so a
+// failed rebuild cannot park workers on 503s forever.
+func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
+	onExp func(core.Experiment)) (*campaignRun, *core.CampaignResult, error) {
+
+	defer co.clearRecovering(id)
+
+	cfg, err := spec.Config()
+	if err != nil {
+		return nil, nil, err
 	}
 	var c *store.Campaign
 	if co.st.Exists(id) {
@@ -182,15 +274,15 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 		c, err = co.st.Create(id, spec)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if c.Done {
-		return c.MergedResult(nil), nil
+		return nil, c.MergedResult(nil), nil
 	}
 	if spec.Trace {
 		if err := c.EnableTraces(); err != nil {
 			c.Close()
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -200,7 +292,7 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 	prof, err := core.ProfileApp(ctx, cfg.App, cfg.GPU)
 	if err != nil {
 		c.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.Completed = c.CompletedIDs()
 
@@ -211,16 +303,19 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 	// is finalized (and its outstanding shards retired) the moment the
 	// interval converges. Workers run their shard's indices fixed-N; the
 	// coordinator is the only place the sequential interval is evaluated.
+	// On a post-crash resume the pre-pass is a no-op append-wise (the
+	// analytic records are already journaled) but still seeds the tracker.
 	var (
-		tracker      *plan.Tracker
-		analyticExps []core.Experiment
+		tracker        *plan.Tracker
+		analyticExps   []core.Experiment
+		priorSimulated int
 	)
 	if cfg.Plan.Enabled() {
 		tracker = plan.NewTracker(*cfg.Plan)
 		recs, err := core.PlanAnalytic(ctx, cfg, prof)
 		if err != nil {
 			c.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		prior := c.Counts
 		journaled := make(map[int]bool, len(cfg.Completed))
@@ -235,12 +330,12 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 			}
 			if err := c.Append(e); err != nil {
 				c.Close()
-				return nil, err
+				return nil, nil, err
 			}
 			if e.Trace != nil {
 				if err := c.AppendTrace(*e.Trace); err != nil {
 					c.Close()
-					return nil, err
+					return nil, nil, err
 				}
 				e.Trace = nil
 			}
@@ -256,18 +351,29 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 			prior.Masked = 0
 		}
 		tracker.AddCounts(prior)
+		priorSimulated = prior.Total()
 	}
 
-	parts, err := core.PlanShards(cfg, prof, co.opts.ShardsPerCampaign)
+	// Fsync ordering invariant: the journal is synced BEFORE any control
+	// record can reference its state, so a durable plan never presumes
+	// analytic appends that a crash could un-write.
+	if err := c.Sync(); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	ctl, torn, wal, err := co.st.OpenControlWAL(id)
 	if err != nil {
 		c.Close()
-		return nil, err
+		return nil, nil, err
+	}
+	if torn {
+		co.opts.Logger.Warn("control WAL had a torn final record; cut", "id", id)
 	}
 
 	run := &campaignRun{
 		id: id, spec: c.Spec, app: prof.App, gpu: prof.GPU,
-		c: c, total: c.Spec.Runs, onExp: onExp,
-		tracker: tracker,
+		c: c, wal: wal, total: c.Spec.Runs, onExp: onExp,
+		tracker: tracker, simulated: priorSimulated,
 		shards:  make(map[string]*shardState),
 		merged:  make(map[int]bool), mergedTraces: make(map[int]bool),
 		done: make(chan struct{}),
@@ -284,36 +390,85 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 			onExp(e)
 		}
 	}
-	for k, idxs := range parts {
-		sid := fmt.Sprintf("%s:%d", id, k)
-		set := make(map[int]bool, len(idxs))
-		for _, i := range idxs {
-			set[i] = true
+
+	if rb, ok := rebuildFromWAL(ctl, run.merged, run.total, co.now(), co.opts.LeaseTTL); ok {
+		run.gen = rb.gen
+		run.shards = rb.shards
+		run.sorder = rb.sorder
+		for _, ss := range run.shards {
+			ss.shard.Campaign = id
+			ss.shard.Spec = c.Spec
 		}
-		run.shards[sid] = &shardState{
-			shard: Shard{
-				ID: sid, Campaign: id, Spec: c.Spec,
-				Indices: idxs, Clusters: 1, // clusters per shard not exposed by the planner
-			},
-			indexSet: set,
-			leases:   make(map[string]bool),
+		co.walRebuilds.Add(1)
+		co.shardsPlanned.Add(int64(len(run.sorder)))
+		co.opts.Logger.Info("shard state rebuilt from control WAL", "id", id,
+			"gen", run.gen, "shards", len(run.sorder), "live_leases", rb.liveLeases)
+	} else {
+		parts, err := core.PlanShards(cfg, prof, co.opts.ShardsPerCampaign)
+		if err != nil {
+			c.Close()
+			wal.Close()
+			return nil, nil, err
 		}
-		run.sorder = append(run.sorder, sid)
+		run.gen = maxGen(ctl) + 1
+		for k, idxs := range parts {
+			sid := fmt.Sprintf("%s:%d:%d", id, run.gen, k)
+			set := make(map[int]bool, len(idxs))
+			for _, i := range idxs {
+				set[i] = true
+			}
+			run.shards[sid] = &shardState{
+				shard: Shard{
+					ID: sid, Campaign: id, Spec: c.Spec,
+					Indices: idxs, Clusters: 1, // clusters per shard not exposed by the planner
+				},
+				indexSet: set,
+				leases:   make(map[string]int64),
+			}
+			run.sorder = append(run.sorder, sid)
+		}
+		// Journal the plan, then the generation-complete marker, one fsync
+		// for the set: a crash mid-plan leaves a generation without its
+		// plan_done, and the next lifetime discards it and re-plans.
+		for _, sid := range run.sorder {
+			ss := run.shards[sid]
+			if err := wal.Append(store.ControlRecord{Kind: store.CtlPlan,
+				Gen: run.gen, Shard: sid, Indices: ss.shard.Indices}); err != nil {
+				c.Close()
+				wal.Close()
+				return nil, nil, err
+			}
+			co.walRecords.Add(1)
+		}
+		if err := wal.AppendSync(store.ControlRecord{Kind: store.CtlPlanDone,
+			Gen: run.gen, Count: len(run.sorder)}); err != nil {
+			c.Close()
+			wal.Close()
+			return nil, nil, err
+		}
+		co.walRecords.Add(1)
+		co.shardsPlanned.Add(int64(len(parts)))
 	}
-	co.shardsPlanned.Add(int64(len(parts)))
 
 	co.mu.Lock()
+	if co.dead {
+		co.mu.Unlock()
+		c.Close()
+		wal.Close()
+		return nil, nil, errors.New("shard: coordinator crashed")
+	}
 	if prev, ok := co.campaigns[id]; ok && !prev.closed {
 		co.mu.Unlock()
 		c.Close()
-		return nil, fmt.Errorf("shard: campaign %s is already being coordinated", id)
+		wal.Close()
+		return nil, nil, fmt.Errorf("shard: campaign %s is already being coordinated", id)
 	}
 	co.campaigns[id] = run
 	co.order = append(co.order, id)
 	switch {
-	case len(parts) == 0:
-		// Nothing pending (fully journaled campaign resumed, or the pre-pass
-		// covered every remaining index): finalize now.
+	case len(run.merged) == run.total:
+		// Nothing pending (fully journaled campaign resumed, or the
+		// pre-pass covered every remaining index): finalize now.
 		co.finalizeLocked(run, prof.App, prof.GPU)
 	case tracker != nil && tracker.Satisfied():
 		// The resumed prior (plus the analytic stratum) already meets the
@@ -321,31 +476,9 @@ func (co *Coordinator) Run(ctx context.Context, id string, spec store.Spec,
 		co.satisfyLocked(run)
 	}
 	co.mu.Unlock()
-	co.opts.Logger.Info("campaign sharded", "id", id, "shards", len(parts),
-		"pending", run.total-len(cfg.Completed))
-
-	select {
-	case <-run.done:
-	case <-ctx.Done():
-		co.mu.Lock()
-		if !run.closed {
-			run.closed = true
-			run.reason = "cancelled"
-			partial := &core.CampaignResult{App: prof.App, GPU: prof.GPU,
-				Exps: append([]core.Experiment(nil), run.newExps...)}
-			run.res = run.c.MergedResult(partial)
-			run.err = ctx.Err()
-			run.c.Close()
-			close(run.done)
-			co.opts.Logger.Info("campaign coordination cancelled", "id", id,
-				"merged", len(run.merged), "total", run.total)
-		}
-		co.mu.Unlock()
-	}
-	co.mu.Lock()
-	res, runErr := run.res, run.err
-	co.mu.Unlock()
-	return res, runErr
+	co.opts.Logger.Info("campaign sharded", "id", id, "gen", run.gen,
+		"shards", len(run.sorder), "pending", run.total-len(cfg.Completed))
+	return run, nil, nil
 }
 
 // Revoke closes a campaign to further claims and journal batches without
@@ -366,13 +499,40 @@ func (co *Coordinator) Revoke(id string) {
 		Exps: append([]core.Experiment(nil), run.newExps...)})
 	run.err = context.Canceled
 	run.c.Close()
+	co.closeWALLocked(run)
 	close(run.done)
 	co.opts.Logger.Info("campaign revoked", "id", id)
 }
 
+// Crash simulates the coordinator process dying, for the chaos harness:
+// every open campaign unblocks with an error, and NO handle is flushed,
+// synced, or closed — the journal's and control WAL's buffered tails are
+// lost exactly as a SIGKILL would lose them, while everything already
+// fsynced survives for the next coordinator lifetime to rebuild from. A
+// crashed coordinator refuses all further work.
+func (co *Coordinator) Crash() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.dead = true
+	for _, run := range co.campaigns {
+		if run.closed {
+			continue
+		}
+		run.closed = true
+		run.reason = "failed"
+		run.err = errors.New("shard: coordinator crashed")
+		run.wal = nil // deliberately leaked: a crash flushes nothing
+		close(run.done)
+	}
+	co.opts.Logger.Warn("coordinator crashed (simulated)")
+}
+
 // Claim hands the oldest claimable shard to a worker: a shard never
 // leased, or one whose lease expired (its worker is presumed dead; the
-// shard is re-issued under a fresh token).
+// shard is re-issued under a fresh token at the next epoch, fencing the
+// old one). The grant is fsynced to the control WAL before the lease
+// exists in memory: an epoch may only fence workers if it is guaranteed
+// to survive this coordinator.
 func (co *Coordinator) Claim(worker string) (*Shard, error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -390,32 +550,50 @@ func (co *Coordinator) Claim(worker string) (*Shard, error) {
 			if ss.curLease != "" && now.Before(ss.expiry) {
 				continue
 			}
-			if ss.curLease != "" {
+			expired := ss.curLease != ""
+			if expired {
+				co.walAppend(run, store.ControlRecord{Kind: store.CtlExpire,
+					Shard: sid, Lease: ss.curLease, Epoch: ss.epoch, Worker: ss.worker})
+			}
+			lease := newLease()
+			epoch := ss.epoch + 1
+			if run.wal != nil {
+				if err := run.wal.AppendSync(store.ControlRecord{Kind: store.CtlGrant,
+					Gen: run.gen, Shard: sid, Lease: lease, Epoch: epoch, Worker: worker}); err != nil {
+					return nil, fmt.Errorf("shard: journal grant for %s: %v", sid, err)
+				}
+				co.walRecords.Add(1)
+			}
+			if expired {
 				co.leaseExpiries.Add(1)
 				co.shardsReissued.Add(1)
 				ss.reissues++
 				co.opts.Logger.Warn("lease expired; re-issuing shard",
-					"shard", sid, "dead_worker", ss.worker, "to", worker)
+					"shard", sid, "dead_worker", ss.worker, "to", worker, "epoch", epoch)
 			}
-			lease := newLease()
-			ss.leases[lease] = true
+			ss.epoch = epoch
+			ss.leases[lease] = epoch
 			ss.curLease = lease
 			ss.worker = worker
 			ss.expiry = now.Add(co.opts.LeaseTTL)
 			sh := ss.shard // copy
 			sh.Lease = lease
 			sh.LeaseTTLMS = co.opts.LeaseTTL.Milliseconds()
+			sh.Epoch = epoch
 			co.opts.Logger.Info("shard claimed", "shard", sid, "worker", worker,
-				"indices", len(sh.Indices), "reissues", ss.reissues)
+				"indices", len(sh.Indices), "epoch", epoch, "reissues", ss.reissues)
 			return &sh, nil
 		}
+	}
+	if len(co.recovering) > 0 {
+		return nil, fmt.Errorf("%w: shard table rebuilding", ErrRecovering)
 	}
 	return nil, ErrNoWork
 }
 
-// Heartbeat extends a live lease. A token that is not the shard's current
-// lease gets ErrLeaseRevoked — the signal for a straggling worker to
-// abandon the shard (someone else owns it now).
+// Heartbeat extends a live lease. An unknown token gets ErrLeaseRevoked; a
+// known token from a superseded epoch gets ErrLeaseFenced — the signal for
+// a straggling worker to abandon the shard (someone else owns it now).
 func (co *Coordinator) Heartbeat(shardID, lease string) (*HeartbeatResult, error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -432,19 +610,29 @@ func (co *Coordinator) Heartbeat(shardID, lease string) (*HeartbeatResult, error
 	if ss.done {
 		return nil, fmt.Errorf("%w: shard %s is complete", ErrCampaignClosed, shardID)
 	}
-	if ss.curLease != lease {
-		return nil, fmt.Errorf("%w: shard %s", ErrLeaseRevoked, shardID)
+	epoch, ok := ss.leases[lease]
+	if !ok {
+		return nil, fmt.Errorf("%w: shard %s does not recognize this lease", ErrLeaseRevoked, shardID)
+	}
+	if epoch != ss.epoch {
+		co.leasesFenced.Add(1)
+		return nil, fmt.Errorf("%w: shard %s was re-issued at epoch %d (lease holds epoch %d)",
+			ErrLeaseFenced, shardID, ss.epoch, epoch)
 	}
 	ss.expiry = co.now().Add(co.opts.LeaseTTL)
+	co.walAppend(run, store.ControlRecord{Kind: store.CtlRenew,
+		Shard: shardID, Lease: lease, Epoch: epoch})
 	return &HeartbeatResult{Lease: lease, ExpiresInMS: co.opts.LeaseTTL.Milliseconds()}, nil
 }
 
 // Ingest merges one journal batch into the campaign's store. Records for
 // indices already journaled — a batch replayed after a worker death and
-// shard re-issue, or a straggler whose lease expired — are deduplicated
-// idempotently; the simulator's determinism guarantees the duplicate
-// would have carried the same bytes anyway. Batches against a closed
-// (cancelled/deleted/finished) campaign are refused with
+// shard re-issue, a straggler whose lease expired, or a worker re-sending
+// after a coordinator restart lost its acknowledged merges — are
+// deduplicated idempotently; the simulator's determinism guarantees the
+// duplicate would have carried the same bytes anyway. A lease from a
+// superseded epoch is fenced (the shard was re-issued; only the successor
+// may write), and batches against a closed campaign are refused with
 // ErrCampaignClosed so they cannot resurrect it.
 func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
 	co.mu.Lock()
@@ -464,8 +652,14 @@ func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
 		}
 		return nil, fmt.Errorf("%w: campaign %s is %s", ErrCampaignClosed, run.id, run.reason)
 	}
-	if !ss.leases[b.Lease] {
+	epoch, ok := ss.leases[b.Lease]
+	if !ok {
 		return nil, fmt.Errorf("%w: shard %s does not recognize this lease", ErrLeaseRevoked, b.Shard)
+	}
+	if epoch != ss.epoch {
+		co.leasesFenced.Add(1)
+		return nil, fmt.Errorf("%w: shard %s was re-issued at epoch %d (lease holds epoch %d)",
+			ErrLeaseFenced, b.Shard, ss.epoch, epoch)
 	}
 
 	res := &BatchResult{}
@@ -533,10 +727,15 @@ func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
 			return res, fmt.Errorf("%w: unknown record kind %q", ErrBadBatch, rec.Kind)
 		}
 	}
+	if res.Accepted > 0 {
+		co.walAppend(run, store.ControlRecord{Kind: store.CtlMerge,
+			Shard: b.Shard, Epoch: epoch, Count: res.Accepted})
+	}
 
 	if !ss.done && allMerged(ss, run.merged) {
 		ss.done = true
 		co.shardsCompleted.Add(1)
+		co.walAppend(run, store.ControlRecord{Kind: store.CtlShardDone, Shard: b.Shard})
 		co.opts.Logger.Info("shard complete", "shard", b.Shard, "worker", ss.worker)
 	}
 	res.ShardDone = ss.done
@@ -576,6 +775,7 @@ func (co *Coordinator) satisfyLocked(run *campaignRun) {
 			ss.done = true
 			ss.retired = true
 			retired++
+			co.walAppend(run, store.ControlRecord{Kind: store.CtlRetire, Shard: sid})
 		}
 	}
 	co.shardsRetired.Add(int64(retired))
@@ -586,7 +786,9 @@ func (co *Coordinator) satisfyLocked(run *campaignRun) {
 }
 
 // finalizeLocked completes a fully merged campaign: sync, done marker,
-// terminal state. Caller holds co.mu.
+// terminal state, and the control WAL's finalize record (then the WAL is
+// closed — its job is over once the done marker exists). Caller holds
+// co.mu.
 func (co *Coordinator) finalizeLocked(run *campaignRun, app, gpu string) {
 	if run.closed {
 		return
@@ -604,19 +806,61 @@ func (co *Coordinator) finalizeLocked(run *campaignRun, app, gpu string) {
 		run.reason, run.err = "failed", err
 	} else {
 		run.reason = "done"
+		if run.satisfied {
+			co.walAppend(run, store.ControlRecord{Kind: store.CtlFinalize, Reason: "satisfied"})
+		} else {
+			co.walAppend(run, store.ControlRecord{Kind: store.CtlFinalize, Reason: "done"})
+		}
 	}
+	co.closeWALLocked(run)
 	run.res = merged
 	close(run.done)
 	co.opts.Logger.Info("campaign merged", "id", run.id, "state", run.reason,
 		"experiments", len(merged.Exps))
 }
 
-// findLocked resolves a shard id to its campaign and shard state.
+// walAppend journals a diagnostics-grade control record, best-effort: a
+// failed append is logged, never fatal — the experiment journal, not the
+// WAL, is the source of truth for merge state, and the next grant
+// re-syncs the file anyway. Caller holds co.mu.
+func (co *Coordinator) walAppend(run *campaignRun, rec store.ControlRecord) {
+	if run.wal == nil {
+		return
+	}
+	rec.Gen = run.gen
+	if err := run.wal.Append(rec); err != nil {
+		co.opts.Logger.Warn("control WAL append failed", "id", run.id,
+			"kind", rec.Kind, "err", err)
+		return
+	}
+	co.walRecords.Add(1)
+}
+
+// closeWALLocked flushes and closes the campaign's control WAL. Caller
+// holds co.mu.
+func (co *Coordinator) closeWALLocked(run *campaignRun) {
+	if run.wal == nil {
+		return
+	}
+	if err := run.wal.Close(); err != nil {
+		co.opts.Logger.Warn("control WAL close failed", "id", run.id, "err", err)
+	}
+	run.wal = nil
+}
+
+// findLocked resolves a shard id to its campaign and shard state. Shard
+// ids are campaign:gen:k and campaign ids cannot contain ':', so when the
+// id is unknown but its campaign prefix is mid-rebuild the caller gets
+// ErrRecovering — park and retry — instead of ErrUnknownShard.
 func (co *Coordinator) findLocked(shardID string) (*campaignRun, *shardState, error) {
 	for _, run := range co.campaigns {
 		if ss, ok := run.shards[shardID]; ok {
 			return run, ss, nil
 		}
+	}
+	if i := strings.IndexByte(shardID, ':'); i > 0 && co.recovering[shardID[:i]] {
+		return nil, nil, fmt.Errorf("%w: campaign %s is rebuilding its shard table",
+			ErrRecovering, shardID[:i])
 	}
 	return nil, nil, fmt.Errorf("%w: %s", ErrUnknownShard, shardID)
 }
@@ -670,6 +914,18 @@ func allMerged(ss *shardState, merged map[int]bool) bool {
 		}
 	}
 	return true
+}
+
+// maxGen returns the highest plan generation the WAL has seen — complete
+// or not; a fresh plan must never reuse a generation a crash abandoned.
+func maxGen(ctl []store.ControlRecord) int {
+	g := 0
+	for _, r := range ctl {
+		if (r.Kind == store.CtlPlan || r.Kind == store.CtlPlanDone) && r.Gen > g {
+			g = r.Gen
+		}
+	}
+	return g
 }
 
 // newLease returns a random 128-bit lease token.

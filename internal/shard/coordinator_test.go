@@ -149,23 +149,30 @@ func TestCoordinatorLifecycle(t *testing.T) {
 	if re0.Lease == sh0.Lease {
 		t.Fatal("re-issued shard kept the dead lease token")
 	}
-	if _, err := co.Heartbeat(sh0.ID, sh0.Lease); !errors.Is(err, ErrLeaseRevoked) {
-		t.Fatalf("heartbeat on replaced lease: want ErrLeaseRevoked, got %v", err)
+	if _, err := co.Heartbeat(sh0.ID, sh0.Lease); !errors.Is(err, ErrLeaseFenced) {
+		t.Fatalf("heartbeat on replaced lease: want ErrLeaseFenced, got %v", err)
+	}
+	if re0.Epoch != sh0.Epoch+1 {
+		t.Fatalf("re-issue epoch: want %d, got %d", sh0.Epoch+1, re0.Epoch)
 	}
 
-	// The original worker limps back with results under its expired lease:
-	// still merged — determinism makes late results identical, and the
-	// dedup map absorbs any overlap with the successor.
+	// The original worker limps back with results under its re-issued
+	// lease: fenced out, nothing merged — the successor owns the shard now.
 	exps0 := execShard(t, sh0)
-	res, err := co.Ingest(expBatch(sh0, sh0.Lease, exps0))
+	if _, err := co.Ingest(expBatch(sh0, sh0.Lease, exps0)); !errors.Is(err, ErrLeaseFenced) {
+		t.Fatalf("ingest under fenced lease: want ErrLeaseFenced, got %v", err)
+	}
+
+	// The successor delivers the same results under the live lease.
+	res, err := co.Ingest(expBatch(sh0, re0.Lease, exps0))
 	if err != nil {
-		t.Fatalf("ingest under expired lease: %v", err)
+		t.Fatalf("ingest under live lease: %v", err)
 	}
 	if res.Accepted != len(exps0) || res.Duplicates != 0 || !res.ShardDone {
 		t.Fatalf("first ingest: %+v (want %d accepted, shard done)", res, len(exps0))
 	}
 
-	// The successor replays the same shard: pure duplicates, no effect.
+	// A replay of the same batch is pure duplicates, no effect.
 	res, err = co.Ingest(expBatch(sh0, re0.Lease, exps0))
 	if err != nil {
 		t.Fatalf("duplicate ingest: %v", err)
@@ -227,6 +234,12 @@ func TestCoordinatorLifecycle(t *testing.T) {
 	}
 	if stats.RecordsDuped == 0 {
 		t.Errorf("stats: %+v (want duplicate records counted)", stats)
+	}
+	if stats.LeasesFenced != 2 {
+		t.Errorf("stats: %+v (want 2 fenced attempts: one heartbeat, one ingest)", stats)
+	}
+	if stats.WALRecords == 0 {
+		t.Errorf("stats: %+v (want control WAL records appended)", stats)
 	}
 }
 

@@ -5,21 +5,30 @@
 // worker nodes over HTTP, and merges the journal batches they stream back
 // into the existing crash-safe campaign store.
 //
-// The protocol is built so a worker can die at any point:
+// The protocol is built so EITHER side can die at any point:
 //
-//   - A claim hands out a shard with a lease token and a TTL; the worker
-//     keeps the lease alive with heartbeats. A lease that expires makes
-//     the shard claimable again, by anyone.
+//   - A claim hands out a shard with a lease token, an epoch, and a TTL;
+//     the worker keeps the lease alive with heartbeats. A lease that
+//     expires makes the shard claimable again, by anyone; re-issue bumps
+//     the epoch, and the old epoch is fenced — a pre-crash straggler can
+//     heartbeat nothing and ingest nothing once a successor owns the
+//     shard.
 //   - Journal batches are idempotent: every record is keyed by
 //     (campaign, cluster, experiment index), and the simulator is
 //     deterministic in the campaign seed, so a batch replayed by a dead
 //     worker's successor — or by the dead worker itself, limping back —
 //     merges to the exact same journal bytes and is deduplicated.
-//   - The coordinator journals through the same store.Campaign codec the
-//     local engine uses, so a sharded, worker-killed, re-issued campaign
-//     is byte-identical (per experiment record) to a single-process run,
-//     and a coordinator restart resumes from the journal like any other
-//     interrupted campaign.
+//   - The coordinator journals experiments through the same
+//     store.Campaign codec the local engine uses, and its own control
+//     plane (plans, grants, epochs, merges) through a per-campaign WAL
+//     with the same torn-tail recovery discipline. A restarted
+//     coordinator rebuilds the shard table and lease fences from
+//     WAL + journal and answers 503 coordinator_recovering while it
+//     does; workers park on outages with jittered exponential backoff
+//     and resume cleanly, re-sending unacknowledged batches through the
+//     idempotent merge path. The merged journal of a sharded, crashed,
+//     restarted campaign stays byte-identical (per experiment record) to
+//     a single-process run.
 package shard
 
 import (
@@ -41,11 +50,24 @@ var (
 	ErrUnknownShard = errors.New("shard: unknown shard")
 
 	// ErrLeaseRevoked reports a lease token the coordinator never issued
-	// for the shard. (A lease that merely EXPIRED still ingests batches —
-	// determinism plus dedup make late results harmless — but its
-	// heartbeats fail once the shard is re-issued, telling the straggler
-	// to stop.)
+	// for the shard — a typo, or a token from a generation whose plan was
+	// discarded.
 	ErrLeaseRevoked = errors.New("shard: lease revoked")
+
+	// ErrLeaseFenced reports a lease token from a superseded issue of the
+	// shard: the lease expired and the shard was re-issued under a higher
+	// epoch, so the straggler's heartbeats AND batches are refused. (A
+	// lease that merely expired, without a re-issue, still ingests —
+	// determinism plus dedup make late results harmless — but once a
+	// successor holds the shard, the fence guarantees the pre-crash worker
+	// can never write again.)
+	ErrLeaseFenced = errors.New("shard: lease fenced")
+
+	// ErrRecovering reports a control-plane call against a campaign whose
+	// coordinator is still rebuilding its shard table from the control WAL
+	// after a restart. The worker parks and retries: the shard it holds is
+	// about to exist again.
+	ErrRecovering = errors.New("shard: coordinator recovering")
 
 	// ErrCampaignClosed reports a batch or claim against a campaign that
 	// was cancelled, deleted, or already finished: late journal batches
@@ -78,9 +100,12 @@ type Shard struct {
 
 	// Lease is the token authorizing journal batches and heartbeats for
 	// this issue of the shard; LeaseTTLMS is how long it lives without a
-	// heartbeat.
+	// heartbeat. Epoch is the issue number — it increases monotonically
+	// with every (re-)issue, survives coordinator restarts via the control
+	// WAL, and fences stale holders: only the highest epoch may write.
 	Lease      string `json:"lease"`
 	LeaseTTLMS int64  `json:"lease_ttl_ms"`
+	Epoch      int64  `json:"epoch,omitempty"`
 }
 
 // Record kinds on the journal-batch wire.

@@ -24,6 +24,14 @@ import (
 // needs rides in the Shard (the spec reconstructs the campaign, the seed
 // reconstructs the faults), so a worker can be killed at any instant and
 // replaced by any other.
+//
+// The worker also outlives its coordinator: transport failures and typed
+// coordinator_recovering answers park it under jittered exponential
+// backoff until the coordinator returns (or the outage budget runs out
+// mid-shard, at which point the lease protocol makes abandoning safe),
+// and a final batch that leaves the shard incomplete — the signature of a
+// restarted coordinator that lost acknowledged merges — triggers a full
+// re-send of the shard's records through the idempotent merge path.
 type Worker struct {
 	// Base is the coordinator's base URL, e.g. "http://10.0.0.1:8080".
 	Base string
@@ -34,9 +42,22 @@ type Worker struct {
 	// BatchSize is how many journal records accumulate before a POST.
 	// Default 64.
 	BatchSize int
-	// Poll is how long to wait after ErrNoWork before claiming again.
-	// Default 500ms.
+	// Poll is the nominal wait after ErrNoWork before claiming again; the
+	// actual wait is jittered over [Poll/2, 3*Poll/2) so a worker fleet
+	// does not thunder in lockstep against a freshly restarted
+	// coordinator. Default 500ms.
 	Poll time.Duration
+	// BackoffBase is the first delay of the jittered exponential backoff
+	// applied when the coordinator is unreachable or recovering. Default
+	// 100ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff growth. Default 5s.
+	BackoffMax time.Duration
+	// OutageBudget bounds how long a worker that holds a shard stays
+	// parked on an unreachable coordinator before abandoning the shard
+	// (idle claim polling is not budgeted — a worker waits for a
+	// coordinator forever). Default 2m.
+	OutageBudget time.Duration
 	// Logger receives worker logs. Nil discards.
 	Logger *slog.Logger
 
@@ -62,50 +83,94 @@ func (w *Worker) logger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+func (w *Worker) newBackoff() *backoff {
+	b := &backoff{base: w.BackoffBase, max: w.BackoffMax}
+	if b.base <= 0 {
+		b.base = 100 * time.Millisecond
+	}
+	if b.max < b.base {
+		b.max = 5 * time.Second
+		if b.max < b.base {
+			b.max = b.base
+		}
+	}
+	return b
+}
+
+func (w *Worker) outageBudget() time.Duration {
+	if w.OutageBudget > 0 {
+		return w.OutageBudget
+	}
+	return 2 * time.Minute
+}
+
 // Run claims and executes shards until ctx is cancelled. Claim errors and
 // shard failures are logged and retried — a worker outlives any single
 // coordinator hiccup; the lease protocol makes abandoning a shard safe.
+// An unreachable (or recovering) coordinator parks the worker under
+// exponential backoff with no budget: an idle worker has nothing to lose
+// by waiting.
 func (w *Worker) Run(ctx context.Context) error {
-	poll := w.Poll
-	if poll <= 0 {
-		poll = 500 * time.Millisecond
-	}
 	log := w.logger()
+	bo := w.newBackoff()
+	parked := false
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		sh, err := w.claim(ctx)
 		switch {
-		case errors.Is(err, ErrNoWork):
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(poll):
+		case err == nil:
+			if parked {
+				log.Info("coordinator reachable again; worker resuming", "worker", w.Name)
+				parked = false
 			}
-			continue
-		case err != nil:
+			bo.reset()
+			log.Info("shard claimed", "shard", sh.ID, "experiments", len(sh.Indices))
+			if err := w.runShard(ctx, sh); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// Abandon the shard: its lease will expire and the coordinator
+				// will re-issue it. Determinism + dedup make this safe.
+				log.Warn("shard abandoned", "shard", sh.ID, "err", err)
+			} else {
+				log.Info("shard complete", "shard", sh.ID)
+			}
+		case errors.Is(err, ErrNoWork):
+			if parked {
+				log.Info("coordinator reachable again; worker resuming", "worker", w.Name)
+				parked = false
+			}
+			bo.reset()
+			if !sleepCtx(ctx, jitter(w.poll())) {
+				return ctx.Err()
+			}
+		case isOutage(err) && ctx.Err() == nil:
+			if !parked {
+				parked = true
+				backoffParks.Add(1)
+				log.Warn("coordinator unreachable; worker parked", "worker", w.Name, "err", err)
+			}
+			backoffRetries.Add(1)
+			if !sleepCtx(ctx, bo.next()) {
+				return ctx.Err()
+			}
+		default:
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
 			log.Warn("claim failed", "err", err)
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(poll):
-			}
-			continue
-		}
-		log.Info("shard claimed", "shard", sh.ID, "experiments", len(sh.Indices))
-		if err := w.runShard(ctx, sh); err != nil {
-			if ctx.Err() != nil {
+			if !sleepCtx(ctx, jitter(w.poll())) {
 				return ctx.Err()
 			}
-			// Abandon the shard: its lease will expire and the coordinator
-			// will re-issue it. Determinism + dedup make this safe.
-			log.Warn("shard abandoned", "shard", sh.ID, "err", err)
-		} else {
-			log.Info("shard complete", "shard", sh.ID)
 		}
 	}
 }
@@ -133,6 +198,21 @@ func (w *Worker) profile(ctx context.Context, spec store.Spec, cfg *core.Campaig
 	w.profiles[key] = prof
 	w.mu.Unlock()
 	return prof, nil
+}
+
+// heartbeatInterval derives the heartbeat cadence from the lease TTL: one
+// third of it, so two beats can be lost before the lease expires, with a
+// floor that keeps sub-millisecond TTLs from producing a zero (ticker
+// panic) or negative interval.
+func heartbeatInterval(ttl time.Duration) time.Duration {
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	iv := ttl / 3
+	if iv <= 0 {
+		iv = time.Millisecond
+	}
+	return iv
 }
 
 // runShard executes one leased shard: heartbeats keep the lease alive
@@ -174,30 +254,53 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	// to a third of the lease TTL.
 	defer func() { cancel(); <-hbDone }()
 
-	// Heartbeat loop: one third of the TTL, so two beats can be lost
-	// before the lease expires. A heartbeat rejection means the lease was
-	// revoked (or the campaign closed) — stop burning cycles on the shard.
-	ttl := time.Duration(sh.LeaseTTLMS) * time.Millisecond
-	if ttl <= 0 {
-		ttl = 15 * time.Second
-	}
+	// Heartbeat loop. A heartbeat rejection means the lease was fenced or
+	// the campaign closed — stop burning cycles on the shard. An outage
+	// (coordinator unreachable or recovering) parks the shard instead: the
+	// engine keeps computing, batches park with it, and the restored lease
+	// on the rebuilt coordinator picks everything back up — unless the
+	// outage outlives the budget, in which case the shard is abandoned for
+	// the lease protocol to re-issue.
 	go func() {
 		defer close(hbDone)
-		t := time.NewTicker(ttl / 3)
+		t := time.NewTicker(heartbeatInterval(time.Duration(sh.LeaseTTLMS) * time.Millisecond))
 		defer t.Stop()
+		var outageSince time.Time
 		for {
 			select {
 			case <-shardCtx.Done():
 				return
 			case <-t.C:
-				if err := w.heartbeat(shardCtx, sh); err != nil && shardCtx.Err() == nil {
-					if errors.Is(err, ErrCampaignSatisfied) {
-						w.logger().Info("campaign satisfied; stopping shard",
+				err := w.heartbeat(shardCtx, sh)
+				switch {
+				case err == nil:
+					if !outageSince.IsZero() {
+						w.logger().Info("coordinator reachable again; worker resuming",
 							"shard", sh.ID)
-						satisfied.Store(true)
+						outageSince = time.Time{}
+					}
+				case shardCtx.Err() != nil:
+					return
+				case errors.Is(err, ErrCampaignSatisfied):
+					w.logger().Info("campaign satisfied; stopping shard", "shard", sh.ID)
+					satisfied.Store(true)
+					cancel()
+					return
+				case isOutage(err):
+					if outageSince.IsZero() {
+						outageSince = time.Now()
+						backoffParks.Add(1)
+						w.logger().Warn("coordinator unreachable; worker parked",
+							"shard", sh.ID, "err", err)
+					}
+					backoffRetries.Add(1)
+					if time.Since(outageSince) > w.outageBudget() {
+						w.logger().Warn("outage budget exhausted; abandoning shard",
+							"shard", sh.ID, "budget", w.outageBudget())
 						cancel()
 						return
 					}
+				default:
 					w.logger().Warn("heartbeat failed; abandoning shard",
 						"shard", sh.ID, "err", err)
 					cancel()
@@ -214,31 +317,30 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	var (
 		recMu sync.Mutex
 		recs  []Record
+		sent  []Record // every acknowledged record, kept for post-restart re-sends
 		seq   int
 	)
-	flush := func(final bool) error {
+	// send posts one batch, riding out coordinator outages. Records are
+	// NOT consumed here: ownership stays with the caller until the POST
+	// succeeds.
+	send := func(out []Record, final bool) (*BatchResult, error) {
 		recMu.Lock()
-		out := recs
-		recs = nil
 		seq++
 		s := seq
 		recMu.Unlock()
-		if len(out) == 0 && !final {
-			return nil
-		}
-		res, err := w.postBatch(shardCtx, sh, Batch{
-			Campaign: sh.Campaign, Shard: sh.ID, Lease: sh.Lease,
-			Seq: s, Final: final, Records: out,
-		})
-		if err != nil {
-			// A late batch against a converged campaign is success: the
-			// coordinator finalized with the records it already had.
-			if errors.Is(err, ErrCampaignSatisfied) {
-				satisfied.Store(true)
-				cancel()
-				return nil
+		var res *BatchResult
+		err := w.withOutageRetry(shardCtx, sh.ID, func() error {
+			r, err := w.postBatch(shardCtx, sh, Batch{
+				Campaign: sh.Campaign, Shard: sh.ID, Lease: sh.Lease,
+				Seq: s, Final: final, Records: out,
+			})
+			if err == nil {
+				res = r
 			}
 			return err
+		})
+		if err != nil {
+			return nil, err
 		}
 		if res.Satisfied {
 			// This batch converged the campaign: stop the engine, there is
@@ -253,7 +355,37 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 			w.logger().Info("coordinator deduplicated records",
 				"shard", sh.ID, "duplicates", res.Duplicates)
 		}
-		return nil
+		return res, nil
+	}
+	flush := func(final bool) (*BatchResult, error) {
+		recMu.Lock()
+		out := recs
+		recs = nil
+		recMu.Unlock()
+		if len(out) == 0 && !final {
+			return nil, nil
+		}
+		res, err := send(out, final)
+		if err != nil {
+			// A late batch against a converged campaign is success: the
+			// coordinator finalized with the records it already had.
+			if errors.Is(err, ErrCampaignSatisfied) {
+				satisfied.Store(true)
+				cancel()
+				return nil, nil
+			}
+			// Unacknowledged records go back to the front of the queue:
+			// they must reach the coordinator eventually (or die with the
+			// shard, whose lease re-issue makes that safe).
+			recMu.Lock()
+			recs = append(out, recs...)
+			recMu.Unlock()
+			return nil, err
+		}
+		recMu.Lock()
+		sent = append(sent, out...)
+		recMu.Unlock()
+		return res, nil
 	}
 	add := func(r Record) error {
 		recMu.Lock()
@@ -261,7 +393,8 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 		n := len(recs)
 		recMu.Unlock()
 		if n >= batchSize {
-			return flush(false)
+			_, err := flush(false)
+			return err
 		}
 		return nil
 	}
@@ -290,7 +423,77 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	if satisfied.Load() {
 		return nil
 	}
-	return flush(true)
+	res, err := flush(true)
+	if err != nil {
+		return err
+	}
+	if res == nil || satisfied.Load() {
+		return nil
+	}
+	// A final batch that does not complete the shard means a restarted
+	// coordinator lost merges it had acknowledged (they were buffered,
+	// never fsynced, when it died). Re-send everything through the
+	// idempotent merge path: the duplicates are absorbed, the lost
+	// records land, and the journal bytes come out identical because the
+	// records themselves are deterministic.
+	for attempt := 1; !res.ShardDone && !res.CampaignDone; attempt++ {
+		if attempt > 3 {
+			return fmt.Errorf("shard %s still incomplete after %d full re-sends", sh.ID, attempt-1)
+		}
+		recMu.Lock()
+		all := append([]Record(nil), sent...)
+		recMu.Unlock()
+		backoffResends.Add(1)
+		w.logger().Warn("final batch left shard incomplete; re-sending all records",
+			"shard", sh.ID, "records", len(all), "attempt", attempt)
+		res, err = send(all, true)
+		if err != nil {
+			if errors.Is(err, ErrCampaignSatisfied) {
+				return nil
+			}
+			return err
+		}
+		if satisfied.Load() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// withOutageRetry runs fn, riding out coordinator outages: transport
+// failures and typed coordinator_recovering answers park the worker (the
+// engine's collector blocks with it) under jittered exponential backoff
+// until the coordinator answers again or the outage budget runs out.
+// Typed protocol errors pass through untouched.
+func (w *Worker) withOutageRetry(ctx context.Context, shardID string, fn func() error) error {
+	bo := w.newBackoff()
+	var outageSince time.Time
+	for {
+		err := fn()
+		if err == nil {
+			if !outageSince.IsZero() {
+				w.logger().Info("coordinator reachable again; worker resuming", "shard", shardID)
+			}
+			return nil
+		}
+		if !isOutage(err) || ctx.Err() != nil {
+			return err
+		}
+		if outageSince.IsZero() {
+			outageSince = time.Now()
+			backoffParks.Add(1)
+			w.logger().Warn("coordinator unreachable; worker parked",
+				"shard", shardID, "err", err)
+		}
+		if time.Since(outageSince) > w.outageBudget() {
+			return fmt.Errorf("shard %s: outage budget %v exhausted: %w",
+				shardID, w.outageBudget(), err)
+		}
+		backoffRetries.Add(1)
+		if !sleepCtx(ctx, bo.next()) {
+			return ctx.Err()
+		}
+	}
 }
 
 // claim asks the coordinator for a shard. ErrNoWork when none is pending.
@@ -335,7 +538,8 @@ type errorEnvelope struct {
 // post sends a JSON body and decodes a JSON reply (unless 204). Non-2xx
 // replies decode the error envelope and map its code back to the typed
 // protocol errors, so the worker's control flow matches an in-process
-// coordinator's.
+// coordinator's. Transport-level failures are wrapped in errUnreachable,
+// the outage signal.
 func (w *Worker) post(ctx context.Context, path string, body, out any) (int, error) {
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -348,7 +552,7 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) (int, err
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.client().Do(req)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %v", errUnreachable, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNoContent {
@@ -356,7 +560,9 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) (int, err
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
-		return resp.StatusCode, err
+		// The connection died mid-response: same outage as never reaching
+		// the coordinator, and just as retryable.
+		return resp.StatusCode, fmt.Errorf("%w: %v", errUnreachable, err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var env errorEnvelope
@@ -379,6 +585,8 @@ func codeErr(code string) error {
 	switch code {
 	case "lease_revoked":
 		return ErrLeaseRevoked
+	case "lease_fenced":
+		return ErrLeaseFenced
 	case "campaign_closed":
 		return ErrCampaignClosed
 	case "shard_unknown":
@@ -387,6 +595,8 @@ func codeErr(code string) error {
 		return ErrBadBatch
 	case "campaign_satisfied":
 		return ErrCampaignSatisfied
+	case "coordinator_recovering":
+		return ErrRecovering
 	default:
 		return fmt.Errorf("shard: coordinator error %s", code)
 	}

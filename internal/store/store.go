@@ -267,6 +267,17 @@ func (c *Campaign) Quarantine(exp core.Experiment) error {
 	return c.journal.Quarantine(exp)
 }
 
+// Sync flushes and fsyncs any batched journal records. The shard
+// coordinator calls it before writing a plan to the control WAL: a durable
+// plan record must never reference analytic pre-pass appends that are
+// still sitting in the journal's batch buffer.
+func (c *Campaign) Sync() error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Sync()
+}
+
 // AppendTrace persists one experiment's propagation trace.
 func (c *Campaign) AppendTrace(tr core.ExperimentTrace) error {
 	if c.traces == nil {

@@ -1,0 +1,254 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gpufi/internal/obs"
+)
+
+// The control-plane WAL is the shard coordinator's durability layer: an
+// append-only JSONL file (control.jsonl, next to the experiment journal)
+// recording every control-plane state transition — shard plans, lease
+// grants, renewals and expiries, batch merges, and retire/finalize events.
+// A restarted coordinator replays it (together with the journal, which
+// stays the single source of truth for WHICH experiments are merged) to
+// rebuild its in-memory shard table, outstanding leases, and lease epochs.
+//
+// It follows the same discipline as the experiment journal: records are
+// batch-fsync'd by default, with AppendSync for the records whose
+// durability is load-bearing (plans and grants — a lease epoch handed to a
+// worker must survive the coordinator, or fencing breaks), and recovery
+// tolerates exactly one torn record at the tail, cutting it.
+const controlFile = "control.jsonl"
+
+// Control record kinds. Plan records carry a generation: a coordinator
+// that cannot trust a partial plan (no plan_done marker for its
+// generation) re-plans under the next generation, and stale grants are
+// ignored because shard ids embed the generation.
+const (
+	CtlPlan      = "plan"       // one shard of a plan generation: Gen, Shard, Indices
+	CtlPlanDone  = "plan_done"  // plan generation complete and durable: Gen, Count
+	CtlGrant     = "grant"      // lease issued: Shard, Lease, Epoch, Worker
+	CtlRenew     = "renew"      // heartbeat extended a lease: Shard, Lease, Epoch
+	CtlExpire    = "expire"     // lease expired before completion: Shard, Lease, Epoch, Worker
+	CtlMerge     = "merge"      // journal batch merged: Shard, Count accepted
+	CtlShardDone = "shard_done" // every index of the shard is journaled: Shard
+	CtlRetire    = "retire"     // shard withdrawn by adaptive convergence: Shard
+	CtlFinalize  = "finalize"   // campaign finalized: Reason ("done" | "satisfied")
+)
+
+// ControlRecord is one control-plane WAL line. Fields are a union over the
+// record kinds; unused ones are omitted from the encoding.
+type ControlRecord struct {
+	Kind    string `json:"kind"`
+	Gen     int    `json:"gen,omitempty"`
+	Shard   string `json:"shard,omitempty"`
+	Indices []int  `json:"indices,omitempty"`
+	Lease   string `json:"lease,omitempty"`
+	Epoch   int64  `json:"epoch,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Count   int    `json:"count,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// Control-WAL instruments live in the process-wide registry so a
+// coordinator's ?format=prom scrape includes them.
+var (
+	walFsyncHist = obs.Default().Histogram("gpufi_shard_wal_fsync_seconds",
+		"Seconds per control-WAL flush+fsync batch.", nil)
+	walTornTails = obs.Default().Counter("gpufi_shard_wal_torn_tails_total",
+		"Control-WAL torn final records cut during recovery.")
+	walRecords = obs.Default().Counter("gpufi_shard_wal_records_total",
+		"Control-plane WAL records appended.")
+)
+
+// ControlWAL is an open control-plane WAL handle: append-only, batched
+// fsync, safe for concurrent use.
+type ControlWAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	batch   int
+	pending int
+	closed  bool
+}
+
+// OpenControlWAL opens (creating if absent) the campaign's control-plane
+// WAL and returns the intact records already on disk, whether a torn tail
+// was cut, and the handle open for appending. The campaign directory must
+// already exist. Recovery semantics match the experiment journal: a final
+// record that fails at the JSON layer with nothing but whitespace after it
+// is expected crash damage and is truncated away; a malformed record
+// anywhere else is corruption and an error.
+func (s *Store) OpenControlWAL(id string) ([]ControlRecord, bool, *ControlWAL, error) {
+	if !ValidID(id) {
+		return nil, false, nil, fmt.Errorf("store: invalid campaign id %q", id)
+	}
+	dir := s.campaignDir(id)
+	if _, err := os.Stat(dir); err != nil {
+		return nil, false, nil, fmt.Errorf("store: control WAL of %s: %v", id, err)
+	}
+	path := filepath.Join(dir, controlFile)
+	recs, torn, noNL, goodOffset, err := readControlWAL(path)
+	if err != nil {
+		return nil, false, nil, fmt.Errorf("store: control WAL of %s: %v", id, err)
+	}
+	if torn {
+		if err := os.Truncate(path, goodOffset); err != nil {
+			return nil, false, nil, fmt.Errorf("store: cut torn control-WAL tail of %s: %v", id, err)
+		}
+		walTornTails.Add(1)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, false, nil, fmt.Errorf("store: open control WAL of %s: %v", id, err)
+	}
+	if noNL {
+		// A crash can leave the final record intact but strip its newline;
+		// appending straight after it would weld two records into one
+		// corrupt line, so restore the separator first.
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, false, nil, fmt.Errorf("store: repair control WAL of %s: %v", id, err)
+		}
+	}
+	bw := bufio.NewWriter(f)
+	w := &ControlWAL{f: f, bw: bw, enc: json.NewEncoder(bw), batch: s.batch()}
+	return recs, torn, w, nil
+}
+
+// readControlWAL parses the WAL with torn-tail recovery, returning the
+// intact records, whether the tail was torn, whether the file ends in a
+// complete record missing its newline, and the byte offset after the last
+// intact record.
+func readControlWAL(path string) (recs []ControlRecord, torn, noNL bool, goodOffset int64, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, false, 0, nil
+	}
+	if err != nil {
+		return nil, false, false, 0, err
+	}
+	noNL = len(data) > 0 && data[len(data)-1] != '\n'
+	offset := int64(0)
+	line := 0
+	for len(data) > 0 {
+		line++
+		nl := bytes.IndexByte(data, '\n')
+		var raw []byte
+		var next int64
+		if nl < 0 {
+			raw, next = data, offset+int64(len(data))
+		} else {
+			raw, next = data[:nl], offset+int64(nl)+1
+		}
+		rest := data[len(raw):]
+		if nl >= 0 {
+			rest = data[nl+1:]
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			offset, data = next, rest
+			continue
+		}
+		var rec ControlRecord
+		if uerr := json.Unmarshal(raw, &rec); uerr != nil || rec.Kind == "" {
+			if isSyntaxError(raw) && len(bytes.TrimSpace(rest)) == 0 {
+				// Truncation lands on the previous record's newline, so no
+				// separator repair is needed after a torn tail.
+				return recs, true, false, offset, nil
+			}
+			if uerr == nil {
+				uerr = fmt.Errorf("record without a kind")
+			}
+			return nil, false, false, 0, fmt.Errorf("line %d: %v", line, uerr)
+		}
+		recs = append(recs, rec)
+		offset, data = next, rest
+	}
+	return recs, false, noNL, offset, nil
+}
+
+// Append journals one control record, flushing and fsyncing once a batch
+// has accumulated. Use it for the high-rate diagnostics records (renewals,
+// merges): losing a batched tail to a crash costs nothing, because the
+// journal is the source of truth for merged indices and restored leases
+// get a fresh expiry anyway.
+func (w *ControlWAL) Append(rec ControlRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: append to closed control WAL")
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("store: write control record: %v", err)
+	}
+	walRecords.Add(1)
+	w.pending++
+	if w.pending >= w.batch {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// AppendSync journals one control record and fsyncs immediately. Plans and
+// grants use it: a lease epoch is only allowed to fence workers if it is
+// guaranteed to survive the coordinator that issued it.
+func (w *ControlWAL) AppendSync(rec ControlRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("store: append to closed control WAL")
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("store: write control record: %v", err)
+	}
+	walRecords.Add(1)
+	return w.syncLocked()
+}
+
+// Sync flushes buffered records to disk and fsyncs the WAL file.
+func (w *ControlWAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+func (w *ControlWAL) syncLocked() error {
+	start := time.Now()
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("store: flush control WAL: %v", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync control WAL: %v", err)
+	}
+	walFsyncHist.Observe(time.Since(start).Seconds())
+	w.pending = 0
+	return nil
+}
+
+// Close syncs outstanding records and closes the WAL file.
+func (w *ControlWAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.closed = true
+	return err
+}
