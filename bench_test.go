@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"gpufi"
+	"gpufi/internal/obs"
 )
 
 // benchRuns is the per-point injection count for bench iterations —
@@ -447,7 +448,14 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 		b.Fatal(err)
 	}
 	lastInv := len(prof.Kernels["bp_adjust"].Windows)
-	run := func(legacy, trace bool) (*gpufi.CampaignResult, time.Duration) {
+	// spanCtx enables the distributed-tracing spans (engine phase spans to
+	// a discarding sink), the way a sharded worker runs; nil ctx is the
+	// spans-off arm. The sink cost is deliberately near-zero so the ratio
+	// isolates the instrumentation itself.
+	spanCtx := obs.ContextWithSink(
+		obs.ContextWithNode(obs.ContextWithTrace(context.Background(), obs.NewTraceID()), "bench"),
+		func(obs.SpanRecord) {})
+	run := func(legacy, trace, spans bool) (*gpufi.CampaignResult, time.Duration) {
 		opts := []gpufi.CampaignOption{
 			gpufi.WithTarget(app, gpu, "bp_adjust", gpufi.StructRegFile),
 			gpufi.WithRuns(300),
@@ -461,34 +469,44 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 		if trace {
 			opts = append(opts, gpufi.WithTrace(func(gpufi.ExperimentTrace) error { return nil }))
 		}
+		ctx := context.Context(nil)
+		if spans {
+			ctx = spanCtx
+		}
 		t0 := time.Now()
-		res, err := gpufi.NewCampaign(opts...).Run(nil)
+		res, err := gpufi.NewCampaign(opts...).Run(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
 		return res, time.Since(t0)
 	}
-	var forkTime, replayTime, tracedTime time.Duration
+	var forkTime, replayTime, tracedTime, spansTime time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// The fork and traced arms run twice, keeping the per-pair minimum:
-		// the traced-overhead ratio below compares two short wall-clock
+		// The fork, traced, and spans arms run twice, keeping the per-pair
+		// minimum: the overhead ratios below compare short wall-clock
 		// measurements, and min-of-two strips scheduler noise that a single
 		// -benchtime=1x sample would pass straight into the CI gate.
-		fork, tf1 := run(false, false)
-		replay, tr := run(true, false)
-		traced, tt1 := run(false, true)
-		_, tf2 := run(false, false)
-		_, tt2 := run(false, true)
+		fork, tf1 := run(false, false, false)
+		replay, tr := run(true, false, false)
+		traced, tt1 := run(false, true, false)
+		spanned, ts1 := run(false, false, true)
+		_, tf2 := run(false, false, false)
+		_, tt2 := run(false, true, false)
+		_, ts2 := run(false, false, true)
 		if fork.Counts != replay.Counts {
 			b.Fatalf("engines disagree: fork %+v vs replay %+v", fork.Counts, replay.Counts)
 		}
 		if traced.Counts != fork.Counts {
 			b.Fatalf("tracing perturbed outcomes: traced %+v vs untraced %+v", traced.Counts, fork.Counts)
 		}
+		if spanned.Counts != fork.Counts {
+			b.Fatalf("span instrumentation perturbed outcomes: spanned %+v vs untraced %+v", spanned.Counts, fork.Counts)
+		}
 		forkTime += min(tf1, tf2)
 		replayTime += tr
 		tracedTime += min(tt1, tt2)
+		spansTime += min(ts1, ts2)
 	}
 	b.ReportMetric(forkTime.Seconds()/float64(b.N), "fork-s/op")
 	b.ReportMetric(replayTime.Seconds()/float64(b.N), "replay-s/op")
@@ -496,6 +514,8 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 	b.ReportMetric(float64(replayTime)/float64(forkTime), "speedup-x")
 	overhead := float64(tracedTime)/float64(forkTime) - 1
 	b.ReportMetric(overhead*100, "trace-overhead-%")
+	spanOverhead := float64(spansTime)/float64(forkTime) - 1
+	b.ReportMetric(spanOverhead*100, "span-overhead-%")
 
 	// Observability artifact: BENCH_OBS_JSON dumps the tracing-overhead
 	// numbers for upload. The regression gate lives in benchmarks/compare,
@@ -509,6 +529,9 @@ func BenchmarkCampaignForkVsReplay(b *testing.B) {
 			"traced_fork_ns_per_op":  tracedTime.Nanoseconds() / int64(b.N),
 			"trace_overhead_ratio":   float64(tracedTime) / float64(forkTime),
 			"trace_overhead_percent": overhead * 100,
+			"spans_fork_ns_per_op":   spansTime.Nanoseconds() / int64(b.N),
+			"span_overhead_ratio":    float64(spansTime) / float64(forkTime),
+			"span_overhead_percent":  spanOverhead * 100,
 		}
 		raw, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

@@ -44,6 +44,10 @@ type Metric struct {
 	// Direction is "higher" (bigger is better: speedups) or "lower"
 	// (smaller is better: overhead ratios).
 	Direction string `json:"direction"`
+	// Tolerance, when positive, overrides the file-level tolerance for
+	// this one metric — e.g. a hard ≤5% budget on tracing overhead while
+	// engine speedups keep the looser default.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 func main() {
@@ -124,14 +128,18 @@ func main() {
 			failed++
 			continue
 		}
+		tol := base.Tolerance
+		if m.Tolerance > 0 {
+			tol = m.Tolerance
+		}
 		var bad bool
 		var bound float64
 		switch m.Direction {
 		case "higher":
-			bound = m.Value * (1 - base.Tolerance)
+			bound = m.Value * (1 - tol)
 			bad = got < bound
 		case "lower":
-			bound = m.Value * (1 + base.Tolerance)
+			bound = m.Value * (1 + tol)
 			bad = got > bound
 		default:
 			log.Fatalf("metric %q: unknown direction %q (want \"higher\" or \"lower\")", name, m.Direction)
@@ -141,13 +149,13 @@ func main() {
 			status = "FAIL"
 			failed++
 		}
-		fmt.Printf("%s %-22s baseline %.4f, got %.4f (%s is better, bound %.4f)\n",
-			status, name, m.Value, got, m.Direction, bound)
+		fmt.Printf("%s %-22s baseline %.4f, got %.4f (%s is better, tolerance %.0f%%, bound %.4f)\n",
+			status, name, m.Value, got, m.Direction, tol*100, bound)
 	}
 	if failed > 0 {
-		log.Fatalf("%d metric(s) regressed more than %.0f%% from %s; "+
+		log.Fatalf("%d metric(s) regressed past tolerance from %s; "+
 			"if intentional, re-baseline with benchmarks/promote.sh",
-			failed, base.Tolerance*100, *basePath)
+			failed, *basePath)
 	}
 	fmt.Println("all benchmark metrics within tolerance")
 }

@@ -20,6 +20,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +30,7 @@ import (
 	"sort"
 
 	"gpufi"
+	"gpufi/internal/obs"
 	"gpufi/internal/report"
 )
 
@@ -89,6 +92,109 @@ func renderWhy(all []*gpufi.CampaignResult, csvOut bool) error {
 	return tb.Render(os.Stdout)
 }
 
+// renderSpans aggregates a campaign's distributed-tracing timeline
+// (spans.jsonl, from GET /v1/campaigns/{id}/trace?format=jsonl or the
+// store directory) into a phase breakdown: per span name, how many spans
+// ran, how much cumulative time they took, and what share of the
+// campaign's wall clock that is. Provisional announce records (a parent
+// span persisted early so a crash never orphans its children) are
+// collapsed into their final record first.
+func renderSpans(path string, csvOut bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	best := map[string]obs.SpanRecord{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn tail or noise; the rest of the timeline still renders
+		}
+		if rec.Span == "" {
+			continue
+		}
+		prev, ok := best[rec.Span]
+		if !ok {
+			order = append(order, rec.Span)
+			best[rec.Span] = rec
+		} else if rec.DurUS > prev.DurUS {
+			best[rec.Span] = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("%s: no span records", path)
+	}
+
+	type agg struct {
+		count         int
+		totalUS       int64
+		minStart, end int64
+	}
+	phases := map[string]*agg{}
+	var wallStart, wallEnd int64
+	for i, id := range order {
+		rec := best[id]
+		a := phases[rec.Name]
+		if a == nil {
+			a = &agg{minStart: rec.StartUS}
+			phases[rec.Name] = a
+		}
+		a.count++
+		a.totalUS += rec.DurUS
+		if rec.StartUS < a.minStart {
+			a.minStart = rec.StartUS
+		}
+		if e := rec.StartUS + rec.DurUS; e > a.end {
+			a.end = e
+		}
+		if i == 0 || rec.StartUS < wallStart {
+			wallStart = rec.StartUS
+		}
+		if e := rec.StartUS + rec.DurUS; e > wallEnd {
+			wallEnd = e
+		}
+	}
+	wallUS := wallEnd - wallStart
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		return phases[names[a]].totalUS > phases[names[b]].totalUS
+	})
+
+	tb := &report.Table{
+		Title:  fmt.Sprintf("span phases (%d spans, %.1f ms wall clock)", len(order), float64(wallUS)/1e3),
+		Header: []string{"phase", "spans", "total ms", "mean ms", "wall share"},
+	}
+	for _, n := range names {
+		a := phases[n]
+		share := 0.0
+		if wallUS > 0 {
+			share = 100 * float64(a.totalUS) / float64(wallUS)
+		}
+		tb.AddRow(n, fmt.Sprint(a.count),
+			fmt.Sprintf("%.2f", float64(a.totalUS)/1e3),
+			fmt.Sprintf("%.3f", float64(a.totalUS)/1e3/float64(a.count)),
+			fmt.Sprintf("%.1f%%", share))
+	}
+	if csvOut {
+		return tb.WriteCSV(os.Stdout)
+	}
+	return tb.Render(os.Stdout)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gpufi-report: ")
@@ -97,9 +203,16 @@ func main() {
 	why := flag.Bool("why", false, "append the fault-propagation breakdown (campaigns journaled with tracing)")
 	ci := flag.Bool("ci", false, "append Wilson confidence intervals per outcome proportion")
 	conf := flag.Float64("confidence", 0.99, "confidence level for -ci intervals")
+	spans := flag.String("spans", "", "render a phase breakdown from a campaign spans.jsonl timeline and exit")
 	flag.Parse()
+	if *spans != "" {
+		if err := renderSpans(*spans, *csvOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if flag.NArg() == 0 {
-		log.Fatal(`usage: gpufi-report [-csv] [-strict] [-why] log.jsonl... ("-" reads stdin)`)
+		log.Fatal(`usage: gpufi-report [-csv] [-strict] [-why] log.jsonl... ("-" reads stdin; -spans spans.jsonl for timelines)`)
 	}
 
 	var all []*gpufi.CampaignResult

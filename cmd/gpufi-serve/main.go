@@ -78,10 +78,29 @@ import (
 	"syscall"
 	"time"
 
+	"gpufi/internal/obs"
 	"gpufi/internal/service"
 	"gpufi/internal/shard"
 	"gpufi/internal/store"
 )
+
+// watchSIGQUIT dumps the process-wide flight ring — the last few thousand
+// span records, crash-safe in memory — to path every time SIGQUIT lands.
+// kill -QUIT of a wedged node yields a timeline of its final moments
+// instead of (only) a goroutine dump.
+func watchSIGQUIT(path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	go func() {
+		for range ch {
+			if n, err := obs.Flight().DumpTo(path); err != nil {
+				log.Printf("SIGQUIT: flight dump to %s failed: %v", path, err)
+			} else {
+				log.Printf("SIGQUIT: dumped %d flight records to %s", n, path)
+			}
+		}
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -106,6 +125,8 @@ func main() {
 		backoffBase  = flag.Duration("backoff-base", 100*time.Millisecond, "initial retry delay against an unreachable coordinator (worker mode)")
 		backoffMax   = flag.Duration("backoff-max", 5*time.Second, "retry delay ceiling during a coordinator outage (worker mode)")
 		outageBudget = flag.Duration("outage-budget", 2*time.Minute, "how long a worker mid-shard waits out a coordinator outage before abandoning the shard (worker mode)")
+
+		flightPath = flag.String("flight", "", "flight-recorder dump path for SIGQUIT (default <data>/flight.jsonl; worker mode: gpufi-flight.jsonl)")
 	)
 	flag.Parse()
 
@@ -129,6 +150,10 @@ func main() {
 	}
 
 	if *mode == "worker" {
+		if *flightPath == "" {
+			*flightPath = "gpufi-flight.jsonl"
+		}
+		watchSIGQUIT(*flightPath)
 		runWorker(*coordURL, *workerName, *shardBatch, *backoffBase, *backoffMax, *outageBudget, logger)
 		return
 	}
@@ -141,6 +166,10 @@ func main() {
 		log.Fatal(err)
 	}
 	st.BatchSize = *batch
+	if *flightPath == "" {
+		*flightPath = st.FlightPath()
+	}
+	watchSIGQUIT(*flightPath)
 
 	opts := service.Options{
 		Workers: *workers, QueueDepth: *queue, MaxRetries: *retries,

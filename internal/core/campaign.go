@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"gpufi/internal/bench"
 	"gpufi/internal/cache"
 	"gpufi/internal/config"
+	"gpufi/internal/obs"
 	"gpufi/internal/plan"
 	"gpufi/internal/sim"
 )
@@ -451,6 +453,8 @@ func runExperiment(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 	execStart := time.Now()
 	out, runErr := cfg.App.Run(g)
 	observePhase(&phaseExecuteNanos, execStart)
+	obs.EmitSpan(ctx, "engine.execute", execStart,
+		obs.Attr{K: "exp", V: strconv.Itoa(i)})
 	if runErr != nil && isCancel(runErr) {
 		// A cancelled run is an aborted campaign, not a Crash outcome.
 		return Experiment{}, runErr
@@ -473,6 +477,9 @@ func runExperiment(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 		finishTrace(g, &exp)
 	}
 	observePhase(&phaseClassifyNanos, clsStart)
+	obs.EmitSpan(ctx, "engine.classify", clsStart,
+		obs.Attr{K: "exp", V: strconv.Itoa(i)},
+		obs.Attr{K: "outcome", V: exp.Effect})
 	return exp, nil
 }
 

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gpufi/internal/obs"
 	"gpufi/internal/sim"
 )
 
@@ -122,11 +124,31 @@ func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 	// dominant per-experiment cost for small kernels.
 	vessels := make([]*sim.GPU, cfg.workerCount())
 
+	// Tracing: each prefix segment up to a snapshot is an engine.snapshot
+	// span, each cluster fan-out an engine.cluster span. The cluster span
+	// announces itself (provisional zero-duration record) before any work
+	// so per-experiment spans shipped in early batches can never reference
+	// a parent that a crash kept from completing.
+	traced := obs.TraceEnabled(ctx)
+	var prefixMark time.Time
+
 	next := 0
 	g.SnapshotAt(snapCycles, func(s *sim.Snapshot) error {
 		cl := clusters[next]
 		next++
-		poisoned, err := runCluster(ctx, cfg, prof, s, cl.idxs, specs, extras, vessels, col)
+		cctx, csp := ctx, (*obs.Span)(nil)
+		if traced {
+			obs.EmitSpan(ctx, "engine.snapshot", prefixMark,
+				obs.Attr{K: "cluster", V: strconv.Itoa(next - 1)},
+				obs.Attr{K: "cycle", V: strconv.FormatUint(cl.snapCycle, 10)})
+			cctx, csp = obs.StartSpan(ctx, "engine.cluster",
+				obs.Attr{K: "cluster", V: strconv.Itoa(next - 1)},
+				obs.Attr{K: "experiments", V: strconv.Itoa(len(cl.idxs))})
+			csp.Announce()
+		}
+		poisoned, err := runCluster(cctx, cfg, prof, s, cl.idxs, specs, extras, vessels, col)
+		csp.End()
+		prefixMark = time.Now()
 		if err != nil {
 			return err
 		}
@@ -147,6 +169,7 @@ func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 		return nil
 	})
 
+	prefixMark = time.Now()
 	if _, runErr := cfg.App.Run(g); runErr != nil && !errors.Is(runErr, sim.ErrReplayStop) {
 		if isCancel(runErr) {
 			// Cancelled mid-campaign: hand back what finished.
@@ -207,6 +230,8 @@ func runCluster(ctx context.Context, cfg *CampaignConfig, prof *Profile, snap *s
 					forksReused.Add(1)
 				}
 				observePhase(&phaseForkNanos, forkStart)
+				obs.EmitSpan(ctx, "engine.fork", forkStart,
+					obs.Attr{K: "exp", V: strconv.Itoa(i)})
 				exp, poisoned, err := runExperimentSandboxed(ctx, cfg, prof, g, specs[i], extras[i], i)
 				if poisoned {
 					// The vessel ran a panicked or deadlined experiment:

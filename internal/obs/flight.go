@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightSize is the process flight ring's capacity. 4096 records
+// at ~200 bytes each bounds the recorder near 1 MiB — hours of steady
+// state at typical span rates, minutes at full campaign throughput,
+// which is the window a post-mortem actually needs.
+const DefaultFlightSize = 4096
+
+// FlightRing is a fixed-size lock-free ring of recent span and event
+// records — the crash flight recorder. Writers claim a slot with one
+// atomic increment and publish with one atomic pointer store; the oldest
+// record is overwritten when the ring is full. Dump reads whatever is
+// published, tolerating records landing mid-dump: a post-mortem wants
+// "roughly the last N things", not a linearizable log.
+type FlightRing struct {
+	slots []atomic.Pointer[SpanRecord]
+	next  atomic.Uint64
+}
+
+// NewFlightRing builds a ring with the given capacity (minimum 1).
+func NewFlightRing(n int) *FlightRing {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRing{slots: make([]atomic.Pointer[SpanRecord], n)}
+}
+
+var (
+	flightOnce sync.Once
+	flightRing *FlightRing
+)
+
+func nowUS() int64 { return time.Now().UnixMicro() }
+
+func (r *FlightRing) add(rec SpanRecord) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&rec)
+}
+
+// Event records a point-in-time event (no duration, no span identity) —
+// "recovery started", "SIGQUIT received" — into the ring only.
+func (r *FlightRing) Event(name, node string, attrs ...Attr) {
+	rec := SpanRecord{Name: name, Kind: "event", Node: node, StartUS: nowUS()}
+	if len(attrs) > 0 {
+		rec.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			rec.Attrs[a.K] = a.V
+		}
+	}
+	r.add(rec)
+}
+
+// Records returns the ring's published records, oldest first.
+func (r *FlightRing) Records() []SpanRecord {
+	n := uint64(len(r.slots))
+	head := r.next.Load()
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]SpanRecord, 0, head-start)
+	for i := start; i < head; i++ {
+		if p := r.slots[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the ring as JSONL, oldest first, returning the
+// record count.
+func (r *FlightRing) WriteJSONL(w io.Writer) (int, error) {
+	recs := r.Records()
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return 0, err
+		}
+	}
+	return len(recs), nil
+}
+
+// DumpTo writes the ring to path (truncating a previous dump) and syncs
+// it — the caller may be about to die. Returns the record count.
+func (r *FlightRing) DumpTo(path string) (int, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	n, werr := r.WriteJSONL(f)
+	if err := f.Sync(); werr == nil {
+		werr = err
+	}
+	if err := f.Close(); werr == nil {
+		werr = err
+	}
+	return n, werr
+}
+
+// Flight is the process-wide flight recorder. Every completed span and
+// every Event lands here regardless of sinks, so a dump is meaningful
+// even for traces nobody registered.
+func Flight() *FlightRing {
+	flightOnce.Do(func() { flightRing = NewFlightRing(DefaultFlightSize) })
+	return flightRing
+}

@@ -91,8 +91,29 @@ func (g *GaugeFunc) writeSamples(w io.Writer) {
 	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
 }
 
+// maxVecCardinality bounds every labelled family. Label values arriving
+// once the family is full fold into vecOverflowLabel instead of growing
+// the map — a runaway label source (campaign IDs, worker names from a
+// flapping fleet) degrades to one aggregate series rather than eating
+// the scrape page and the heap.
+const maxVecCardinality = 64
+
+const vecOverflowLabel = "_other"
+
+// vecKey returns the series key for a label value, folding new values
+// into the overflow series when the family is at capacity. Callers hold
+// the family mutex. The generic constraint keeps one implementation for
+// both value types.
+func vecKey[V int64 | float64](vals map[string]V, labelValue string) string {
+	if _, ok := vals[labelValue]; ok || len(vals) < maxVecCardinality {
+		return labelValue
+	}
+	return vecOverflowLabel
+}
+
 // GaugeVec is a gauge family with one label dimension (e.g. per-campaign
-// progress). The label set is expected to stay small and bounded.
+// progress, per-worker merge counts). Cardinality is bounded by
+// maxVecCardinality; overflow folds into the "_other" series.
 type GaugeVec struct {
 	metaData
 	label string
@@ -103,7 +124,7 @@ type GaugeVec struct {
 // Set sets the gauge for one label value.
 func (g *GaugeVec) Set(labelValue string, v float64) {
 	g.mu.Lock()
-	g.vals[labelValue] = v
+	g.vals[vecKey(g.vals, labelValue)] = v
 	g.mu.Unlock()
 }
 
@@ -138,6 +159,62 @@ func (g *GaugeVec) writeSamples(w io.Writer) {
 		lines = append(lines, fmt.Sprintf("%s{%s=%q} %s", g.name, g.label, k, formatFloat(g.vals[k])))
 	}
 	g.mu.Unlock()
+	for _, l := range lines {
+		io.WriteString(w, l+"\n")
+	}
+}
+
+// CounterVec is a counter family with one label dimension (e.g. HTTP
+// requests by route class). Same bounded-cardinality discipline as
+// GaugeVec: overflow label values fold into "_other".
+type CounterVec struct {
+	metaData
+	label string
+	mu    sync.Mutex
+	vals  map[string]int64
+}
+
+// Add increments one label value's counter by n.
+func (c *CounterVec) Add(labelValue string, n int64) {
+	c.mu.Lock()
+	c.vals[vecKey(c.vals, labelValue)] += n
+	c.mu.Unlock()
+}
+
+// Inc increments one label value's counter.
+func (c *CounterVec) Inc(labelValue string) { c.Add(labelValue, 1) }
+
+// Load returns one label value's count.
+func (c *CounterVec) Load(labelValue string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[labelValue]
+}
+
+func (c *CounterVec) promType() string { return "counter" }
+
+func (c *CounterVec) snapshotValue() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *CounterVec) writeSamples(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(keys))
+	for _, k := range keys {
+		lines = append(lines, fmt.Sprintf("%s{%s=%q} %d", c.name, c.label, k, c.vals[k]))
+	}
+	c.mu.Unlock()
 	for _, l := range lines {
 		io.WriteString(w, l+"\n")
 	}
@@ -281,6 +358,19 @@ func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
 		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, in.promType()))
 	}
 	return g
+}
+
+// CounterVec registers (or returns) a one-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	in := r.register(name, func() instrument {
+		return &CounterVec{metaData: metaData{name: name, help: help}, label: label,
+			vals: make(map[string]int64)}
+	})
+	c, ok := in.(*CounterVec)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s", name, in.promType()))
+	}
+	return c
 }
 
 // Histogram registers (or returns) a histogram with the given ascending

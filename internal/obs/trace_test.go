@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned zero")
+	}
+	if id == NewTraceID() {
+		t.Fatal("two trace IDs collided")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("trace ID renders as %d chars, want 32", len(s))
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("round trip failed: %s -> %v %v", s, back, ok)
+	}
+	for _, bad := range []string{"", "abc", s[:31], s + "0",
+		"0000000000000000000000000000000p",
+		"00000000000000000000000000000000"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID accepted %q", bad)
+		}
+	}
+	if _, ok := ParseSpanID("0000000000000000"); ok {
+		t.Error("ParseSpanID accepted all zeros")
+	}
+}
+
+func TestTraceparent(t *testing.T) {
+	tid := NewTraceID()
+	sid := newSpanID()
+	v := FormatTraceparent(tid, sid)
+	if len(v) != 55 {
+		t.Fatalf("traceparent is %d chars, want 55: %q", len(v), v)
+	}
+	bt, bs, ok := ParseTraceparent(v)
+	if !ok || bt != tid || bs != sid {
+		t.Fatalf("round trip failed: %q", v)
+	}
+	for _, bad := range []string{
+		"", v[:54], v + "0",
+		"01-" + tid.String() + "-" + sid.String() + "-01", // unknown version
+		"00-00000000000000000000000000000000-" + sid.String() + "-01",
+		"00-" + tid.String() + "-0000000000000000-01",
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent accepted %q", bad)
+		}
+	}
+
+	// Header inject/extract round trip.
+	h := http.Header{}
+	ctx := ContextWithRemote(context.Background(), tid, sid)
+	InjectTraceparent(ctx, h)
+	if got := h.Get(TraceparentHeader); got != v {
+		t.Fatalf("injected %q, want %q", got, v)
+	}
+	out := ExtractTraceparent(context.Background(), h)
+	gt, gs, ok := TraceFromContext(out)
+	if !ok || gt != tid || gs != sid {
+		t.Fatal("extract did not restore the remote parent")
+	}
+
+	// A root-to-be context (zero span) must not inject: the receiver
+	// would parent onto a span that does not exist.
+	h2 := http.Header{}
+	InjectTraceparent(ContextWithTrace(context.Background(), tid), h2)
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatal("root-to-be context injected a traceparent")
+	}
+}
+
+func TestStartSpanParenting(t *testing.T) {
+	var recs []SpanRecord
+	tid := NewTraceID()
+	ctx := ContextWithTrace(context.Background(), tid)
+	ctx = ContextWithSink(ctx, func(r SpanRecord) { recs = append(recs, r) })
+	ctx = ContextWithNode(ctx, "test-node")
+
+	rctx, root := StartSpan(ctx, "root", Attr{K: "k", V: "v"})
+	if root == nil {
+		t.Fatal("StartSpan returned nil on a traced context")
+	}
+	cctx, child := StartSpan(rctx, "child")
+	EmitSpan(cctx, "grandchild", time.Now().Add(-time.Millisecond))
+	child.End()
+	child.End() // idempotent
+	root.SetAttr("late", "attr")
+	root.End()
+
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	gc, ch, rt := recs[0], recs[1], recs[2]
+	if rt.Name != "root" || rt.Parent != "" {
+		t.Fatalf("root record wrong: %+v", rt)
+	}
+	if rt.Trace != tid.String() || rt.Node != "test-node" {
+		t.Fatalf("root linkage wrong: %+v", rt)
+	}
+	if rt.Attrs["k"] != "v" || rt.Attrs["late"] != "attr" {
+		t.Fatalf("root attrs wrong: %+v", rt.Attrs)
+	}
+	if ch.Parent != rt.Span {
+		t.Fatalf("child parent %q, want root %q", ch.Parent, rt.Span)
+	}
+	if gc.Parent != ch.Span {
+		t.Fatalf("grandchild parent %q, want child %q", gc.Parent, ch.Span)
+	}
+	if gc.DurUS <= 0 {
+		t.Fatalf("grandchild duration %d, want > 0", gc.DurUS)
+	}
+}
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	ctx := context.Background()
+	if TraceEnabled(ctx) {
+		t.Fatal("plain context reports traced")
+	}
+	sctx, sp := StartSpan(ctx, "nope")
+	if sp != nil || sctx != ctx {
+		t.Fatal("StartSpan on untraced context must return (ctx, nil)")
+	}
+	sp.End()      // nil-safe
+	sp.Announce() // nil-safe
+	sp.SetAttr("a", "b")
+	EmitSpan(ctx, "nope", time.Now())
+	EmitInTrace(TraceID{}, SpanID{}, "n", "nope", time.Now())
+}
+
+func TestAnnounceSupersededByEnd(t *testing.T) {
+	var recs []SpanRecord
+	ctx := ContextWithTrace(context.Background(), NewTraceID())
+	ctx = ContextWithSink(ctx, func(r SpanRecord) { recs = append(recs, r) })
+	_, sp := StartSpan(ctx, "parent")
+	sp.Announce()
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want announce + final", len(recs))
+	}
+	if recs[0].Span != recs[1].Span {
+		t.Fatal("announce and final must share the span ID")
+	}
+	if recs[0].DurUS != 0 || recs[1].DurUS <= 0 {
+		t.Fatalf("announce dur %d / final dur %d", recs[0].DurUS, recs[1].DurUS)
+	}
+}
+
+func TestSinkPrecedence(t *testing.T) {
+	tid := NewTraceID()
+	var reg, ctxSink []SpanRecord
+	RegisterTraceSink(tid, func(r SpanRecord) { reg = append(reg, r) })
+	defer UnregisterTraceSink(tid)
+
+	// No context sink: the registry sink receives the record.
+	EmitInTrace(tid, SpanID{}, "n", "via-registry", time.Now())
+	if len(reg) != 1 || reg[0].Name != "via-registry" {
+		t.Fatalf("registry sink got %+v", reg)
+	}
+
+	// Context sink present: it wins; the registry must NOT also receive
+	// the record (a worker co-located with the coordinator in one process
+	// would otherwise double-write every span).
+	ctx := ContextWithTrace(context.Background(), tid)
+	ctx = ContextWithSink(ctx, func(r SpanRecord) { ctxSink = append(ctxSink, r) })
+	EmitSpan(ctx, "via-ctx", time.Now())
+	if len(ctxSink) != 1 || ctxSink[0].Name != "via-ctx" {
+		t.Fatalf("ctx sink got %+v", ctxSink)
+	}
+	if len(reg) != 1 {
+		t.Fatalf("registry sink double-received: %+v", reg)
+	}
+
+	// After unregistering, records fall through to the flight ring only.
+	UnregisterTraceSink(tid)
+	EmitInTrace(tid, SpanID{}, "n", "after-unregister", time.Now())
+	if len(reg) != 1 {
+		t.Fatal("unregistered sink still receives records")
+	}
+}
+
+func TestFlightRingWraparound(t *testing.T) {
+	r := NewFlightRing(4)
+	for i := 0; i < 7; i++ {
+		r.Event("ev"+strconv.Itoa(i), "node")
+	}
+	recs := r.Records()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		want := "ev" + strconv.Itoa(i+3) // oldest-first: ev3..ev6
+		if rec.Name != want {
+			t.Fatalf("slot %d is %s, want %s", i, rec.Name, want)
+		}
+		if rec.Kind != "event" {
+			t.Fatalf("slot %d kind %q, want event", i, rec.Kind)
+		}
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	r := NewFlightRing(8)
+	r.Event("boot", "coordinator", Attr{K: "x", V: "1"})
+	r.Event("crash", "coordinator")
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	n, err := r.DumpTo(path)
+	if err != nil || n != 2 {
+		t.Fatalf("DumpTo: n=%d err=%v", n, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var names []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad flight line %q: %v", sc.Text(), err)
+		}
+		names = append(names, rec.Name)
+	}
+	if len(names) != 2 || names[0] != "boot" || names[1] != "crash" {
+		t.Fatalf("flight dump names: %v", names)
+	}
+
+	// A second dump truncates rather than appends.
+	r.Event("again", "coordinator")
+	if n, err := r.DumpTo(path); err != nil || n != 3 {
+		t.Fatalf("re-dump: n=%d err=%v", n, err)
+	}
+}
+
+func TestCounterVecCardinalityBound(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("test_requests_total", "test", "route")
+	for i := 0; i < maxVecCardinality+10; i++ {
+		cv.Inc("route-" + strconv.Itoa(i))
+	}
+	if got := cv.Load(vecOverflowLabel); got != 10 {
+		t.Fatalf("overflow label holds %d, want 10", got)
+	}
+	if got := cv.Load("route-0"); got != 1 {
+		t.Fatalf("route-0 holds %d, want 1", got)
+	}
+	// An existing label keeps counting even when the family is full.
+	cv.Inc("route-0")
+	if got := cv.Load("route-0"); got != 2 {
+		t.Fatalf("route-0 holds %d after second inc, want 2", got)
+	}
+
+	gv := reg.GaugeVec("test_gauge", "test", "worker")
+	for i := 0; i < maxVecCardinality+5; i++ {
+		gv.Set("w"+strconv.Itoa(i), float64(i))
+	}
+	snap, ok := gv.snapshotValue().(map[string]float64)
+	if !ok {
+		t.Fatal("gauge vec snapshot type")
+	}
+	if len(snap) != maxVecCardinality+1 { // full family + _other
+		t.Fatalf("gauge vec grew to %d series, want %d", len(snap), maxVecCardinality+1)
+	}
+	if _, ok := snap[vecOverflowLabel]; !ok {
+		t.Fatal("gauge vec overflow label missing")
+	}
+}

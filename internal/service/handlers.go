@@ -25,7 +25,9 @@ import (
 //	GET    /v1/campaigns/{id}         status + live counts
 //	GET    /v1/campaigns/{id}/events  SSE progress stream
 //	GET    /v1/campaigns/{id}/log     the raw JSONL journal
-//	GET    /v1/campaigns/{id}/trace   the propagation traces (campaigns run with trace)
+//	GET    /v1/campaigns/{id}/trace   the propagation traces (campaigns run with trace);
+//	                                  ?format=jsonl|chrome serves the campaign's
+//	                                  distributed-tracing timeline instead
 //	DELETE /v1/campaigns/{id}         cancel (queued or running); revokes shard leases
 //
 // Shard control plane (coordinator mode; 503 otherwise). While a restarted
@@ -115,6 +117,12 @@ type status struct {
 	Counts    avf.Counts `json:"counts"`
 	Error     string     `json:"error,omitempty"`
 
+	// TraceID is the campaign's root distributed-trace ID (32 hex digits),
+	// carried on every status response and SSE event — including the
+	// terminal "done"/"state" events — so a client can correlate a finished
+	// job with GET /v1/campaigns/{id}/trace without having watched it run.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// Adaptive campaigns only: the pre-pass's analytically masked count,
 	// the running pooled interval half-width over the live tally, and — on
 	// terminal states — the planner's stratified report.
@@ -135,6 +143,9 @@ func (s *Server) statusLocked(j *job) status {
 	}
 	if j.rule != nil {
 		st.CIHalfWidth = pooledHalfWidth(j.counts, j.rule)
+	}
+	if !j.trace.IsZero() {
+		st.TraceID = j.trace.String()
 	}
 	return st
 }
@@ -472,20 +483,62 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": state})
 }
 
+// handleTrace serves two kinds of trace, split by ?format=:
+//
+//	(none)  the fault-propagation traces (campaigns run with trace: true)
+//	jsonl   the campaign's distributed-tracing timeline, raw span records
+//	chrome  the same timeline as Chrome trace-event JSON — load it in
+//	        Perfetto / chrome://tracing; one track per node
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	f, err := s.st.OpenTraces(id)
-	if err != nil {
-		if errors.Is(err, store.ErrNotFound) {
-			writeErr(w, r, &httpError{code: 404, msg: fmt.Sprintf("no traces for campaign %s", id)})
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "propagation":
+		f, err := s.st.OpenTraces(id)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				writeErr(w, r, &httpError{code: 404, msg: fmt.Sprintf("no traces for campaign %s", id)})
+				return
+			}
+			writeErr(w, r, err)
 			return
 		}
-		writeErr(w, r, err)
-		return
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.Copy(w, f)
+	case "jsonl":
+		f, err := s.st.OpenSpans(id)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				writeErr(w, r, &httpError{code: 404, msg: fmt.Sprintf("no spans for campaign %s", id)})
+				return
+			}
+			writeErr(w, r, err)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.Copy(w, f)
+	case "chrome":
+		f, err := s.st.OpenSpans(id)
+		if err != nil {
+			if errors.Is(err, store.ErrNotFound) {
+				writeErr(w, r, &httpError{code: 404, msg: fmt.Sprintf("no spans for campaign %s", id)})
+				return
+			}
+			writeErr(w, r, err)
+			return
+		}
+		recs, err := readSpans(f)
+		f.Close()
+		if err != nil {
+			writeErr(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, chromeTrace(recs))
+	default:
+		writeErr(w, r, &httpError{code: 400,
+			msg: fmt.Sprintf("unknown trace format %q (want jsonl or chrome)", format)})
 	}
-	defer f.Close()
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	io.Copy(w, f)
 }
 
 // handleShardClaim leases a pending shard to the calling worker. 204 with
@@ -524,7 +577,13 @@ func (s *Server) handleShardHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, &httpError{code: 400, msg: fmt.Sprintf("bad heartbeat: %v", err)})
 		return
 	}
+	// The handler span is parented to the worker's shard span through the
+	// traceparent header the middleware extracted; its sink is the trace
+	// registry, so it lands in the campaign's spans.jsonl.
+	_, sp := obs.StartSpan(r.Context(), "coordinator.heartbeat",
+		obs.Attr{K: "shard", V: r.PathValue("id")})
 	res, err := co.Heartbeat(r.PathValue("id"), req.Lease)
+	sp.End()
 	if err != nil {
 		writeErr(w, r, shardErr(err))
 		return
@@ -554,7 +613,15 @@ func (s *Server) handleShardJournal(w http.ResponseWriter, r *http.Request) {
 			msg: fmt.Sprintf("batch names shard %s, posted to %s", b.Shard, r.PathValue("id"))})
 		return
 	}
+	_, sp := obs.StartSpan(r.Context(), "coordinator.ingest",
+		obs.Attr{K: "shard", V: b.Shard},
+		obs.Attr{K: "records", V: strconv.Itoa(len(b.Records))})
 	res, err := co.Ingest(b)
+	if err == nil {
+		sp.SetAttr("accepted", strconv.Itoa(res.Accepted))
+		sp.SetAttr("duplicates", strconv.Itoa(res.Duplicates))
+	}
+	sp.End()
 	if err != nil {
 		writeErr(w, r, shardErr(err))
 		return
@@ -576,6 +643,7 @@ func (s *Server) handleShardList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshShardWorkerMetrics()
 	if r.URL.Query().Get("format") == "prom" {
 		// Prometheus text exposition: the per-server registry followed by
 		// the process-wide one (sim/core/store instruments). Family names

@@ -36,6 +36,18 @@ type metrics struct {
 	queueWait  *obs.Histogram // seconds a job waited queued before a worker took it
 	jobSeconds *obs.Histogram // seconds per job attempt, pop to terminal state
 	progress   *obs.GaugeVec  // per-running-campaign completion ratio
+
+	httpRequests *obs.CounterVec // requests by route class (bounded labels)
+
+	// Coordinator mode only (nil otherwise): per-worker control-plane
+	// activity, refreshed from Coordinator.WorkerStats on every scrape.
+	// The last-seen age is what separates a slow worker (age keeps
+	// resetting, merge counters crawl) from a dead one (age grows
+	// monotonically while its shard waits out the lease TTL).
+	shardWorkerClaims  *obs.GaugeVec
+	shardWorkerBatches *obs.GaugeVec
+	shardWorkerRecords *obs.GaugeVec
+	shardWorkerAge     *obs.GaugeVec
 }
 
 func (m *metrics) init() {
@@ -63,6 +75,8 @@ func (m *metrics) init() {
 		"Seconds per job attempt, from queue pop to terminal state.", nil)
 	m.progress = r.GaugeVec("gpufi_campaign_progress_ratio",
 		"Completion ratio (done/total) per running campaign.", "id")
+	m.httpRequests = r.CounterVec("gpufi_http_requests_total",
+		"HTTP requests served, by route class.", "route")
 	r.GaugeFunc("gpufi_uptime_seconds", "Seconds since the service started.",
 		func() float64 { return time.Since(m.start).Seconds() })
 
@@ -117,6 +131,29 @@ func (s *Server) registerShardMetrics() {
 		func() float64 { return float64(co.Stats().WALRebuilds) })
 	r.GaugeFunc("gpufi_shard_leases_fenced", "Stale-epoch heartbeats and batches refused after a re-issue.",
 		func() float64 { return float64(co.Stats().LeasesFenced) })
+	s.metrics.shardWorkerClaims = r.GaugeVec("gpufi_shard_worker_claims",
+		"Shard leases granted, per worker.", "worker")
+	s.metrics.shardWorkerBatches = r.GaugeVec("gpufi_shard_worker_batches",
+		"Journal batches ingested, per worker.", "worker")
+	s.metrics.shardWorkerRecords = r.GaugeVec("gpufi_shard_worker_records",
+		"Journal records merged, per worker.", "worker")
+	s.metrics.shardWorkerAge = r.GaugeVec("gpufi_shard_worker_last_seen_age_seconds",
+		"Seconds since the coordinator last heard from each worker.", "worker")
+}
+
+// refreshShardWorkerMetrics re-publishes the per-worker gauge vecs from
+// the coordinator's stats, so every scrape sees current last-seen ages.
+func (s *Server) refreshShardWorkerMetrics() {
+	co := s.opts.Coordinator
+	if co == nil {
+		return
+	}
+	for _, ws := range co.WorkerStats() {
+		s.metrics.shardWorkerClaims.Set(ws.Worker, float64(ws.Claims))
+		s.metrics.shardWorkerBatches.Set(ws.Worker, float64(ws.Batches))
+		s.metrics.shardWorkerRecords.Set(ws.Worker, float64(ws.Records))
+		s.metrics.shardWorkerAge.Set(ws.Worker, time.Since(ws.LastSeen).Seconds())
+	}
 }
 
 // snapshotMetrics renders the flat JSON /metrics object, extending the
@@ -137,6 +174,7 @@ func (s *Server) snapshotMetrics() map[string]any {
 		snap["shard_wal_records"] = cs.WALRecords
 		snap["shard_wal_rebuilds"] = cs.WALRebuilds
 		snap["shard_leases_fenced"] = cs.LeasesFenced
+		snap["shard_workers"] = len(co.WorkerStats())
 	}
 	return snap
 }

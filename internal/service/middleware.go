@@ -5,7 +5,10 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
+	"strings"
 	"time"
+
+	"gpufi/internal/obs"
 )
 
 // requestIDKey carries the request's X-Request-ID through the request
@@ -55,10 +58,31 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// routeClass buckets a request path into a small fixed label set for the
+// http-requests counter vec: labels must stay bounded no matter what
+// paths clients probe, so campaign ids and junk URLs never mint series.
+func routeClass(p string) string {
+	switch {
+	case strings.HasPrefix(p, "/v1/shards"):
+		return "shards"
+	case strings.HasPrefix(p, "/v1/campaigns"):
+		return "campaigns"
+	case strings.HasPrefix(p, "/campaigns"):
+		return "campaigns_legacy"
+	case p == "/metrics" || p == "/healthz" || p == "/readyz":
+		return "ops"
+	default:
+		return "other"
+	}
+}
+
 // withObservability is the outermost HTTP middleware: it assigns (or
-// propagates) the X-Request-ID, echoes it on the response, and emits one
-// structured log line per request, so campaign lifecycle events, SSE
-// streams and metrics are correlatable across logs.
+// propagates) the X-Request-ID, echoes it on the response, joins the
+// request to an incoming W3C traceparent (so a worker's span context
+// flows into the coordinator's handlers and span sinks), counts the
+// request by route class, and emits one structured log line per request,
+// so campaign lifecycle events, SSE streams and metrics are correlatable
+// across logs and nodes.
 func (s *Server) withObservability(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -66,13 +90,22 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			id = newRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		ctx = obs.ExtractTraceparent(ctx, r.Header)
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		code := sw.code
 		if code == 0 {
 			code = http.StatusOK
+		}
+		s.metrics.httpRequests.Inc(routeClass(r.URL.Path))
+		if tid, _, ok := obs.TraceFromContext(ctx); ok {
+			s.opts.Logger.Info("http request",
+				"request_id", id, "trace", tid.String(), "method", r.Method,
+				"path", r.URL.Path, "status", code, "duration", time.Since(start))
+			return
 		}
 		s.opts.Logger.Info("http request",
 			"request_id", id, "method", r.Method, "path", r.URL.Path,

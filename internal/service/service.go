@@ -19,6 +19,7 @@ import (
 
 	"gpufi/internal/avf"
 	"gpufi/internal/core"
+	"gpufi/internal/obs"
 	"gpufi/internal/plan"
 	"gpufi/internal/shard"
 	"gpufi/internal/store"
@@ -114,6 +115,12 @@ type job struct {
 	enqueuedAt  time.Time // when the job (re)entered the queue
 	startedAt   time.Time // when a worker popped the current attempt
 	doneAtStart int       // j.done when the current attempt began, for ETA
+
+	// trace is the campaign's root trace ID, assigned at submission so
+	// even a queued job's status (and every SSE event built from it)
+	// carries the ID a client needs to fetch the timeline later. The
+	// root span itself starts when an attempt runs.
+	trace obs.TraceID
 
 	cancel    context.CancelFunc // non-nil while running
 	userAbort bool               // cancellation was requested, not a crash
@@ -219,6 +226,17 @@ func (s *Server) Start(ctx context.Context) ([]string, error) {
 		}
 		resumed = append(resumed, id)
 	}
+	if len(resumed) > 0 && s.opts.Coordinator != nil {
+		// Crash-recovery start: stamp the moment into the flight ring and
+		// dump it, so the post-mortem of the previous lifetime's death has
+		// a durable marker even before any campaign timeline reopens.
+		obs.Flight().Event("coordinator.recovery_start", "coordinator",
+			obs.Attr{K: "campaigns", V: fmt.Sprintf("%d", len(resumed))})
+		if n, err := obs.Flight().DumpTo(s.st.FlightPath()); err == nil {
+			s.opts.Logger.Info("flight ring dumped at recovery start",
+				"records", n, "path", s.st.FlightPath())
+		}
+	}
 
 	base, cancel := context.WithCancel(ctx)
 	s.cancelBase = cancel
@@ -259,6 +277,7 @@ func (s *Server) newJobLocked(id string, spec store.Spec) *job {
 		id: id, spec: spec, state: StateQueued, total: spec.Runs,
 		rule:       spec.PlanRule(),
 		enqueuedAt: time.Now(),
+		trace:      obs.NewTraceID(),
 		subs:       make(map[chan event]struct{}), finished: make(chan struct{}),
 	}
 	s.jobs[id] = j
@@ -399,21 +418,57 @@ func (s *Server) workerLoop(base context.Context) (clean bool) {
 // the store or engine into a *panicError instead of unwinding the worker.
 // The journal's deferred closes run during the unwind, so a half-written
 // campaign stays resumable by the retry.
+//
+// Every attempt runs under the job's root span: the span sink persists
+// the campaign's timeline to spans.jsonl through the store (same
+// batch-fsync discipline as the journal, separate file — journal bytes
+// are untouched by tracing), and a panicking attempt dumps the process
+// flight ring next to it before the retry machinery sees the error.
 func (s *Server) runJob(ctx context.Context, j *job, attempt int) (res *core.CampaignResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.workerPanics.Add(1)
 			err = &panicError{val: r, stack: string(debug.Stack())}
+			if n, dErr := obs.Flight().DumpTo(s.st.FlightPath()); dErr == nil {
+				s.opts.Logger.Warn("flight ring dumped after job panic",
+					"id", j.id, "records", n, "path", s.st.FlightPath())
+			}
 		}
 	}()
 	if hook := testJobHook; hook != nil {
 		hook(j.id, attempt)
 	}
+
+	node := "local"
+	if s.opts.Coordinator != nil {
+		node = "coordinator"
+	}
+	tctx := obs.ContextWithTrace(ctx, j.trace)
+	tctx = obs.ContextWithNode(tctx, node)
+	if spanLog, slErr := s.st.SpanWriter(j.id); slErr == nil {
+		// Registered (not ctx-attached) so worker spans forwarded by the
+		// coordinator's Ingest reach the same file; Append after Close is
+		// a harmless error, so the close/unregister order is safe.
+		obs.RegisterTraceSink(j.trace, func(rec obs.SpanRecord) { spanLog.Append(rec) })
+		defer obs.UnregisterTraceSink(j.trace)
+		defer spanLog.Close()
+	} else {
+		s.opts.Logger.Warn("span log unavailable; campaign timeline lost",
+			"id", j.id, "err", slErr)
+	}
+	tctx, root := obs.StartSpan(tctx, "campaign",
+		obs.Attr{K: "id", V: j.id},
+		obs.Attr{K: "attempt", V: fmt.Sprintf("%d", attempt)},
+		obs.Attr{K: "mode", V: node})
+	root.Announce() // children survive a crash with a resolvable parent
+	defer root.End()
+	obs.EmitSpan(tctx, "service.queue", j.enqueuedAt, obs.Attr{K: "id", V: j.id})
+
 	onExp := func(exp core.Experiment) { s.onExperiment(j, exp) }
 	if co := s.opts.Coordinator; co != nil {
-		return co.Run(ctx, j.id, j.spec, onExp)
+		return co.Run(tctx, j.id, j.spec, onExp)
 	}
-	return s.st.Run(ctx, j.id, j.spec, nil, onExp)
+	return s.st.Run(tctx, j.id, j.spec, nil, onExp)
 }
 
 // retryOrFail decides what happens to a job whose attempt panicked: it

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpufi/internal/obs"
+	"gpufi/internal/store"
+)
+
+// This file covers the service-side tracing contract in local mode: every
+// campaign gets a root trace at submission, the SSE stream's terminal
+// event carries it, the /trace endpoint serves the span timeline in both
+// formats, and the HTTP middleware counts requests per route class.
+
+// newRunningServer is newAPIServer plus a started worker pool, for tests
+// that need campaigns to actually execute.
+func newRunningServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, Options{Workers: 1})
+	if _, err := srv.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// submitSmall POSTs a tiny local campaign and returns its id.
+func submitSmall(t *testing.T, base, id string) {
+	t.Helper()
+	body := `{"id":"` + id + `","app":"VA","gpu":"RTX2060","kernel":"va_add",` +
+		`"structure":"regfile","runs":6,"seed":9}`
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+}
+
+// TestSSETerminalEventCarriesTraceID subscribes to a campaign's event
+// stream and checks the terminal "done" snapshot names the root trace, so
+// a streaming client can jump straight from the finish line to the
+// timeline without a second status fetch.
+func TestSSETerminalEventCarriesTraceID(t *testing.T) {
+	_, ts := newRunningServer(t)
+	id := "sse-trace"
+	submitSmall(t, ts.URL, id)
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var event string
+	var doneData []byte
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() && time.Now().Before(deadline) {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "done":
+			doneData = []byte(strings.TrimPrefix(line, "data: "))
+		}
+		if doneData != nil {
+			break
+		}
+	}
+	if doneData == nil {
+		t.Fatal("stream ended without a done event")
+	}
+	var st struct {
+		State   string `json:"state"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(doneData, &st); err != nil {
+		t.Fatalf("done payload: %v", err)
+	}
+	if st.State != "done" {
+		t.Fatalf("terminal state %q", st.State)
+	}
+	tid, ok := obs.ParseTraceID(st.TraceID)
+	if !ok {
+		t.Fatalf("done event trace_id %q is not a valid trace ID", st.TraceID)
+	}
+
+	// It must match the status endpoint's view of the same campaign.
+	resp2, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 struct {
+		TraceID string `json:"trace_id"`
+	}
+	json.NewDecoder(resp2.Body).Decode(&st2)
+	resp2.Body.Close()
+	if st2.TraceID != tid.String() {
+		t.Errorf("status trace_id %q, SSE carried %q", st2.TraceID, tid)
+	}
+}
+
+// TestLocalTraceTimeline checks a local-mode (non-sharded) campaign still
+// produces a complete span timeline: root campaign span, queue wait, and
+// the engine phases, served over /trace in both formats.
+func TestLocalTraceTimeline(t *testing.T) {
+	_, ts := newRunningServer(t)
+	id := "local-trace"
+	submitSmall(t, ts.URL, id)
+
+	// Wait for the campaign to finish.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("campaign ended %s", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/trace?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace?format=jsonl: %d %s", resp.StatusCode, raw)
+	}
+	names := map[string]int{}
+	spanIDs := map[string]bool{}
+	var recs []obs.SpanRecord
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec obs.SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		names[rec.Name]++
+		spanIDs[rec.Span] = true
+		recs = append(recs, rec)
+	}
+	for _, want := range []string{"campaign", "service.queue",
+		"engine.snapshot", "engine.fork", "engine.execute", "engine.classify"} {
+		if names[want] == 0 {
+			t.Errorf("local timeline missing %s spans (have %v)", want, names)
+		}
+	}
+	for _, rec := range recs {
+		if rec.Parent != "" && !spanIDs[rec.Parent] {
+			t.Errorf("span %s (%s) has orphaned parent %s", rec.Span, rec.Name, rec.Parent)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + id + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		DisplayUnit string            `json:"displayTimeUnit"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 || doc.DisplayUnit != "ms" {
+		t.Fatalf("chrome export: %d events, unit %q", len(doc.TraceEvents), doc.DisplayUnit)
+	}
+}
+
+// TestHTTPRouteCounter checks the per-route-class request counter lands
+// in the Prometheus exposition with its bounded label.
+func TestHTTPRouteCounter(t *testing.T) {
+	_, ts := newAPIServer(t)
+	for _, p := range []string{"/healthz", "/readyz", "/v1/campaigns?limit=1"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`gpufi_http_requests_total{route="ops"}`,
+		`gpufi_http_requests_total{route="campaigns"}`,
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"gpufi/internal/obs"
+)
+
+// readSpans decodes a spans.jsonl stream into records, skipping torn or
+// malformed lines: the span log shares the journal's batch-fsync
+// discipline, so a crash can leave a partial final line, and a timeline
+// viewer wants everything before it rather than an error.
+func readSpans(r io.Reader) ([]obs.SpanRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []obs.SpanRecord
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec obs.SpanRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// dedupSpans collapses the span log to one record per span ID, keeping
+// the longest duration: a parent span is persisted twice — a provisional
+// zero-duration announce (so a crash never orphans its children) and the
+// final record — and only the final one should render.
+func dedupSpans(recs []obs.SpanRecord) []obs.SpanRecord {
+	best := make(map[string]int, len(recs))
+	var out []obs.SpanRecord
+	for _, rec := range recs {
+		if rec.Span == "" {
+			continue
+		}
+		if i, ok := best[rec.Span]; ok {
+			if rec.DurUS > out[i].DurUS {
+				out[i] = rec
+			}
+			continue
+		}
+		best[rec.Span] = len(out)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata), the JSON that Perfetto and chrome://tracing
+// load directly. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the trace-event container.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTrace converts a campaign's span records to a Chrome trace-event
+// document: one thread track per node (coordinator, each worker, each
+// engine goroutine's node label), named via metadata events, with every
+// span a complete ("X") event carrying its IDs and attrs as args. Point
+// events (flight-ring markers) render as zero-duration slices.
+func chromeTrace(recs []obs.SpanRecord) chromeDoc {
+	recs = dedupSpans(recs)
+	sort.SliceStable(recs, func(a, b int) bool { return recs[a].StartUS < recs[b].StartUS })
+
+	// Deterministic tid assignment: nodes sorted by name, coordinator-ish
+	// nodes naturally sort near the front; tid 0 is reserved for records
+	// with no node label.
+	nodes := map[string]bool{}
+	for _, rec := range recs {
+		if rec.Node != "" {
+			nodes[rec.Node] = true
+		}
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tid := map[string]int{}
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayUnit: "ms"}
+	for i, n := range names {
+		tid[n] = i + 1
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+			Args: map[string]string{"name": n},
+		})
+	}
+
+	for _, rec := range recs {
+		args := map[string]string{"trace": rec.Trace, "span": rec.Span}
+		if rec.Parent != "" {
+			args["parent"] = rec.Parent
+		}
+		for k, v := range rec.Attrs {
+			args[k] = v
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: rec.Name, Ph: "X", TS: rec.StartUS, Dur: rec.DurUS,
+			PID: 1, TID: tid[rec.Node], Args: args,
+		})
+	}
+	return doc
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"gpufi/internal/avf"
 	"gpufi/internal/core"
+	"gpufi/internal/obs"
 	"gpufi/internal/plan"
 	"gpufi/internal/store"
 )
@@ -92,6 +94,7 @@ type Coordinator struct {
 	order      []string        // claim scan order: oldest campaign first
 	recovering map[string]bool // campaigns mid-rebuild: answer ErrRecovering, not ErrUnknownShard
 	dead       bool            // Crash() was called: refuse new registrations
+	workers    map[string]*WorkerStat
 
 	shardsPlanned    atomic.Int64
 	shardsCompleted  atomic.Int64
@@ -134,6 +137,14 @@ type campaignRun struct {
 	simulated int
 	satisfied bool
 
+	// trace/rootSpan are the campaign's distributed-tracing linkage,
+	// taken from the service's root span at prepare time; zero when the
+	// run is untraced. mergedSpans dedups worker span records across
+	// batch re-sends by span ID.
+	trace       obs.TraceID
+	rootSpan    obs.SpanID
+	mergedSpans map[string]bool
+
 	closed bool   // no more claims/batches; reason says why
 	reason string // "done" | "cancelled" | "failed"
 	res    *core.CampaignResult
@@ -141,9 +152,20 @@ type campaignRun struct {
 	done   chan struct{} // closed exactly once, on any terminal state
 }
 
+// WorkerStat is one worker's cumulative control-plane activity, for the
+// per-worker /metrics labels: a slow worker shows a recent LastSeen with
+// a low merge rate; a dead one stops moving LastSeen entirely.
+type WorkerStat struct {
+	Worker   string
+	Claims   int64
+	Batches  int64
+	Records  int64
+	LastSeen time.Time
+}
+
 // shardState is the coordinator-side view of one shard.
 type shardState struct {
-	shard    Shard           // Lease fields empty; filled per claim
+	shard    Shard // Lease fields empty; filled per claim
 	indexSet map[int]bool
 	leases   map[string]int64 // token -> epoch it was granted at
 	epoch    int64            // current issue number; only this epoch may write
@@ -161,7 +183,37 @@ func NewCoordinator(st *store.Store, opts Options) *Coordinator {
 		st: st, opts: opts.withDefaults(), now: time.Now,
 		campaigns:  make(map[string]*campaignRun),
 		recovering: make(map[string]bool),
+		workers:    make(map[string]*WorkerStat),
 	}
+}
+
+// touchWorker updates one worker's cumulative stats. Caller holds co.mu.
+func (co *Coordinator) touchWorker(name string, claims, batches, records int64) {
+	if name == "" {
+		return
+	}
+	ws := co.workers[name]
+	if ws == nil {
+		ws = &WorkerStat{Worker: name}
+		co.workers[name] = ws
+	}
+	ws.Claims += claims
+	ws.Batches += batches
+	ws.Records += records
+	ws.LastSeen = co.now()
+}
+
+// WorkerStats snapshots every worker the coordinator has heard from,
+// sorted by name.
+func (co *Coordinator) WorkerStats() []WorkerStat {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]WorkerStat, 0, len(co.workers))
+	for _, ws := range co.workers {
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Worker < out[b].Worker })
+	return out
 }
 
 // Stats snapshots the lifetime counters.
@@ -286,14 +338,24 @@ func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
 		}
 	}
 
+	// Distributed-tracing linkage: the service's root span (present on
+	// ctx when the run is traced) parents every coordinator-side span
+	// and, via the Shard wire fields, every worker-side timeline. All
+	// span timestamps use the wall clock, never co.now() — tests inject
+	// fake lease clocks that would corrupt timelines.
+	trace, rootSpan, _ := obs.TraceFromContext(ctx)
+
 	// The profile is the coordinator's only simulation work: one
 	// fault-free run, enough to plan snapshot clusters. Workers re-derive
 	// the same profile deterministically on their side.
+	profStart := time.Now()
 	prof, err := core.ProfileApp(ctx, cfg.App, cfg.GPU)
 	if err != nil {
 		c.Close()
 		return nil, nil, err
 	}
+	obs.EmitSpan(ctx, "coordinator.profile", profStart,
+		obs.Attr{K: "app", V: prof.App}, obs.Attr{K: "gpu", V: prof.GPU})
 	cfg.Completed = c.CompletedIDs()
 
 	// Adaptive campaigns: the coordinator owns the stop rule. The analytic
@@ -311,6 +373,7 @@ func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
 		priorSimulated int
 	)
 	if cfg.Plan.Enabled() {
+		prepassStart := time.Now()
 		tracker = plan.NewTracker(*cfg.Plan)
 		recs, err := core.PlanAnalytic(ctx, cfg, prof)
 		if err != nil {
@@ -352,6 +415,8 @@ func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
 		}
 		tracker.AddCounts(prior)
 		priorSimulated = prior.Total()
+		obs.EmitSpan(ctx, "coordinator.prepass", prepassStart,
+			obs.Attr{K: "analytic", V: strconv.Itoa(len(recs))})
 	}
 
 	// Fsync ordering invariant: the journal is synced BEFORE any control
@@ -374,9 +439,11 @@ func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
 		id: id, spec: c.Spec, app: prof.App, gpu: prof.GPU,
 		c: c, wal: wal, total: c.Spec.Runs, onExp: onExp,
 		tracker: tracker, simulated: priorSimulated,
-		shards:  make(map[string]*shardState),
-		merged:  make(map[int]bool), mergedTraces: make(map[int]bool),
-		done: make(chan struct{}),
+		trace: trace, rootSpan: rootSpan,
+		shards: make(map[string]*shardState),
+		merged: make(map[int]bool), mergedTraces: make(map[int]bool),
+		mergedSpans: make(map[string]bool),
+		done:        make(chan struct{}),
 	}
 	for _, i := range cfg.Completed {
 		run.merged[i] = true
@@ -391,6 +458,7 @@ func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
 		}
 	}
 
+	tableStart := time.Now()
 	if rb, ok := rebuildFromWAL(ctl, run.merged, run.total, co.now(), co.opts.LeaseTTL); ok {
 		run.gen = rb.gen
 		run.shards = rb.shards
@@ -401,6 +469,10 @@ func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
 		}
 		co.walRebuilds.Add(1)
 		co.shardsPlanned.Add(int64(len(run.sorder)))
+		obs.EmitSpan(ctx, "coordinator.recover", tableStart,
+			obs.Attr{K: "gen", V: strconv.Itoa(run.gen)},
+			obs.Attr{K: "shards", V: strconv.Itoa(len(run.sorder))},
+			obs.Attr{K: "live_leases", V: strconv.Itoa(rb.liveLeases)})
 		co.opts.Logger.Info("shard state rebuilt from control WAL", "id", id,
 			"gen", run.gen, "shards", len(run.sorder), "live_leases", rb.liveLeases)
 	} else {
@@ -440,14 +512,19 @@ func (co *Coordinator) prepare(ctx context.Context, id string, spec store.Spec,
 			}
 			co.walRecords.Add(1)
 		}
+		fsyncStart := time.Now()
 		if err := wal.AppendSync(store.ControlRecord{Kind: store.CtlPlanDone,
 			Gen: run.gen, Count: len(run.sorder)}); err != nil {
 			c.Close()
 			wal.Close()
 			return nil, nil, err
 		}
+		obs.EmitSpan(ctx, "wal.fsync", fsyncStart, obs.Attr{K: "kind", V: "plan_done"})
 		co.walRecords.Add(1)
 		co.shardsPlanned.Add(int64(len(parts)))
+		obs.EmitSpan(ctx, "coordinator.plan", tableStart,
+			obs.Attr{K: "gen", V: strconv.Itoa(run.gen)},
+			obs.Attr{K: "shards", V: strconv.Itoa(len(parts))})
 	}
 
 	co.mu.Lock()
@@ -555,14 +632,18 @@ func (co *Coordinator) Claim(worker string) (*Shard, error) {
 				co.walAppend(run, store.ControlRecord{Kind: store.CtlExpire,
 					Shard: sid, Lease: ss.curLease, Epoch: ss.epoch, Worker: ss.worker})
 			}
+			claimStart := time.Now()
 			lease := newLease()
 			epoch := ss.epoch + 1
 			if run.wal != nil {
+				fsyncStart := time.Now()
 				if err := run.wal.AppendSync(store.ControlRecord{Kind: store.CtlGrant,
 					Gen: run.gen, Shard: sid, Lease: lease, Epoch: epoch, Worker: worker}); err != nil {
 					return nil, fmt.Errorf("shard: journal grant for %s: %v", sid, err)
 				}
 				co.walRecords.Add(1)
+				obs.EmitInTrace(run.trace, run.rootSpan, "coordinator", "wal.fsync",
+					fsyncStart, obs.Attr{K: "kind", V: "grant"}, obs.Attr{K: "shard", V: sid})
 			}
 			if expired {
 				co.leaseExpiries.Add(1)
@@ -580,6 +661,17 @@ func (co *Coordinator) Claim(worker string) (*Shard, error) {
 			sh.Lease = lease
 			sh.LeaseTTLMS = co.opts.LeaseTTL.Milliseconds()
 			sh.Epoch = epoch
+			if !run.trace.IsZero() {
+				// Stamped per grant, not per plan: a rebuilt shard table and
+				// a re-issued shard both inherit the campaign's original
+				// trace, so successor workers extend the same timeline.
+				sh.Trace = run.trace.String()
+				sh.Span = run.rootSpan.String()
+			}
+			co.touchWorker(worker, 1, 0, 0)
+			obs.EmitInTrace(run.trace, run.rootSpan, "coordinator", "coordinator.claim",
+				claimStart, obs.Attr{K: "shard", V: sid}, obs.Attr{K: "worker", V: worker},
+				obs.Attr{K: "epoch", V: strconv.FormatInt(epoch, 10)})
 			co.opts.Logger.Info("shard claimed", "shard", sid, "worker", worker,
 				"indices", len(sh.Indices), "epoch", epoch, "reissues", ss.reissues)
 			return &sh, nil
@@ -620,6 +712,7 @@ func (co *Coordinator) Heartbeat(shardID, lease string) (*HeartbeatResult, error
 			ErrLeaseFenced, shardID, ss.epoch, epoch)
 	}
 	ss.expiry = co.now().Add(co.opts.LeaseTTL)
+	co.touchWorker(ss.worker, 0, 0, 0)
 	co.walAppend(run, store.ControlRecord{Kind: store.CtlRenew,
 		Shard: shardID, Lease: lease, Epoch: epoch})
 	return &HeartbeatResult{Lease: lease, ExpiresInMS: co.opts.LeaseTTL.Milliseconds()}, nil
@@ -723,10 +816,33 @@ func (co *Coordinator) Ingest(b Batch) (*BatchResult, error) {
 			run.mergedTraces[rec.Trace.ID] = true
 			res.Accepted++
 			co.recordsMerged.Add(1)
+		case KindSpan:
+			if rec.Span == nil {
+				return res, fmt.Errorf("%w: span record without payload", ErrBadBatch)
+			}
+			// Worker spans ride the batch stream because workers have no
+			// store of their own. They are observability, not journal state:
+			// dedup replayed re-sends, route through the trace's registered
+			// sink, and never count toward Accepted — CtlMerge counts stay
+			// journal-only and journal bytes stay identical to an untraced
+			// run. The dedup key includes the duration because a parent
+			// span's provisional announce (dur 0) and its final record share
+			// a span ID, and both must land.
+			sp := *rec.Span
+			if sp.Span == "" {
+				continue
+			}
+			key := sp.Span + ":" + strconv.FormatInt(sp.DurUS, 10)
+			if run.mergedSpans[key] {
+				continue
+			}
+			run.mergedSpans[key] = true
+			obs.EmitRecord(sp)
 		default:
 			return res, fmt.Errorf("%w: unknown record kind %q", ErrBadBatch, rec.Kind)
 		}
 	}
+	co.touchWorker(ss.worker, 0, 1, int64(res.Accepted))
 	if res.Accepted > 0 {
 		co.walAppend(run, store.ControlRecord{Kind: store.CtlMerge,
 			Shard: b.Shard, Epoch: epoch, Count: res.Accepted})
@@ -793,6 +909,7 @@ func (co *Coordinator) finalizeLocked(run *campaignRun, app, gpu string) {
 	if run.closed {
 		return
 	}
+	finStart := time.Now()
 	merged := run.c.MergedResult(&core.CampaignResult{
 		App: app, GPU: gpu, Exps: append([]core.Experiment(nil), run.newExps...)})
 	if run.tracker != nil {
@@ -815,6 +932,9 @@ func (co *Coordinator) finalizeLocked(run *campaignRun, app, gpu string) {
 	co.closeWALLocked(run)
 	run.res = merged
 	close(run.done)
+	obs.EmitInTrace(run.trace, run.rootSpan, "coordinator", "coordinator.finalize",
+		finStart, obs.Attr{K: "state", V: run.reason},
+		obs.Attr{K: "experiments", V: strconv.Itoa(len(merged.Exps))})
 	co.opts.Logger.Info("campaign merged", "id", run.id, "state", run.reason,
 		"experiments", len(merged.Exps))
 }

@@ -35,6 +35,7 @@ import (
 	"errors"
 
 	"gpufi/internal/core"
+	"gpufi/internal/obs"
 	"gpufi/internal/store"
 )
 
@@ -106,12 +107,22 @@ type Shard struct {
 	Lease      string `json:"lease"`
 	LeaseTTLMS int64  `json:"lease_ttl_ms"`
 	Epoch      int64  `json:"epoch,omitempty"`
+
+	// Trace and Span carry the campaign's distributed-tracing linkage:
+	// the 128-bit root trace ID (32 hex digits) and the root span to
+	// parent worker spans under (16 hex digits). Empty when the campaign
+	// is untraced; the worker then emits no spans for the shard. A
+	// re-issued shard carries the same trace, so a successor worker's
+	// spans land on the original timeline.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 }
 
 // Record kinds on the journal-batch wire.
 const (
 	KindExp   = "exp"   // one finished experiment (journal record)
 	KindTrace = "trace" // one propagation trace (traced campaigns)
+	KindSpan  = "span"  // one completed tracing span (worker-side timeline)
 )
 
 // Record is one journal-stream element. An experiment record carries the
@@ -124,6 +135,7 @@ type Record struct {
 	Kind  string                `json:"kind"`
 	Exp   *core.Experiment      `json:"exp,omitempty"`
 	Trace *core.ExperimentTrace `json:"trace,omitempty"`
+	Span  *obs.SpanRecord       `json:"span,omitempty"`
 }
 
 // Batch is one journal POST from a worker: an ordered slice of records

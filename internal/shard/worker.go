@@ -10,11 +10,13 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gpufi/internal/core"
+	"gpufi/internal/obs"
 	"gpufi/internal/store"
 )
 
@@ -228,6 +230,7 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	// ingested batch. The worker runs its indices fixed-N and stops when
 	// the coordinator says the campaign is satisfied.
 	cfg.Plan = nil
+	profStart := time.Now()
 	prof, err := w.profile(ctx, sh.Spec, cfg)
 	if err != nil {
 		return fmt.Errorf("shard %s: profile: %w", sh.ID, err)
@@ -254,6 +257,45 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	// to a third of the lease TTL.
 	defer func() { cancel(); <-hbDone }()
 
+	var (
+		recMu sync.Mutex
+		recs  []Record
+		sent  []Record // every acknowledged record, kept for post-restart re-sends
+		seq   int
+	)
+
+	// Tracing: the shard grant carries the campaign's root trace; worker
+	// spans join it and ride back to the coordinator as span records in
+	// the journal batches (a worker has no store of its own). The sink
+	// only appends — it never triggers a flush — so span completion can
+	// never re-enter the batch POST path. The shard span announces itself
+	// so spans merged before the shard completes (or before the worker
+	// dies) always have a persisted parent. Every POST under shardCtx
+	// carries the W3C traceparent header from here on, heartbeats
+	// included.
+	var shardSpan *obs.Span
+	if tid, ok := obs.ParseTraceID(sh.Trace); ok {
+		if psid, ok2 := obs.ParseSpanID(sh.Span); ok2 {
+			tctx := obs.ContextWithRemote(shardCtx, tid, psid)
+			tctx = obs.ContextWithNode(tctx, w.Name)
+			tctx = obs.ContextWithSink(tctx, func(rec obs.SpanRecord) {
+				r := rec
+				recMu.Lock()
+				recs = append(recs, Record{Kind: KindSpan, Span: &r})
+				recMu.Unlock()
+			})
+			tctx, shardSpan = obs.StartSpan(tctx, "worker.shard",
+				obs.Attr{K: "shard", V: sh.ID},
+				obs.Attr{K: "worker", V: w.Name},
+				obs.Attr{K: "experiments", V: strconv.Itoa(len(sh.Indices))},
+				obs.Attr{K: "epoch", V: strconv.FormatInt(sh.Epoch, 10)})
+			shardSpan.Announce()
+			defer shardSpan.End() // idempotent; flight-ring fallback on error paths
+			shardCtx = tctx
+			obs.EmitSpan(shardCtx, "worker.profile", profStart)
+		}
+	}
+
 	// Heartbeat loop. A heartbeat rejection means the lease was fenced or
 	// the campaign closed — stop burning cycles on the shard. An outage
 	// (coordinator unreachable or recovering) parks the shard instead: the
@@ -275,6 +317,8 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 				switch {
 				case err == nil:
 					if !outageSince.IsZero() {
+						obs.EmitSpan(shardCtx, "worker.park", outageSince,
+							obs.Attr{K: "where", V: "heartbeat"})
 						w.logger().Info("coordinator reachable again; worker resuming",
 							"shard", sh.ID)
 						outageSince = time.Time{}
@@ -314,12 +358,6 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	if batchSize <= 0 {
 		batchSize = 64
 	}
-	var (
-		recMu sync.Mutex
-		recs  []Record
-		sent  []Record // every acknowledged record, kept for post-restart re-sends
-		seq   int
-	)
 	// send posts one batch, riding out coordinator outages. Records are
 	// NOT consumed here: ownership stays with the caller until the POST
 	// succeeds.
@@ -404,7 +442,20 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	// journals them.
 	cfg.Journal = func(exp core.Experiment) error {
 		e := exp
-		return add(Record{Kind: KindExp, Exp: &e})
+		rec := Record{Kind: KindExp, Exp: &e}
+		if sh.Spec.Trace && exp.Trace != nil {
+			// The collector hands this experiment's propagation trace to
+			// TraceSink immediately after this callback. Append without
+			// flushing so the exp+trace pair can never straddle a batch
+			// boundary: a trace trailing the campaign's final exp into the
+			// next batch would arrive at an already-finalized campaign and
+			// be rejected.
+			recMu.Lock()
+			recs = append(recs, rec)
+			recMu.Unlock()
+			return nil
+		}
+		return add(rec)
 	}
 	if sh.Spec.Trace {
 		cfg.TraceSink = func(tr core.ExperimentTrace) error {
@@ -423,6 +474,9 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 	if satisfied.Load() {
 		return nil
 	}
+	// Complete the shard span BEFORE the final flush so its real-duration
+	// record rides in the final batch instead of dying with the process.
+	shardSpan.End()
 	res, err := flush(true)
 	if err != nil {
 		return err
@@ -446,7 +500,11 @@ func (w *Worker) runShard(ctx context.Context, sh *Shard) error {
 		backoffResends.Add(1)
 		w.logger().Warn("final batch left shard incomplete; re-sending all records",
 			"shard", sh.ID, "records", len(all), "attempt", attempt)
+		resendStart := time.Now()
 		res, err = send(all, true)
+		obs.EmitSpan(shardCtx, "worker.resend", resendStart,
+			obs.Attr{K: "records", V: strconv.Itoa(len(all))},
+			obs.Attr{K: "attempt", V: strconv.Itoa(attempt)})
 		if err != nil {
 			if errors.Is(err, ErrCampaignSatisfied) {
 				return nil
@@ -472,6 +530,8 @@ func (w *Worker) withOutageRetry(ctx context.Context, shardID string, fn func() 
 		err := fn()
 		if err == nil {
 			if !outageSince.IsZero() {
+				obs.EmitSpan(ctx, "worker.park", outageSince,
+					obs.Attr{K: "where", V: "batch"})
 				w.logger().Info("coordinator reachable again; worker resuming", "shard", shardID)
 			}
 			return nil
@@ -550,6 +610,7 @@ func (w *Worker) post(ctx context.Context, path string, body, out any) (int, err
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectTraceparent(ctx, req.Header)
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", errUnreachable, err)

@@ -350,7 +350,10 @@ func (c *Campaign) Finish(res *core.CampaignResult) error {
 
 // Create starts a fresh campaign: a new directory, the config record, and
 // a journal holding just the header. An empty id derives spec.ID().
-// Returns ErrExists if the id already has a directory.
+// Returns ErrExists if the id already has a config record. (The check is
+// on the config file, not the bare directory: observability writers — the
+// span log — may legitimately create the directory moments before the
+// campaign itself does.)
 func (s *Store) Create(id string, spec Spec) (*Campaign, error) {
 	spec = spec.normalize()
 	if id == "" {
@@ -360,7 +363,7 @@ func (s *Store) Create(id string, spec Spec) (*Campaign, error) {
 		return nil, fmt.Errorf("store: invalid campaign id %q", id)
 	}
 	dir := s.campaignDir(id)
-	if _, err := os.Stat(dir); err == nil {
+	if _, err := os.Stat(filepath.Join(dir, configFile)); err == nil {
 		return nil, fmt.Errorf("%w: %s", ErrExists, id)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
