@@ -48,6 +48,17 @@ type Metric struct {
 	// this one metric — e.g. a hard ≤5% budget on tracing overhead while
 	// engine speedups keep the looser default.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// Min, when positive, is an absolute floor on top of the relative
+	// check: the run fails if the measured value dips below it no matter
+	// what the baseline value drifted to. Used for contractual numbers
+	// like "parallel stepping reaches >=1.8x at 4 workers".
+	Min float64 `json:"min,omitempty"`
+	// MinCPUs, when positive, makes the metric conditional on hardware:
+	// it is checked only when the pooled artifacts report at least this
+	// many CPUs under "parallel_bench_cpus". A laptop or single-core CI
+	// leg cannot measure a 4-worker speedup, so the gate skips (with a
+	// note) instead of failing on numbers the machine cannot produce.
+	MinCPUs int `json:"min_cpus,omitempty"`
 }
 
 func main() {
@@ -97,13 +108,28 @@ func main() {
 	}
 	sort.Strings(names)
 
+	// skipForCPUs reports whether a hardware-conditional metric cannot be
+	// measured on this machine (too few CPUs for a parallel speedup).
+	skipForCPUs := func(m Metric) (float64, bool) {
+		if m.MinCPUs <= 0 {
+			return 0, false
+		}
+		cpus, ok := current["parallel_bench_cpus"]
+		return cpus, !ok || int(cpus) < m.MinCPUs
+	}
+
 	if *promote {
 		for _, name := range names {
+			m := base.Metrics[name]
+			if cpus, skip := skipForCPUs(m); skip {
+				fmt.Printf("%-22s kept at %.4f (needs >=%d CPUs, artifacts report %.0f)\n",
+					name, m.Value, m.MinCPUs, cpus)
+				continue
+			}
 			got, ok := current[name]
 			if !ok {
 				log.Fatalf("metric %q not present in the given artifacts; run every benchmark before promoting", name)
 			}
-			m := base.Metrics[name]
 			fmt.Printf("%-22s %.4f -> %.4f\n", name, m.Value, got)
 			m.Value = got
 			base.Metrics[name] = m
@@ -122,6 +148,11 @@ func main() {
 	failed := 0
 	for _, name := range names {
 		m := base.Metrics[name]
+		if cpus, skip := skipForCPUs(m); skip {
+			fmt.Printf("skip %-22s needs >=%d CPUs, artifacts report %.0f; not enforced on this machine\n",
+				name, m.MinCPUs, cpus)
+			continue
+		}
 		got, ok := current[name]
 		if !ok {
 			log.Printf("FAIL %s: metric missing from the benchmark artifacts", name)
@@ -138,6 +169,10 @@ func main() {
 		case "higher":
 			bound = m.Value * (1 - tol)
 			bad = got < bound
+			if m.Min > 0 && bound < m.Min {
+				bound = m.Min // the absolute floor is the binding constraint
+			}
+			bad = bad || got < bound
 		case "lower":
 			bound = m.Value * (1 + tol)
 			bad = got > bound

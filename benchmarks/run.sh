@@ -16,4 +16,7 @@ BENCH_OBS_JSON=benchmarks/current/BENCH_obs.json \
 BENCH_FORK_JSON=benchmarks/current/BENCH_fork.json \
   go test -run '^$' -bench BenchmarkCOWForkVsDeepClone -benchtime=1x .
 
+BENCH_PARALLEL_JSON=benchmarks/current/BENCH_parallel.json \
+  go test -run '^$' -bench BenchmarkPrefixParallelScaling -benchtime=1x .
+
 echo "artifacts in benchmarks/current/"

@@ -117,6 +117,10 @@ func runForked(ctx context.Context, cfg *CampaignConfig, prof *Profile,
 	// The prefix is fault-free, but bound it anyway so a scheduling bug
 	// cannot hang the campaign.
 	g.CycleLimit = 4 * prof.TotalCycles
+	// Parallel core stepping accelerates only the prefix: experiment
+	// vessels fork serially (snapshots never carry pool state), because
+	// campaign-level Workers parallelism already covers the fan-out.
+	g.SetParallelCores(cfg.ParallelCores)
 
 	// One reusable fork per worker slot, shared across clusters: after its
 	// first experiment a vessel restores snapshots into its existing

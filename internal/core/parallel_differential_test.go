@@ -1,0 +1,227 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+
+	"gpufi/internal/bench"
+	"gpufi/internal/config"
+	"gpufi/internal/sim"
+)
+
+// This file is the differential gate on the parallel per-cycle core
+// engine: every campaign must be bit-identical whether the fault-free
+// prefix steps its SM cores serially (ParallelCores 0) or on the
+// two-phase-commit worker pool (ParallelCores > 1). It reuses the COW
+// differential harness: identity is checked at the journal-record and
+// trace byte level, per experiment, across all twelve paper benchmarks on
+// two GPU presets, including the traced and poison/quarantine paths. The
+// CI race leg runs this package under -race, so these tests also prove
+// the compute phase is data-race-free.
+
+// runParallelDifferentialPair runs the same campaign point twice — serial
+// baseline and parallel prefix stepping — and checks Counts,
+// per-experiment fields, and the journal/trace byte maps for equality.
+func runParallelDifferentialPair(t *testing.T, label string, base CampaignConfig, prof *Profile) {
+	t.Helper()
+	run := func(parallelCores int) (*CampaignResult, *journalRecorder) {
+		rec := newJournalRecorder()
+		cfg := base // struct copy; hooks below are per-run
+		cfg.ParallelCores = parallelCores
+		cfg.Journal = rec.journal
+		if cfg.Trace {
+			cfg.TraceSink = rec.trace
+		}
+		res, err := RunCampaign(nil, &cfg, prof)
+		if err != nil {
+			t.Fatalf("%s parallelCores=%d: %v", label, parallelCores, err)
+		}
+		return res, rec
+	}
+	serialRes, serialRec := run(0)
+	parRes, parRec := run(4)
+
+	if parRes.Counts != serialRes.Counts {
+		t.Errorf("%s: parallel counts %+v vs serial %+v", label, parRes.Counts, serialRes.Counts)
+	}
+	if len(parRes.Exps) != len(serialRes.Exps) {
+		t.Fatalf("%s: %d parallel experiments vs %d serial", label, len(parRes.Exps), len(serialRes.Exps))
+	}
+	for i := range parRes.Exps {
+		p, s := parRes.Exps[i], serialRes.Exps[i]
+		if p.Effect != s.Effect || p.Cycles != s.Cycles || p.Detail != s.Detail ||
+			p.Injected != s.Injected || p.Quarantined != s.Quarantined || p.Why != s.Why {
+			t.Errorf("%s exp %d: parallel {%s %d %q inj=%v q=%v why=%q} serial {%s %d %q inj=%v q=%v why=%q}",
+				label, i, p.Effect, p.Cycles, p.Detail, p.Injected, p.Quarantined, p.Why,
+				s.Effect, s.Cycles, s.Detail, s.Injected, s.Quarantined, s.Why)
+		}
+	}
+	diffRecorders(t, label, parRec, serialRec)
+}
+
+// TestParallelSerialDifferentialAllBenchmarks sweeps every paper benchmark
+// on two GPU presets, alternating the target structure between the
+// register file and the L2 — the same grid the COW differential covers —
+// with the fault-free prefix stepped by the parallel engine. Journal bytes
+// must match the serial baseline exactly.
+func TestParallelSerialDifferentialAllBenchmarks(t *testing.T) {
+	presets := []struct {
+		name string
+		gpu  *config.GPU
+	}{
+		{"RTX2060", config.RTX2060()},
+		{"GTXTitan", config.GTXTitan()},
+	}
+	apps := bench.All()
+	if testing.Short() {
+		apps = apps[:3]
+		presets = presets[:1]
+	}
+	structures := []sim.Structure{sim.StructRegFile, sim.StructL2}
+	for _, ps := range presets {
+		for i, app := range apps {
+			st := structures[i%len(structures)]
+			prof, err := ProfileApp(nil, app, ps.gpu)
+			if err != nil {
+				t.Fatalf("%s/%s profile: %v", ps.name, app.Name, err)
+			}
+			label := ps.name + "/" + app.Name + "/" + st.String()
+			runParallelDifferentialPair(t, label, CampaignConfig{
+				App: app, GPU: ps.gpu, Kernel: app.Kernels[0], Structure: st,
+				Runs: 12, Bits: 1, Seed: 23, Workers: 4,
+			}, prof)
+		}
+	}
+}
+
+// TestParallelSerialDifferentialTraced repeats the check with
+// fault-propagation tracing on. Tracing forces the per-cycle serial
+// fallback inside the experiment vessels, but the parallel-configured
+// prefix must still leave every trace byte identical.
+func TestParallelSerialDifferentialTraced(t *testing.T) {
+	gpu := config.RTX2060()
+	app, err := bench.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileApp(nil, app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runParallelDifferentialPair(t, "VA/traced", CampaignConfig{
+		App: app, GPU: gpu, Kernel: "va_add", Structure: sim.StructRegFile,
+		Runs: 20, Bits: 1, Seed: 31, Workers: 4, Trace: true,
+	}, prof)
+}
+
+// TestParallelSerialDifferentialPoisonPath forces experiments through the
+// sandbox's panic boundary: quarantine records and the experiments run
+// after a poisoned vessel was discarded must be bit-identical whether the
+// prefix stepped serially or in parallel.
+func TestParallelSerialDifferentialPoisonPath(t *testing.T) {
+	gpu := config.RTX2060()
+	app, err := bench.ByName("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileApp(nil, app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runParallelDifferentialPair(t, "BFS/poison", CampaignConfig{
+		App: app, GPU: gpu, Kernel: "bfs_k1", Structure: sim.StructRegFile,
+		Runs: 20, Bits: 1, Seed: 13, Workers: 2,
+		ExperimentHook: func(id int, spec *sim.FaultSpec) {
+			if id%7 == 3 {
+				panic("differential-test: induced poison")
+			}
+		},
+	}, prof)
+}
+
+// digest computes a deterministic hash over a recorder's journal and trace
+// bytes, ordered by experiment ID.
+func (r *journalRecorder) digest() string {
+	ids := make([]int, 0, len(r.recs))
+	for id := range r.recs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	h := sha256.New()
+	for _, id := range ids {
+		fmt.Fprintf(h, "%d:", id)
+		h.Write(r.recs[id])
+		h.Write(r.traces[id])
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestParallelDeterminismAcrossGOMAXPROCS is the determinism property
+// test: the same campaign, run at GOMAXPROCS 1, 2, and NumCPU with
+// randomized intra-simulation worker counts, must produce one identical
+// journal digest — and that digest must equal the fully serial one. When
+// PARALLEL_DIGEST_FILE is set, the digest is written there so CI can
+// archive it as a cross-leg artifact: the GOMAXPROCS=1 and GOMAXPROCS=4
+// matrix legs must upload the same bytes.
+func TestParallelDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	gpu := config.RTX2060()
+	app, err := bench.ByName("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileApp(nil, app, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := CampaignConfig{
+		App: app, GPU: gpu, Kernel: "va_add", Structure: sim.StructRegFile,
+		Runs: 15, Bits: 1, Seed: 7, Workers: 2,
+	}
+	runDigest := func(parallelCores int) string {
+		rec := newJournalRecorder()
+		cfg := base
+		cfg.ParallelCores = parallelCores
+		cfg.Journal = rec.journal
+		if _, err := RunCampaign(nil, &cfg, prof); err != nil {
+			t.Fatalf("parallelCores=%d: %v", parallelCores, err)
+		}
+		return rec.digest()
+	}
+
+	want := runDigest(0) // fully serial reference
+
+	procs := []int{1, 2, runtime.NumCPU()}
+	// The property must hold for every worker count, not a blessed few:
+	// fold a couple of randomized counts into the sweep. The RNG seed is
+	// logged so a failure reproduces.
+	seed := int64(os.Getpid())
+	rng := rand.New(rand.NewSource(seed))
+	counts := []int{2, 4, rng.Intn(14) + 2, rng.Intn(14) + 2}
+	t.Logf("randomized worker counts %v (seed %d)", counts[2:], seed)
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		for _, w := range counts {
+			if got := runDigest(w); got != want {
+				t.Fatalf("GOMAXPROCS=%d parallelCores=%d: digest %s != serial %s",
+					p, w, got, want)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	if path := os.Getenv("PARALLEL_DIGEST_FILE"); path != "" {
+		if err := os.WriteFile(path, []byte(want+"\n"), 0o644); err != nil {
+			t.Fatalf("write digest artifact: %v", err)
+		}
+	}
+}

@@ -84,6 +84,12 @@ type warp struct {
 	// sharedSlab marks a COW fork warp whose threads still alias the
 	// snapshot's slab; core.materializeWarp clears it on first write.
 	sharedSlab bool
+
+	// pendBusy, when positive, is 1 + the index of this warp's deferred
+	// instruction record (core.pend) whose commit will finalize busyUntil.
+	// Only ever non-zero within a parallel compute phase; commitPend and
+	// checkBarrier clear it, so it is always zero between cycles.
+	pendBusy int
 }
 
 // liveMask returns the mask of threads that have not exited.
@@ -139,6 +145,18 @@ type core struct {
 	// pool arenas the vessel-private resident state of a COW fork; nil
 	// until the core's first copy-on-write restore (see cow.go).
 	pool *residentPool
+
+	// Two-phase (compute/commit) cycle state. During a cycle, cores only
+	// touch core-local state plus these fields; commitCycle folds them
+	// into GPU-global state in core-ID order. All of them are empty
+	// between cycles, so snapshots never observe or carry them.
+	viol       error       // first violation this core raised, in issue order
+	stop       bool        // core stops issuing for the rest of the cycle
+	instrDelta int64       // instructions issued this cycle
+	ctaRetired int         // CTAs retired this cycle
+	deferOps   bool        // true while computing under the worker pool
+	pend       []pendInstr // deferred shared-state effects (see parallel.go)
+	pi         int         // pend index of the current instruction, -1 = none
 }
 
 func newCore(g *GPU, id int) *core {
@@ -167,6 +185,12 @@ func (c *core) reset() {
 	c.usedSmem = 0
 	c.rr = 0
 	c.corruptInstr = false
+	c.viol = nil
+	c.stop = false
+	c.instrDelta = 0
+	c.ctaRetired = 0
+	c.pend = c.pend[:0]
+	c.pi = -1
 }
 
 // tryPlaceCTA places linear CTA ctaID on this core if the per-SM limits
@@ -249,7 +273,7 @@ func (c *core) retireCTA(b *cta) {
 	c.usedThreads -= ctaThreads
 	c.usedRegs -= ctaThreads * g.curProg.RegsPerThread
 	c.usedSmem -= g.curProg.SmemBytes
-	g.doneCTAs++
+	c.ctaRetired++ // folded into g.doneCTAs at commit, in core-ID order
 }
 
 // liveWarps counts resident warps that have not fully exited.
@@ -307,7 +331,7 @@ func (c *core) tick() bool {
 		} else {
 			c.rr = idx
 		}
-		if c.gpu.violation != nil {
+		if c.stop {
 			return true
 		}
 		n = len(c.warps) // retireCTA may shrink the list
@@ -370,6 +394,29 @@ func (w *warp) exitThreads(mask uint32) {
 	}
 }
 
+// setViol latches the first violation this core observed, in issue order.
+// commitCycle folds the per-core latches into g.violation in core-ID
+// order, so the lowest violating core ID wins deterministically.
+func (c *core) setViol(err error) {
+	if c.viol == nil {
+		c.viol = err
+	}
+}
+
+// fail raises a compute-phase violation: the core stops issuing for the
+// rest of the cycle. Under the parallel engine the violation is recorded
+// as a deferred op so it lands in issue order behind any shared-state
+// effects (e.g. an L1I fetch, or a store's write error) that must replay
+// first at commit.
+func (c *core) fail(err error) {
+	c.stop = true
+	if c.deferOps {
+		c.newPend(nil).viol = err
+		return
+	}
+	c.setViol(err)
+}
+
 // step executes one instruction for warp w (functional execution at issue
 // time) and charges its latency.
 func (c *core) step(w *warp) {
@@ -378,13 +425,14 @@ func (c *core) step(w *warp) {
 		// taint): give a COW fork warp its private slab first.
 		c.materializeWarp(w)
 	}
+	c.pi = -1
 	g := c.gpu
 	p := g.curProg
 	top := &w.stack[len(w.stack)-1]
 	pc := top.pc
 	if pc < 0 || int(pc) >= len(p.Instrs) {
 		// Only reachable through corrupted control flow.
-		g.violation = &IllegalInstr{Kernel: p.Name, PC: int(pc), Reason: "pc outside program"}
+		c.fail(&IllegalInstr{Kernel: p.Name, PC: int(pc), Reason: "pc outside program"})
 		return
 	}
 	fetchCost := c.fetchAccess(w, pc)
@@ -392,12 +440,12 @@ func (c *core) step(w *warp) {
 	if c.corruptInstr {
 		decoded, err := c.fetchDecode(pc)
 		if err != nil {
-			g.violation = err
+			c.fail(err)
 			return
 		}
 		in = decoded
 	}
-	g.kernelStat.Instructions++
+	c.instrDelta++
 	if g.TraceWriter != nil {
 		fmt.Fprintf(g.TraceWriter, "%8d core%02d w%02d pc%4d mask %08x  %s\n",
 			g.cycle, c.id, w.slot, pc, top.mask, in.String())
@@ -436,7 +484,7 @@ func (c *core) step(w *warp) {
 		top.pc = pc + 1
 	default:
 		latency = c.execute(w, in, eff)
-		if g.violation != nil {
+		if c.stop {
 			return
 		}
 		top.pc = pc + 1
@@ -444,7 +492,33 @@ func (c *core) step(w *warp) {
 
 	w.popReconverged()
 	w.lastIssue = g.cycle
-	w.busyUntil = g.cycle + uint64(latency)
+	if c.pi >= 0 {
+		pi := &c.pend[c.pi]
+		switch in.Op {
+		case isa.OpBRA, isa.OpEXIT, isa.OpBAR, isa.OpNOP:
+			// Control-class latency includes the (deferred) fetch cost.
+			pi.chargeFetch = true
+			pi.setBusy, pi.baseLat = true, g.cfg.ALULatency
+		default:
+			if pi.mem.kind != pmNone {
+				pi.setBusy = true // latency comes from the deferred memory phase
+			}
+		}
+		if pi.setBusy {
+			// Provisional stall until commit writes the real latency, so
+			// the warp cannot re-issue within this cycle. A same-cycle
+			// barrier release arriving after this point must win over the
+			// commit write, exactly as its later store wins in the serial
+			// engine — checkBarrier cancels the pending write through
+			// pendBusy.
+			w.busyUntil = g.cycle + 1
+			w.pendBusy = c.pi + 1
+		} else {
+			w.busyUntil = g.cycle + uint64(latency)
+		}
+	} else {
+		w.busyUntil = g.cycle + uint64(latency)
+	}
 
 	if len(w.stack) == 0 || w.liveMask() == 0 {
 		if !w.exited {
@@ -474,6 +548,13 @@ func (c *core) checkBarrier(b *cta) {
 		if w.atBarrier {
 			w.atBarrier = false
 			w.busyUntil = c.gpu.cycle + 1
+			if w.pendBusy > 0 {
+				// The warp issued its BAR earlier this same cycle with a
+				// deferred latency; the release must be the last write to
+				// busyUntil, as it is in the serial engine.
+				c.pend[w.pendBusy-1].setBusy = false
+				w.pendBusy = 0
+			}
 		}
 	}
 }
@@ -491,6 +572,14 @@ func (c *core) fetchAccess(w *warp, pc int32) int {
 		return 0
 	}
 	w.fetchLine, w.fetchValid = lineAddr, true
+	if c.deferOps {
+		// Parallel compute: the L1I state transition reaches the shared L2
+		// on a miss, so it replays at commit. Whether the cost matters is
+		// decided by the instruction class (chargeFetch, see step).
+		pi := c.newPend(w)
+		pi.doFetch, pi.fetchAddr = true, lineAddr
+		return 0
+	}
 	hit, below := c.l1i.AccessRead(lineAddr)
 	if hit {
 		return 0 // hit latency hidden by the fetch pipeline

@@ -113,8 +113,17 @@ func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
 		// (an extension target; the paper's gpuFI-4 could not inject it).
 		idx := in.Imm
 		if idx < 0 || idx%4 != 0 || int(idx/4) >= len(g.curParams) {
-			g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
-				Addr: uint32(idx), Space: "param"}
+			c.fail(&MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+				Addr: uint32(idx), Space: "param"})
+			return 0
+		}
+		if c.l1c != nil && c.deferOps {
+			// The constant cache misses into the shared L2: defer the
+			// access, the loaded value, and the cost to the commit phase.
+			pi := c.newPend(w)
+			pi.mem.kind = pmLDC
+			pi.mem.in, pi.mem.eff = in, eff
+			pi.mem.ldcAddr = g.paramBase + uint32(idx)
 			return 0
 		}
 		v := g.curParams[idx/4]
@@ -160,25 +169,25 @@ func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
 			// Local space: per-thread offset, translated into the carved
 			// DRAM region (paper: local memory resides in device memory).
 			if addr%4 != 0 {
-				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
-					Addr: addr, Space: "local"}
+				c.fail(&MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "local"})
 				return 0
 			}
 			if uint64(addr)+4 > uint64(g.localStep) && !g.cfg.LenientMemory {
-				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
-					Addr: addr, Space: "local"}
+				c.fail(&MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "local"})
 				return 0
 			}
 			addr = t.localBase + addr
 		default:
 			if addr%4 != 0 {
-				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
-					Addr: addr, Space: "global"}
+				c.fail(&MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "global"})
 				return 0
 			}
 			if !g.mem.Valid(addr, 4) && !g.cfg.LenientMemory {
-				g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
-					Addr: addr, Space: "global"}
+				c.fail(&MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+					Addr: addr, Space: "global"})
 				return 0
 			}
 		}
@@ -197,22 +206,57 @@ func (c *core) executeMem(w *warp, in *isa.Instr, eff uint32) int {
 		l1 = c.l1d // may be nil (Kepler): access goes straight to L2
 	}
 
-	// Coalesce into line transactions, preserving lane order.
+	// Coalesce into line transactions, preserving lane order. A linear
+	// dedup keeps first-occurrence order (at most 32 candidates) without
+	// allocating, which both engines and the deferred records rely on.
 	lineSize := uint32(g.cfg.L2.LineBytes)
 	if l1 != nil {
 		lineSize = uint32(l1.Geometry().LineBytes)
 	}
-	var lines []uint32
-	seen := make(map[uint32]bool, 4)
+	var lineBuf [32]uint32
+	lines := lineBuf[:0]
 	for lane := 0; lane < 32; lane++ {
 		if eff&(1<<uint(lane)) == 0 {
 			continue
 		}
 		la := addrs[lane] &^ (lineSize - 1)
-		if !seen[la] {
-			seen[la] = true
+		dup := false
+		for _, x := range lines {
+			if x == la {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			lines = append(lines, la)
 		}
+	}
+
+	if c.deferOps {
+		// Parallel compute: every line/word transaction below touches the
+		// shared L2 (directly, or through L1 miss fills, write-through and
+		// bank-queue charges). Capture the whole access — addresses, the
+		// coalesced lines and, for stores, the register operands, which
+		// cannot change before commit — and replay it there.
+		pi := c.newPend(w)
+		m := &pi.mem
+		m.kind = pmData
+		m.in, m.eff, m.l1 = in, eff, l1
+		m.isLoad = in.Op.IsLoad()
+		m.addrs = addrs
+		m.nLines = copy(m.lines[:], lines)
+		if !m.isLoad {
+			m.mode = cache.ModeGlobal
+			if local {
+				m.mode = cache.ModeLocal
+			}
+			for lane := 0; lane < 32; lane++ {
+				if eff&(1<<uint(lane)) != 0 {
+					m.data[lane] = w.threads[lane].readReg(in.SrcC)
+				}
+			}
+		}
+		return 0
 	}
 
 	maxCost := 0
@@ -293,7 +337,12 @@ func (c *core) lineWrite(l1 *cache.Cache, lineAddr uint32, mode cache.Mode) int 
 	}
 	hit, below, werr := l1.AccessWrite(lineAddr, mode)
 	if werr != nil {
-		c.gpu.violation = werr
+		// A store routed into a read-only mode latches the violation but
+		// does not stop the instruction (the remaining lines and lanes
+		// complete, then the launch aborts at the end of the cycle) — the
+		// same semantics under both engines, since the parallel one only
+		// discovers the error when the deferred store replays at commit.
+		c.setViol(werr)
 		return 0
 	}
 	cost := l1.Geometry().HitCycles + below
@@ -342,8 +391,8 @@ func (c *core) sharedAccess(w *warp, in *isa.Instr, eff uint32) int {
 		t := w.threads[lane]
 		addr := t.readReg(in.SrcA) + uint32(in.Imm)
 		if uint64(addr)+4 > uint64(len(smem)) || addr%4 != 0 {
-			g.violation = &MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
-				Addr: addr, Space: "shared"}
+			c.fail(&MemViolation{Kernel: g.curProg.Name, PC: c.pcOf(w), Op: in.Op,
+				Addr: addr, Space: "shared"})
 			return 0
 		}
 		if in.Op == isa.OpLDS {

@@ -106,6 +106,19 @@ type GPU struct {
 	launchCores map[int]bool
 	launchInstr int64
 
+	// Parallel per-cycle core stepping (see parallel.go). parallelCores
+	// is the requested worker count (0 or 1 = serial); the pool starts
+	// lazily at the first eligible cycle and stops at launch teardown.
+	// Deliberately not cloned by snapshots: forks default to serial.
+	parallelCores int
+	pool          *stepPool
+
+	// corrupted marks that some core decodes instructions from (possibly
+	// fault-corrupted) cache bits after an L1I injection. Decode then
+	// depends on ordered L2 state mid-cycle, so the engine falls back to
+	// serial stepping for the rest of the launch.
+	corrupted bool
+
 	// snapshot-and-fork machinery (see snapshot.go)
 	snapAt      []uint64              // pending capture cycles, ascending
 	snapFn      func(*Snapshot) error // capture sink; an error aborts the run
@@ -486,12 +499,16 @@ func (g *GPU) runLaunch() (*LaunchResult, error) {
 			g.applyFault(g.faults[0])
 			g.faults = g.faults[1:]
 		}
-		anyReady := false
-		for _, c := range g.cores {
-			if c.tick() {
-				anyReady = true
-			}
+		if g.violation != nil {
+			// An uncorrectable (DUE) ECC detection aborts at fault
+			// application, before any warp issues this cycle — the same
+			// point under both engines.
+			err := g.violation
+			g.releaseLaunch()
+			return nil, err
 		}
+		anyReady := g.stepCores()
+		g.commitCycle()
 		g.sampleStats(1)
 		if g.violation != nil {
 			err := g.violation
@@ -553,11 +570,14 @@ func (g *GPU) runLaunch() (*LaunchResult, error) {
 }
 
 // releaseLaunch clears per-launch core state (CTAs, warps) after
-// completion or abort.
+// completion or abort, and stops the parallel stepping pool — every exit
+// path of runLaunch funnels through here, so no workers outlive a launch.
 func (g *GPU) releaseLaunch() {
+	g.stopPool()
 	for _, c := range g.cores {
 		c.reset()
 	}
+	g.corrupted = false
 	g.curProg = nil
 	g.curParams = nil
 	g.launchCores = nil

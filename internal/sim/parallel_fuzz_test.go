@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"gpufi/internal/isa"
+)
+
+// FuzzParallelCommitOrder is the differential fuzz target for the
+// two-phase commit scheduler: a random straight-line program (random ALU
+// body, global stores of every register, optionally a same-cycle wild
+// store on every CTA) runs once on the serial engine and once on the
+// parallel engine with a fuzz-chosen worker count. Outputs, cycle counts,
+// instruction counts and violations must be identical — any divergence is
+// a commit-ordering bug. The seed corpus lives in
+// testdata/fuzz/FuzzParallelCommitOrder and replays in CI.
+func FuzzParallelCommitOrder(f *testing.F) {
+	f.Add([]byte("\x2a\x00\x00\x00\x00\x00\x00\x00\x04\x03\x10\x00"))
+	f.Add([]byte("\x07\x01\x00\x00\x00\x00\x00\x00\x02\x05\x08\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 12 {
+			t.Skip("need 12 bytes: seed, workers, ctas, instrs, wild")
+		}
+		seed := int64(binary.LittleEndian.Uint64(data))
+		workers := int(data[8]%7) + 2
+		nCTA := int(data[9]%6) + 1
+		nInstr := int(data[10]%24) + 4
+		wild := data[11]&1 == 1
+
+		const nRegs = 6
+		r := rand.New(rand.NewSource(seed))
+		prog, _ := randomALUProgram(r, nInstr, nRegs)
+		// Rebase the output stores on the device buffer (param c[0]), the
+		// same patch TestFuzzALUDifferential applies.
+		patched := make([]isa.Instr, 0, len(prog.Instrs)+4)
+		for _, in := range prog.Instrs {
+			patched = append(patched, in)
+			if in.Op == isa.OpIMUL && in.Dst == uint8(nRegs) {
+				patched = append(patched,
+					isa.Instr{Op: isa.OpLDC, Dst: uint8(nRegs) + 1, Imm: 0,
+						Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1},
+					isa.Instr{Op: isa.OpIADD, Dst: uint8(nRegs), SrcA: uint8(nRegs), SrcB: uint8(nRegs) + 1,
+						Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1})
+			}
+		}
+		if wild {
+			// Every CTA stores to an unmapped address on the same cycle:
+			// the deterministic fold must pick the same winner both ways.
+			scratch := uint8(nRegs) + 1
+			exit := patched[len(patched)-1]
+			patched = patched[:len(patched)-1]
+			patched = append(patched,
+				isa.Instr{Op: isa.OpMOV, Dst: scratch, HasImm: true, Imm: 0x40,
+					Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1},
+				isa.Instr{Op: isa.OpSTG, SrcA: scratch, SrcC: 0,
+					Guard: isa.PredPT, PDst: isa.PredPT, PSrc: isa.PredPT, Reconv: -1},
+				exit)
+		}
+		prog.Instrs = patched
+		if err := prog.Validate(); err != nil {
+			t.Skipf("generated invalid program: %v", err)
+		}
+
+		nThreads := nCTA * 32
+		run := func(parallelWorkers int) (out []byte, cycles uint64, instrs int64, runErr error) {
+			g := newTestGPU(t)
+			g.SetParallelCores(parallelWorkers)
+			dout, err := g.Malloc(uint32(4 * nRegs * nThreads))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, runErr = g.Launch(prog, Dim1(nCTA), Dim1(32), dout)
+			out = make([]byte, 4*nRegs*nThreads)
+			if runErr == nil {
+				if err := g.MemcpyDtoH(out, dout); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var n int64
+			if ks := g.KernelStats()["fuzz"]; ks != nil {
+				n = ks.Instructions
+			}
+			return out, g.Cycle(), n, runErr
+		}
+
+		sOut, sCycles, sInstrs, sErr := run(0)
+		pOut, pCycles, pInstrs, pErr := run(workers)
+
+		switch {
+		case sErr == nil && pErr != nil:
+			t.Fatalf("parallel failed where serial passed: %v", pErr)
+		case sErr != nil && pErr == nil:
+			t.Fatalf("serial failed where parallel passed: %v", sErr)
+		case sErr != nil && sErr.Error() != pErr.Error():
+			t.Fatalf("violations diverged:\n  serial:   %v\n  parallel: %v", sErr, pErr)
+		}
+		if sCycles != pCycles {
+			t.Fatalf("cycles diverged: serial %d parallel %d (workers=%d ctas=%d)",
+				sCycles, pCycles, workers, nCTA)
+		}
+		if sInstrs != pInstrs {
+			t.Fatalf("instruction counts diverged: serial %d parallel %d", sInstrs, pInstrs)
+		}
+		for i := range sOut {
+			if sOut[i] != pOut[i] {
+				t.Fatalf("output byte %d diverged: serial %#x parallel %#x", i, sOut[i], pOut[i])
+			}
+		}
+	})
+}

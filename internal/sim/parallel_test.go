@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"testing"
+)
+
+// These tests pin the tentpole invariant of the parallel per-cycle core
+// engine: for ANY worker count, a launch produces bit-identical results,
+// cycle counts, statistics, and violations to the serial loop. They run
+// white-box (package sim) so they can also pin the commit fold order
+// directly.
+
+// compareGPUs checks the observable launch state two runs must share.
+func compareGPUs(t *testing.T, label string, serial, parallel *GPU) {
+	t.Helper()
+	if sc, pc := serial.Cycle(), parallel.Cycle(); sc != pc {
+		t.Errorf("%s: cycles diverged: serial %d parallel %d", label, sc, pc)
+	}
+	sks, pks := serial.KernelStats(), parallel.KernelStats()
+	for name, s := range sks {
+		p := pks[name]
+		if p == nil {
+			t.Errorf("%s: kernel %s missing from parallel stats", label, name)
+			continue
+		}
+		if s.Instructions != p.Instructions {
+			t.Errorf("%s: kernel %s instructions diverged: serial %d parallel %d",
+				label, name, s.Instructions, p.Instructions)
+		}
+		if s.TotalCycles != p.TotalCycles {
+			t.Errorf("%s: kernel %s cycles diverged: serial %d parallel %d",
+				label, name, s.TotalCycles, p.TotalCycles)
+		}
+	}
+}
+
+func TestParallelVecaddIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n = 500
+	ref := newTestGPU(t)
+	want := runVecadd(t, ref, n)
+	for _, workers := range []int{2, 3, 4, 8} {
+		g := newTestGPU(t)
+		g.SetParallelCores(workers)
+		got := runVecadd(t, g, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: c[%d] = %g, want %g", workers, i, got[i], want[i])
+			}
+		}
+		compareGPUs(t, "vecadd", ref, g)
+	}
+}
+
+// TestParallelManyWaves forces CTA refill (more CTAs than the SMs hold at
+// once): placement happens on the coordinator between cycles, and the
+// parallel engine must agree with the serial one through every wave.
+func TestParallelManyWaves(t *testing.T) {
+	const n = 64 * 64
+	serial := newTestGPU(t)
+	want := runVecadd(t, serial, n)
+	parallel := newTestGPU(t)
+	parallel.SetParallelCores(4)
+	got := runVecadd(t, parallel, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("c[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	compareGPUs(t, "waves", serial, parallel)
+}
+
+// TestParallelBarrierKernel exercises the deferred-busy cancellation in
+// checkBarrier: shared-memory reduction with BAR releases on the same
+// cycle a sibling's deferred store commits.
+func TestParallelBarrierKernel(t *testing.T) {
+	src := `
+.kernel reduce
+.smem 256
+	S2R R0, %tid.x
+	S2R R1, %ctaid.x
+	S2R R2, %ntid.x
+	IMAD R3, R1, R2, R0
+	LDC R4, c[0]
+	LDC R5, c[4]
+	SHL R6, R3, 2
+	IADD R6, R4, R6
+	LDG R7, [R6]
+	SHL R8, R0, 2
+	STS [R8], R7
+	BAR
+	MOV R9, 32
+fold:
+	ISETP.LT P0, R9, 1
+@P0	BRA done
+	ISETP.GE P1, R0, R9
+@P1	BRA skip
+	IADD R10, R0, R9
+	SHL R10, R10, 2
+	LDS R11, [R10]
+	LDS R12, [R8]
+	IADD R12, R12, R11
+	STS [R8], R12
+skip:
+	BAR
+	SHR R9, R9, 1
+	BRA fold
+done:
+	ISETP.NE P2, R0, 0
+@P2	EXIT
+	LDS R13, [0]
+	SHL R14, R1, 2
+	IADD R14, R5, R14
+	STG [R14], R13
+	EXIT
+`
+	nCTA, ctaSize := 4, 64
+	n := nCTA * ctaSize
+	run := func(t *testing.T, g *GPU) []byte {
+		t.Helper()
+		p := mustAssemble(t, src)
+		in := make([]uint32, n)
+		for c := 0; c < nCTA; c++ {
+			for i := 0; i < ctaSize; i++ {
+				in[c*ctaSize+i] = uint32(c*1000 + i)
+			}
+		}
+		din, _ := g.Malloc(uint32(4 * n))
+		dout, _ := g.Malloc(uint32(4 * nCTA))
+		g.MemcpyHtoD(din, u32sToBytes(in))
+		if _, err := g.Launch(p, Dim1(nCTA), Dim1(ctaSize), din, dout); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 4*nCTA)
+		g.MemcpyDtoH(out, dout)
+		return out
+	}
+	serial := newTestGPU(t)
+	sOut := run(t, serial)
+	parallel := newTestGPU(t)
+	parallel.SetParallelCores(4)
+	pOut := run(t, parallel)
+	for i := range sOut {
+		if sOut[i] != pOut[i] {
+			t.Fatalf("output byte %d diverged: serial %#x parallel %#x", i, sOut[i], pOut[i])
+		}
+	}
+	compareGPUs(t, "reduce", serial, parallel)
+}
+
+// TestParallelViolationLowestCoreWins is the regression test for the
+// same-cycle violation race: every CTA performs a wild store whose address
+// encodes its CTA id, all on the same cycle, one CTA per SM. Breadth-first
+// placement puts CTA 0 on core 0, so under the deterministic fold the
+// reported violation must always be CTA 0's address — on both engines.
+func TestParallelViolationLowestCoreWins(t *testing.T) {
+	src := `
+.kernel wildcta
+	S2R R0, %ctaid.x
+	SHL R1, R0, 2
+	IADD R1, R1, 64
+	STG [R1], R0
+	EXIT
+`
+	run := func(g *GPU) error {
+		p := mustAssemble(t, src)
+		_, err := g.Launch(p, Dim1(4), Dim1(32))
+		return err
+	}
+	serial := newTestGPU(t)
+	sErr := run(serial)
+	if sErr == nil {
+		t.Fatal("wild store did not crash")
+	}
+	mv, ok := sErr.(*MemViolation)
+	if !ok {
+		t.Fatalf("error type %T, want *MemViolation", sErr)
+	}
+	// CTA 0 lands on core 0 (breadth-first placement); its wild address is
+	// 64. Any other address means a higher core's same-cycle violation won.
+	if mv.Addr != 64 {
+		t.Fatalf("violation addr %#x, want 0x40 (CTA 0 on core 0)", mv.Addr)
+	}
+	for _, workers := range []int{2, 4} {
+		g := newTestGPU(t)
+		g.SetParallelCores(workers)
+		pErr := run(g)
+		if pErr == nil {
+			t.Fatalf("workers=%d: wild store did not crash", workers)
+		}
+		if pErr.Error() != sErr.Error() {
+			t.Fatalf("workers=%d: violation diverged:\n  serial:   %v\n  parallel: %v",
+				workers, sErr, pErr)
+		}
+		if sc, pc := serial.Cycle(), g.Cycle(); sc != pc {
+			t.Fatalf("workers=%d: abort cycle diverged: serial %d parallel %d", workers, sc, pc)
+		}
+	}
+}
+
+// TestCommitViolationFoldOrder pins the fold rule directly: commitCycle
+// visits cores in ascending ID order and keeps the first violation, so the
+// lowest core ID wins regardless of the order the latches were set.
+func TestCommitViolationFoldOrder(t *testing.T) {
+	g := newTestGPU(t)
+	lo := &MemViolation{Addr: 0x100}
+	hi := &MemViolation{Addr: 0x200}
+	g.cores[2].setViol(hi) // higher core latches first
+	g.cores[0].setViol(lo)
+	g.commitCycle()
+	if g.violation != lo {
+		t.Fatalf("violation fold kept %v, want the lowest core's %v", g.violation, lo)
+	}
+	// Latches must be consumed so the next cycle starts clean.
+	if g.cores[0].viol != nil || g.cores[2].viol != nil {
+		t.Fatal("commitCycle left core violation latches set")
+	}
+}
+
+// TestSetParallelCoresClamp checks the setter's edge cases.
+func TestSetParallelCoresClamp(t *testing.T) {
+	g := newTestGPU(t)
+	g.SetParallelCores(-3)
+	if got := g.ParallelCores(); got != 0 {
+		t.Fatalf("negative worker count clamped to %d, want 0", got)
+	}
+	g.SetParallelCores(8)
+	if got := g.ParallelCores(); got != 8 {
+		t.Fatalf("ParallelCores() = %d, want 8", got)
+	}
+}
+
+// TestParallelCountersAdvance checks the process-wide observers: a
+// parallel launch must step cycles on the pool, and an instruction-traced
+// launch with ParallelCores set must count fallback cycles instead.
+func TestParallelCountersAdvance(t *testing.T) {
+	before := ParallelStats()
+	g := newTestGPU(t)
+	g.SetParallelCores(4)
+	runVecadd(t, g, 500)
+	mid := ParallelStats()
+	if mid.Cycles <= before.Cycles {
+		t.Errorf("parallel cycle counter did not advance: %d -> %d", before.Cycles, mid.Cycles)
+	}
+	if mid.Pools <= before.Pools {
+		t.Errorf("pool counter did not advance: %d -> %d", before.Pools, mid.Pools)
+	}
+
+	// One CTA populates one core: fewer than two active cores forces the
+	// serial fallback even with ParallelCores set.
+	g2 := newTestGPU(t)
+	g2.SetParallelCores(4)
+	runVecadd(t, g2, 32)
+	after := ParallelStats()
+	if after.Fallbacks <= mid.Fallbacks {
+		t.Errorf("fallback counter did not advance: %d -> %d", mid.Fallbacks, after.Fallbacks)
+	}
+}

@@ -124,6 +124,10 @@ func NewFork(snap *Snapshot) *GPU {
 		cfg:     snap.gpu.cfg,
 		kernels: make(map[string]*KernelStats),
 		seek:    &seekState{snap: snap},
+		// Adopt the capture cycle up front: a fork that aborts before its
+		// restore (e.g. a quarantined pre-run panic) then reports the
+		// snapshot cycle instead of a zero value, deterministically.
+		cycle: snap.Cycle,
 	}
 }
 
@@ -203,6 +207,10 @@ func (g *GPU) Refork(snap *Snapshot) {
 	g.violation = nil
 	g.tracer = nil
 	g.snapAt, g.snapFn, g.record = nil, nil, nil
+	// Rewind the visible clock to the capture cycle immediately: otherwise
+	// a pre-restore abort would report the previous experiment's final
+	// cycle, which depends on which vessel slot served it.
+	g.cycle = snap.Cycle
 }
 
 // restore adopts a deep copy of the snapshot state. A fresh fork clones
